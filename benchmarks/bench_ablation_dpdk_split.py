@@ -1,0 +1,107 @@
+"""Ablation — librte_acl-style trie splitting in the DPDK baseline.
+
+The real librte_acl controls its build blowup by splitting the rule set
+into several tries (by wildcard pattern) and paying extra loads per
+lookup.  This ablation quantifies that trade on our workloads: states
+built (the build-time driver) and per-lookup node visits as functions
+of the trie budget.
+
+Observed shape (also recorded in EXPERIMENTS.md): splitting removes
+the blowup on the *structured* campus rules almost entirely, but
+wildcard-heavy ClassBench FW sets stay superlinear and still explode —
+consistent with the paper's report that even the real, multi-trie
+librte_acl needs hours at 279 K entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KEY_LENGTH, run_queries
+from repro.baselines.dpdk_acl import BuildExplosionError, DpdkStyleAcl
+
+
+@pytest.fixture(scope="module")
+def split_matchers(campus):
+    entries = campus.entries
+    return {
+        tries: DpdkStyleAcl.build(entries, KEY_LENGTH, max_tries=tries)
+        for tries in (1, 2, 8)
+    }
+
+
+@pytest.mark.parametrize("tries", [1, 2, 8])
+def test_split_lookup(benchmark, split_matchers, campus_uniform, tries):
+    benchmark(run_queries, split_matchers[tries], campus_uniform)
+
+
+@pytest.mark.parametrize("tries", [2, 8])
+def test_split_build(benchmark, campus, tries):
+    entries = list(campus.entries)
+    benchmark(DpdkStyleAcl.build, entries, KEY_LENGTH, max_tries=tries)
+
+
+def test_splitting_trades_states_for_visits(split_matchers, campus_uniform):
+    single = split_matchers[1]
+    split = split_matchers[8]
+    assert split.state_count < single.state_count / 2
+    for matcher in (single, split):
+        matcher.stats.reset()
+        for query in campus_uniform:
+            matcher.lookup_counted(query)
+    assert (
+        split.stats.per_lookup()["node_visits"]
+        > single.stats.per_lookup()["node_visits"]
+    )
+
+
+def test_split_agrees_with_single(split_matchers, campus_uniform):
+    single = split_matchers[1]
+    split = split_matchers[8]
+    for query in campus_uniform:
+        a = single.lookup(query)
+        b = split.lookup(query)
+        assert (a and a.priority) == (b and b.priority)
+
+
+def test_fw_sets_still_explode():
+    from repro.workloads.classbench import classbench_acl
+
+    acl = classbench_acl("fw", 1500)
+    with pytest.raises(BuildExplosionError):
+        DpdkStyleAcl.build(acl.entries, KEY_LENGTH, state_limit=60_000, max_tries=8)
+
+
+def main() -> None:
+    from repro.bench.report import Table
+    from repro.workloads.campus import campus_acl
+    from repro.workloads.traffic import uniform_traffic
+
+    table = Table(
+        "DPDK-style trie splitting (campus D_6)",
+        ["max_tries", "tries built", "states", "visits/lookup"],
+    )
+    acl = campus_acl(6)
+    queries = uniform_traffic(acl.entries, 200)
+    for tries in (1, 2, 4, 8, 16):
+        try:
+            matcher = DpdkStyleAcl.build(
+                acl.entries, 128, state_limit=200_000, max_tries=tries
+            )
+        except BuildExplosionError:
+            table.add_row(tries, "-", "N/A (explosion)", "-")
+            continue
+        matcher.stats.reset()
+        for query in queries:
+            matcher.lookup_counted(query)
+        table.add_row(
+            tries,
+            matcher.trie_count,
+            matcher.state_count,
+            f"{matcher.stats.per_lookup()['node_visits']:.1f}",
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

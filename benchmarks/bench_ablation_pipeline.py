@@ -1,0 +1,59 @@
+"""Ablation — software-pipelined batch lookup (paper §4.3 future work).
+
+Benchmarks sequential vs coroutine-interleaved batches and reports the
+overlap fraction the cache model would convert into latency hiding.
+CPython pays a switch cost per yield, so the wall-clock comparison
+shows the *overhead* of the execution model; the overlap statistic is
+the quantity a compiled implementation banks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KEY_LENGTH, run_queries
+from repro.core import PalmtriePlus, PipelinedLookup
+
+
+@pytest.fixture(scope="module")
+def plus(campus):
+    return PalmtriePlus.build(campus.entries, KEY_LENGTH, stride=8)
+
+
+def test_pipeline_sequential_baseline(benchmark, plus, campus_uniform):
+    benchmark(run_queries, plus, campus_uniform)
+
+
+@pytest.mark.parametrize("batch", [4, 16])
+def test_pipeline_batched(benchmark, plus, campus_uniform, batch):
+    pipeline = PipelinedLookup(plus, batch_size=batch)
+    benchmark(pipeline.lookup_batch, campus_uniform)
+
+
+def test_pipeline_overlap_grows_with_batch(plus, campus_uniform):
+    fractions = []
+    for batch in (1, 4, 16):
+        pipeline = PipelinedLookup(plus, batch_size=batch)
+        pipeline.lookup_batch(campus_uniform)
+        fractions.append(pipeline.stats.overlap_fraction)
+    assert fractions[0] == 0.0
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > 0.9  # deep batches keep the pipeline full
+
+
+def main() -> None:
+    from repro.workloads.campus import campus_acl
+    from repro.workloads.traffic import uniform_traffic
+
+    acl = campus_acl(4)
+    plus = PalmtriePlus.build(acl.entries, 128, stride=8)
+    queries = uniform_traffic(acl.entries, 500)
+    print("batch  overlap fraction")
+    for batch in (1, 2, 4, 8, 16, 32):
+        pipeline = PipelinedLookup(plus, batch_size=batch)
+        pipeline.lookup_batch(queries)
+        print(f"{batch:5}  {pipeline.stats.overlap_fraction:.3f}")
+
+
+if __name__ == "__main__":
+    main()

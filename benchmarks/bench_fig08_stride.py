@@ -1,0 +1,42 @@
+"""Figure 8 — multi-bit stride sweep.
+
+Benchmarks Palmtrie_k lookups for k = 1..8 on campus uniform traffic.
+Run ``palmtrie-repro experiment fig8`` for the full D_q series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KEY_LENGTH, run_queries
+from repro.core import MultibitPalmtrie
+
+
+@pytest.fixture(scope="module")
+def tries(campus):
+    return {
+        k: MultibitPalmtrie.build(campus.entries, KEY_LENGTH, stride=k)
+        for k in range(1, 9)
+    }
+
+
+@pytest.mark.parametrize("stride", range(1, 9))
+def test_fig08_lookup_by_stride(benchmark, tries, campus_uniform, stride):
+    hits = benchmark(run_queries, tries[stride], campus_uniform)
+    assert hits == len(campus_uniform)
+
+
+def test_fig08_insert_by_stride(benchmark, campus):
+    """Insertion cost grows with stride (bigger nodes): one full build."""
+    entries = list(campus.entries)
+    benchmark(MultibitPalmtrie.build, entries, KEY_LENGTH, stride=8)
+
+
+def main() -> None:
+    from repro.bench.experiments import run_experiment
+
+    print(run_experiment("fig8").render())
+
+
+if __name__ == "__main__":
+    main()

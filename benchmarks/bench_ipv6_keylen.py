@@ -1,0 +1,65 @@
+"""§5 — IPv6 / key-length ablation.
+
+The paper reports that growing L from 128 to 512 bits costs +66.7 %
+memory and a 5.48-30.1 % lookup slowdown for Palmtrie+_8.  Benchmarks
+the same structure at both key lengths over the same rules.  Run
+``palmtrie-repro experiment ipv6`` for the comparison table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_queries
+from repro.acl.compiler import compile_acl
+from repro.acl.layout import LAYOUT_V6
+from repro.core import PalmtriePlus
+from repro.workloads.classbench import ACL_SEED, classbench_rules
+from repro.workloads.traffic import pareto_trace
+
+RULES = 500
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return classbench_rules(ACL_SEED, RULES)
+
+
+@pytest.fixture(scope="module")
+def matcher128(rules):
+    acl = compile_acl(rules)
+    return PalmtriePlus.build(acl.entries, 128, stride=8), pareto_trace(acl.entries, 200)
+
+
+@pytest.fixture(scope="module")
+def matcher512(rules):
+    acl = compile_acl(rules, layout=LAYOUT_V6)
+    return PalmtriePlus.build(acl.entries, 512, stride=8), pareto_trace(acl.entries, 200)
+
+
+def test_ipv6_lookup_l128(benchmark, matcher128):
+    matcher, queries = matcher128
+    benchmark(run_queries, matcher, queries)
+
+
+def test_ipv6_lookup_l512(benchmark, matcher512):
+    matcher, queries = matcher512
+    benchmark(run_queries, matcher, queries)
+
+
+def test_ipv6_memory_overhead(matcher128, matcher512):
+    """Longer keys inflate leaves; the paper cites +66.7 % for its sets."""
+    m128 = matcher128[0].memory_bytes()
+    m512 = matcher512[0].memory_bytes()
+    assert m512 > m128
+    assert m512 < 6 * m128, "a 4x key should not cost more than ~4-6x memory"
+
+
+def main() -> None:
+    from repro.bench.experiments import run_experiment
+
+    print(run_experiment("ipv6").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Substrate benchmark — Poptrie longest-prefix match.
+
+Palmtrie+ borrows its bitmap/popcount compression from Poptrie (§3.6);
+this benchmark exercises the technique in its original habitat: IPv4
+LPM against the uncompressed radix tree, on a synthetic route table
+with a realistic prefix-length mix (most routes /16-/24).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.poptrie import Poptrie
+from repro.core.radix import RadixTree
+
+ROUTE_COUNT = 2000
+#: (prefix length, weight) roughly shaped like a BGP table
+_LENGTH_MIX = ((8, 2), (16, 15), (19, 10), (20, 10), (22, 15), (24, 45), (32, 3))
+
+
+def _routes(seed: int = 5):
+    rng = random.Random(seed)
+    lengths, weights = zip(*_LENGTH_MIX)
+    routes = []
+    for i in range(ROUTE_COUNT):
+        length = rng.choices(lengths, weights)[0]
+        routes.append((rng.getrandbits(length), length, i % 16))
+    return routes
+
+
+@pytest.fixture(scope="module")
+def tables():
+    routes = _routes()
+    poptrie = Poptrie.build(routes, 32, stride=6)
+    radix = RadixTree(32)
+    for bits, length, port in routes:
+        radix.insert(bits, length, port)
+    rng = random.Random(6)
+    queries = [rng.getrandbits(32) for _ in range(500)]
+    return poptrie, radix, queries
+
+
+def test_poptrie_lookup(benchmark, tables):
+    poptrie, _radix, queries = tables
+    lookup = poptrie.lookup
+    benchmark(lambda: [lookup(q) for q in queries])
+
+
+def test_radix_lookup(benchmark, tables):
+    _poptrie, radix, queries = tables
+    lookup = radix.lookup_lpm
+    benchmark(lambda: [lookup(q) for q in queries])
+
+
+def test_poptrie_compile(benchmark, tables):
+    poptrie, _radix, _queries = tables
+
+    def recompile():
+        poptrie._dirty = True
+        poptrie.compile()
+
+    benchmark(recompile)
+
+
+def test_poptrie_memory_beats_radix_model(tables):
+    poptrie, radix, _queries = tables
+    radix_model = radix.node_count() * (2 * 8 + 4)
+    assert poptrie.memory_bytes() < radix_model / 2
+
+
+def main() -> None:
+    poptrie = Poptrie.build(_routes(), 32, stride=6)
+    print(f"{ROUTE_COUNT} routes -> {poptrie.node_count()} poptrie nodes, "
+          f"{poptrie.leaf_count()} leaves, {poptrie.memory_bytes() / 1024:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

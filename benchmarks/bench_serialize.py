@@ -1,0 +1,86 @@
+"""Substrate benchmark — binary table serialization.
+
+A control plane compiles, a data plane loads: both directions must be
+cheap relative to compilation itself, and the wire size must track the
+modeled C footprint (the codec *is* the Figure 6 layout).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import KEY_LENGTH
+from repro.core import PalmtriePlus
+from repro.core.serialize import deserialize_plus, serialize_plus
+
+
+@pytest.fixture(scope="module")
+def compiled(campus):
+    matcher = PalmtriePlus.build(campus.entries, KEY_LENGTH, stride=8)
+    return matcher, serialize_plus(matcher)
+
+
+def test_serialize(benchmark, compiled):
+    matcher, _blob = compiled
+    blob = benchmark(serialize_plus, matcher)
+    assert blob[:4] == b"PLM+"
+
+
+def test_deserialize(benchmark, compiled):
+    _matcher, blob = compiled
+    restored = benchmark(deserialize_plus, blob)
+    assert len(restored) > 0
+
+
+def test_wire_size_tracks_memory_model(compiled):
+    matcher, blob = compiled
+    assert 0.4 < len(blob) / matcher.memory_bytes() < 2.6
+
+
+def test_roundtrip_cheaper_than_build(compiled, campus):
+    """Loading a shipped table must beat recompiling it from rules."""
+    import time
+
+    _matcher, blob = compiled
+    start = time.perf_counter()
+    deserialize_plus(blob)
+    load_time = time.perf_counter() - start
+    start = time.perf_counter()
+    PalmtriePlus.build(campus.entries, KEY_LENGTH, stride=8)
+    build_time = time.perf_counter() - start
+    assert load_time < build_time
+
+
+def main() -> None:
+    from repro.bench.report import Table, format_seconds
+    from repro.workloads.campus import campus_acl
+    import time
+
+    table = Table(
+        "Palmtrie+ table shipping: compile vs serialize vs load",
+        ["dataset", "entries", "compile", "serialize", "wire KiB", "load"],
+    )
+    for q in (2, 4, 6):
+        acl = campus_acl(q)
+        start = time.perf_counter()
+        matcher = PalmtriePlus.build(acl.entries, 128, stride=8)
+        compile_time = time.perf_counter() - start
+        start = time.perf_counter()
+        blob = serialize_plus(matcher)
+        serialize_time = time.perf_counter() - start
+        start = time.perf_counter()
+        deserialize_plus(blob)
+        load_time = time.perf_counter() - start
+        table.add_row(
+            f"D_{q}",
+            len(acl.entries),
+            format_seconds(compile_time),
+            format_seconds(serialize_time),
+            f"{len(blob) / 1024:.1f}",
+            format_seconds(load_time),
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

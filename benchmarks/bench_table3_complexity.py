@@ -1,0 +1,85 @@
+"""Table 3 — lookup complexity: O(n) sorted list vs O(n^log3(2)) Palmtrie.
+
+Benchmarks both structures at two sizes and asserts the scaling gap.
+Run ``palmtrie-repro experiment table3`` for the empirical exponent fit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from conftest import run_queries
+from repro.baselines import SortedListMatcher
+from repro.core import BasicPalmtrie, TernaryEntry, TernaryKey
+
+KEY_LENGTH = 24
+SIZES = (128, 2048)
+
+
+def _dense_table(n: int, seed: int = 7) -> list[TernaryEntry]:
+    rng = random.Random(seed)
+    return [
+        TernaryEntry(
+            TernaryKey.from_string("".join(rng.choice("01*") for _ in range(KEY_LENGTH))),
+            i,
+            rng.randrange(1 << 30),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = random.Random(11)
+    return [rng.getrandbits(KEY_LENGTH) for _ in range(200)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table3_sorted_list(benchmark, queries, n):
+    matcher = SortedListMatcher.build(_dense_table(n), KEY_LENGTH)
+    benchmark(run_queries, matcher, queries)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table3_palmtrie(benchmark, queries, n):
+    matcher = BasicPalmtrie.build(_dense_table(n), KEY_LENGTH)
+    benchmark(run_queries, matcher, queries)
+
+
+def test_table3_scaling_exponent(queries):
+    """Empirical exponents: sorted ~ n^1, palmtrie ~ n^0.63 (Table 3)."""
+    visits = {}
+    for n in SIZES:
+        entries = _dense_table(n)
+        sorted_list = SortedListMatcher.build(entries, KEY_LENGTH)
+        palmtrie = BasicPalmtrie.build(entries, KEY_LENGTH)
+        sorted_list.stats.reset()
+        palmtrie.stats.reset()
+        for query in queries:
+            sorted_list.lookup_counted(query)
+            palmtrie.lookup_counted(query)
+        visits[n] = (
+            sorted_list.stats.per_lookup()["key_comparisons"],
+            palmtrie.stats.per_lookup()["node_visits"],
+        )
+    growth = math.log(SIZES[1] / SIZES[0])
+    sorted_exp = math.log(visits[SIZES[1]][0] / visits[SIZES[0]][0]) / growth
+    palmtrie_exp = math.log(visits[SIZES[1]][1] / visits[SIZES[0]][1]) / growth
+    assert sorted_exp > 0.85, f"sorted list should scale ~linearly, got n^{sorted_exp:.2f}"
+    assert palmtrie_exp < 0.80, f"palmtrie should scale sublinearly, got n^{palmtrie_exp:.2f}"
+    assert abs(palmtrie_exp - math.log(2, 3)) < 0.2, (
+        f"palmtrie exponent n^{palmtrie_exp:.2f} far from the paper's n^0.63"
+    )
+
+
+def main() -> None:
+    from repro.bench.experiments import run_experiment
+
+    print(run_experiment("table3").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module covers one paper table/figure (see DESIGN.md §5)
+with pytest-benchmark timings of its hot operations; the full paper-style
+row/series output comes from ``palmtrie-repro experiment <id>`` (or the
+module's ``main()``), which runs the same drivers at the REPRO_SCALE
+preset.
+
+Workload sizes here are fixed small so that
+``pytest benchmarks/ --benchmark-only`` completes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acl.compiler import CompiledAcl
+from repro.workloads.campus import campus_acl
+from repro.workloads.classbench import classbench_acl
+from repro.workloads.traffic import pareto_trace, reverse_byte_scan, uniform_traffic
+
+#: campus dataset exponent used by the lookup benchmarks (D_4: 288 entries)
+CAMPUS_Q = 4
+#: ClassBench-like rule count used by the table benchmarks
+CLASSBENCH_SIZE = 500
+#: queries per measured batch
+QUERY_COUNT = 200
+
+KEY_LENGTH = 128
+
+
+@pytest.fixture(scope="session")
+def campus() -> CompiledAcl:
+    return campus_acl(CAMPUS_Q)
+
+
+@pytest.fixture(scope="session")
+def campus_uniform(campus: CompiledAcl) -> list[int]:
+    return uniform_traffic(campus.entries, QUERY_COUNT)
+
+
+@pytest.fixture(scope="session")
+def campus_scan() -> list[int]:
+    return reverse_byte_scan(QUERY_COUNT)
+
+
+@pytest.fixture(scope="session", params=["acl", "fw", "ipc"])
+def classbench(request: pytest.FixtureRequest) -> CompiledAcl:
+    return classbench_acl(request.param, CLASSBENCH_SIZE)
+
+
+@pytest.fixture(scope="session")
+def classbench_trace(classbench: CompiledAcl) -> list[int]:
+    return pareto_trace(classbench.entries, QUERY_COUNT)
+
+
+def run_queries(matcher, queries) -> int:
+    """Benchmark body: one full pass over the query batch."""
+    lookup = matcher.lookup
+    hits = 0
+    for query in queries:
+        if lookup(query) is not None:
+            hits += 1
+    return hits

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Walk through the paper's worked examples (Tables 1-2, Figures 1-4).
+
+Prints the radix tree / Patricia trie of Figure 1, the Table 1 ternary
+matching table, the basic-Palmtrie lookup trace for query 01110101
+(§3.3), and the stride-3 key paths behind Figure 4 — a guided tour of
+the data structures for readers following along with the paper.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import BasicPalmtrie, MultibitPalmtrie, PatriciaTrie, RadixTree, TernaryEntry, TernaryKey
+from repro.core.multibit import EXACT, key_path
+
+TABLE1 = [
+    ("011*1000", 1, 6), ("1*0***10", 2, 8), ("0001****", 3, 9),
+    ("10110011", 4, 3), ("0*1101**", 5, 7), ("1110****", 6, 4),
+    ("010010**", 7, 5), ("01110***", 8, 2), ("1*******", 9, 1),
+]
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 60}\n{title}\n{'=' * 60}")
+
+
+def figure1() -> None:
+    section("Figure 1: radix tree vs Patricia trie (keys 100, 001, 010)")
+    radix = RadixTree(3)
+    patricia = PatriciaTrie(3)
+    for value, bits in enumerate((0b100, 0b001, 0b010), start=1):
+        radix.insert(bits, 3, value)
+        patricia.insert(bits, value)
+    print(f"radix tree nodes:     {radix.node_count()} (keeps unary chains)")
+    print(f"patricia trie nodes:  {patricia.node_count()} (2n - 1 for n keys)")
+    for bits in (0b100, 0b001, 0b010):
+        print(f"  lookup {bits:03b} -> value {patricia.lookup(bits)}")
+
+
+def table1() -> None:
+    section("Table 1: the example ternary matching table")
+    print(f"{'Entry':>5}  {'Key':10} {'Value':>5}  {'Priority':>8}")
+    for key, value, priority in TABLE1:
+        print(f"{value:>5}  {key:10} {value:>5}  {priority:>8}")
+
+
+def basic_lookup_trace() -> None:
+    section("§3.3: basic Palmtrie lookup of query 01110101")
+    entries = [TernaryEntry(TernaryKey.from_string(k), v, p) for k, v, p in TABLE1]
+    trie = BasicPalmtrie.build(entries, 8)
+    query = 0b01110101
+    matching = [(e.value, e.priority) for e in entries if e.matches(query)]
+    print(f"query 01110101 matches entries {[m[0] for m in matching]} "
+          f"with priorities {[m[1] for m in matching]}")
+    result = trie.lookup(query)
+    print(f"priority encoding selects entry {result.value} (priority {result.priority})")
+    trie.stats.reset()
+    trie.lookup_counted(query)
+    work = trie.stats.per_lookup()
+    print(f"work: {work['node_visits']:.0f} node visits, "
+          f"{work['key_comparisons']:.0f} full key comparisons")
+
+
+def figure4_paths() -> None:
+    section("Figure 4: k=3 stride paths of the Table 1 keys")
+    print("Each key splits at don't-care bits and into 3-bit chunks;")
+    print("(bit, kind, slot) per step — negative bits pad below bit 0.\n")
+    for key_text, value, _priority in TABLE1:
+        steps = key_path(TernaryKey.from_string(key_text), 3)
+        rendered = " -> ".join(
+            f"[bit {bit:+d} {'exact' if kind == EXACT else 'tern.'} #{slot}]"
+            for bit, kind, slot in steps
+        )
+        print(f"  key {key_text} (entry {value}): {rendered}")
+    entries = [TernaryEntry(TernaryKey.from_string(k), v, p) for k, v, p in TABLE1]
+    trie = MultibitPalmtrie.build(entries, 8, stride=3)
+    print(f"\nroot bit index: {trie._root.bit} (the paper's 'bit index of Node 2 is 5')")
+    result = trie.lookup(0b01110101)
+    print(f"stride-3 lookup of 01110101 -> entry {result.value} "
+          f"(matches the Figure 4 walkthrough)")
+
+
+def main() -> None:
+    figure1()
+    table1()
+    basic_lookup_trace()
+    figure4_paths()
+    print()
+
+
+if __name__ == "__main__":
+    main()

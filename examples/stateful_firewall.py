@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Stateful vs stateless: two ways to admit return traffic (paper §1, §3.1).
+
+The paper's stateless approach encodes "established" as ternary
+TCP-flag entries (ACK or RST set); a stateful firewall instead tracks
+connections and fast-paths returns.  This example runs the same traffic
+through both and compares: verdict agreement on well-behaved flows,
+the attack case where they differ (ACK scans sail through stateless
+``established`` rules but bounce off connection tracking), and how much
+ACL work the flow table saves.
+
+Run:  python examples/stateful_firewall.py
+"""
+
+import random
+
+from repro import compile_acl, parse_acl, PacketHeader
+from repro.acl.rule import Action
+from repro.apps.conntrack import StatefulFirewall
+from repro.apps.firewall import Firewall
+
+# The stateless policy needs the `established` hack for return traffic.
+STATELESS_ACL = """
+permit tcp 10.0.0.0/8 any
+permit tcp any 10.0.0.0/8 established
+deny   ip  any any
+"""
+
+# The stateful policy only states intent: outbound TCP is allowed.
+STATEFUL_ACL = """
+permit tcp 10.0.0.0/8 any
+deny   ip  any any
+"""
+
+FLOWS = 300
+
+
+def main() -> None:
+    rng = random.Random(11)
+    stateless = Firewall(compile_acl(parse_acl(STATELESS_ACL)))
+    stateful = StatefulFirewall(compile_acl(parse_acl(STATEFUL_ACL)))
+
+    # 1. Well-behaved outbound flows: SYN out, SYN-ACK in, data both ways.
+    agree = 0
+    total = 0
+    clock = 0.0
+    for _ in range(FLOWS):
+        inside = 0x0A000000 | rng.getrandbits(16)
+        outside = rng.getrandbits(32)
+        sport = rng.randrange(1024, 65536)
+        exchange = [
+            PacketHeader(inside, outside, 6, sport, 443, 0x02),   # SYN
+            PacketHeader(outside, inside, 6, 443, sport, 0x12),   # SYN-ACK
+            PacketHeader(inside, outside, 6, sport, 443, 0x10),   # ACK
+            PacketHeader(outside, inside, 6, 443, sport, 0x18),   # data
+        ]
+        for packet in exchange:
+            clock += 0.001
+            a = stateless.check(packet)
+            b = stateful.check(packet, clock)
+            total += 1
+            agree += a == b
+    print(f"well-behaved flows: {agree}/{total} verdicts agree "
+          f"({100 * agree / total:.1f} %)")
+
+    # 2. The attack the stateless hack cannot stop: an inbound ACK scan
+    #    matches `established` (ACK bit set) without any prior flow.
+    scan_hits_stateless = 0
+    scan_hits_stateful = 0
+    for i in range(200):
+        probe = PacketHeader(
+            rng.getrandbits(32), 0x0A000000 | i, 6,
+            rng.randrange(1024, 65536), 80, 0x10,   # bare ACK
+        )
+        clock += 0.001
+        scan_hits_stateless += stateless.check(probe) is Action.PERMIT
+        scan_hits_stateful += stateful.check(probe, clock) is Action.PERMIT
+    print(f"\ninbound ACK scan (200 probes):")
+    print(f"  stateless 'established' rule permits: {scan_hits_stateless}")
+    print(f"  connection tracking permits:          {scan_hits_stateful}")
+
+    # 3. The efficiency side: state fast-paths most packets past the ACL.
+    print(f"\nstateful engine work: {stateful.acl_evaluations} ACL evaluations, "
+          f"{stateful.fast_path_hits} flow-table fast paths "
+          f"({stateful.connection_count()} live connections)")
+    print("\n(the paper's ternary 'established' entries trade exactly this "
+          "state\n for two extra TCAM-style entries per rule — §3.1)")
+
+
+if __name__ == "__main__":
+    main()

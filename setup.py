@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, which
+``pip install -e .`` (PEP 660) needs to build an editable wheel.  This
+shim lets ``python setup.py develop`` perform the editable install
+directly; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

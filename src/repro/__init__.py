@@ -1,0 +1,80 @@
+"""Palmtrie reproduction: ternary key matching for IP packet filtering.
+
+Reproduces "Palmtrie: A Ternary Key Matching Algorithm for IP Packet
+Filtering Rules" (Hirochika Asai, CoNEXT 2020).  The top-level package
+re-exports the pieces most users need; see ``DESIGN.md`` for the full
+system inventory.
+
+Quickstart::
+
+    from repro import PalmtriePlus, parse_acl, compile_acl, PacketHeader
+
+    acl = compile_acl(parse_acl(\"\"\"
+        permit ip 192.0.2.0/24 any
+        deny ip any 192.0.2.0/24
+    \"\"\"))
+    matcher = PalmtriePlus.build(acl.entries, key_length=128, stride=8)
+    packet = PacketHeader(src_ip=0xC0000201, dst_ip=0x08080808, proto=6)
+    entry = matcher.lookup(packet.to_query())
+    print(acl.rules[entry.value].action)   # Action.PERMIT
+"""
+
+from .acl import (
+    AclRule,
+    Action,
+    CompiledAcl,
+    LAYOUT_V4,
+    LAYOUT_V6,
+    Protocol,
+    compile_acl,
+    parse_acl,
+)
+from .apps import FlowMonitor, FlowRecord
+from .baselines import DpdkStyleAcl, EffiCutsClassifier, SortedListMatcher
+from .core import (
+    AdaptiveMatcher,
+    BasicPalmtrie,
+    MultibitPalmtrie,
+    PalmtriePlus,
+    PatriciaTrie,
+    PipelinedLookup,
+    RadixTree,
+    TernaryEntry,
+    TernaryKey,
+    TernaryMatcher,
+    build_matcher,
+)
+from .packet import PacketHeader, decode_packet, encode_packet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AclRule",
+    "Action",
+    "AdaptiveMatcher",
+    "BasicPalmtrie",
+    "CompiledAcl",
+    "DpdkStyleAcl",
+    "EffiCutsClassifier",
+    "FlowMonitor",
+    "FlowRecord",
+    "LAYOUT_V4",
+    "LAYOUT_V6",
+    "MultibitPalmtrie",
+    "PacketHeader",
+    "PalmtriePlus",
+    "PatriciaTrie",
+    "PipelinedLookup",
+    "Protocol",
+    "RadixTree",
+    "SortedListMatcher",
+    "TernaryEntry",
+    "TernaryKey",
+    "TernaryMatcher",
+    "build_matcher",
+    "compile_acl",
+    "decode_packet",
+    "encode_packet",
+    "parse_acl",
+    "__version__",
+]

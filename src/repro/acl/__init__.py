@@ -1,0 +1,49 @@
+"""ACL substrate: rule model, parser, and the rule-to-ternary compiler."""
+
+from .analyzer import (
+    ConflictFinding,
+    ShadowFinding,
+    equivalent_on_samples,
+    find_conflicts,
+    find_shadowed,
+    remove_redundant,
+)
+from .compiler import CompiledAcl, compile_acl, compile_rule
+from .compress import compress_entries, compression_ratio
+from .diff import AclDiff, diff_acls
+from .ip import format_ipv4, format_prefix, parse_ipv4, parse_prefix
+from .layout import LAYOUT_V4, LAYOUT_V6, KeyLayout
+from .parser import AclParseError, parse_acl, parse_rule
+from .ranges import range_to_keys, range_to_prefixes
+from .rule import AclRule, Action, Protocol
+
+__all__ = [
+    "AclDiff",
+    "AclParseError",
+    "AclRule",
+    "Action",
+    "CompiledAcl",
+    "ConflictFinding",
+    "compress_entries",
+    "compression_ratio",
+    "diff_acls",
+    "ShadowFinding",
+    "equivalent_on_samples",
+    "find_conflicts",
+    "find_shadowed",
+    "remove_redundant",
+    "KeyLayout",
+    "LAYOUT_V4",
+    "LAYOUT_V6",
+    "Protocol",
+    "compile_acl",
+    "compile_rule",
+    "format_ipv4",
+    "format_prefix",
+    "parse_acl",
+    "parse_ipv4",
+    "parse_prefix",
+    "parse_rule",
+    "range_to_keys",
+    "range_to_prefixes",
+]

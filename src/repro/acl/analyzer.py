@@ -1,0 +1,191 @@
+"""ACL analysis: shadowing, conflicts, redundancy (paper §2, ACLA [26]).
+
+The paper cites ACL analysis and optimization (Qian et al., "ACLA: A
+framework for access control list analysis and optimization") as the
+established tooling around ACLs.  This module provides the analyses an
+operator runs before deploying a table:
+
+* **shadowed rules** — a rule completely covered by a single
+  higher-priority rule can never fire;
+* **redundant rules** — a shadowed rule whose action agrees with the
+  rule shadowing it (removing it preserves semantics);
+* **conflicts** — overlapping rules with different actions where
+  neither covers the other: the packets in the overlap silently depend
+  on rule order;
+* **sampled equivalence** — randomized differential checking that two
+  ACLs apply the same action to the same packets (used to validate
+  optimizations).
+
+Shadowing is detected pairwise (one covering rule), which is the
+classic linter check; aggregate shadowing by a *set* of rules is
+NP-hard in general and out of scope — :func:`equivalent_on_samples`
+covers validation needs probabilistically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.ternary import TernaryKey
+from .compiler import CompiledAcl, compile_acl, compile_rule
+from .rule import AclRule
+
+__all__ = [
+    "ShadowFinding",
+    "ConflictFinding",
+    "find_shadowed",
+    "find_conflicts",
+    "remove_redundant",
+    "equivalent_on_samples",
+]
+
+
+@dataclass(frozen=True)
+class ShadowFinding:
+    """Rule ``shadowed`` can never fire because of rule ``by`` (indices)."""
+
+    shadowed: int
+    by: int
+    #: True when both rules share an action, i.e. removal is safe
+    redundant: bool
+
+
+@dataclass(frozen=True)
+class ConflictFinding:
+    """Rules overlap with different actions; order decides the overlap.
+
+    ``kind`` follows the firewall-anomaly taxonomy of Al-Shaer & Hamed
+    (INFOCOM 2004):
+
+    ``correlation``
+        Partial overlap in both directions — the overlap's fate depends
+        silently on rule order; the classic warning.
+    ``generalization``
+        The later rule is a strict superset of the earlier one — the
+        common "specific exceptions, then general rule" idiom; benign
+        but worth surfacing.
+    """
+
+    winner: int  # higher priority (earlier) rule index
+    loser: int
+    kind: str = "correlation"
+
+
+def _rule_keys(rules: Sequence[AclRule]) -> list[list[TernaryKey]]:
+    """Per-rule list of expanded ternary keys."""
+    expanded = []
+    for index, rule in enumerate(rules):
+        entries = compile_rule(rule, value=index, priority=0)
+        expanded.append([entry.key for entry in entries])
+    return expanded
+
+
+def find_shadowed(rules: Sequence[AclRule]) -> list[ShadowFinding]:
+    """Rules fully covered by one earlier rule (pairwise shadowing).
+
+    A rule with multiple ternary expansions is shadowed when *every*
+    expansion is covered by some expansion of the same earlier rule.
+    """
+    expanded = _rule_keys(rules)
+    findings = []
+    for lower in range(len(rules)):
+        for upper in range(lower):
+            if all(
+                any(cover.covers(key) for cover in expanded[upper])
+                for key in expanded[lower]
+            ):
+                findings.append(
+                    ShadowFinding(
+                        shadowed=lower,
+                        by=upper,
+                        redundant=rules[lower].action is rules[upper].action,
+                    )
+                )
+                break  # first shadower is enough
+    return findings
+
+
+def _covers_all(covers: list[TernaryKey], keys: list[TernaryKey]) -> bool:
+    return all(any(cover.covers(key) for cover in covers) for key in keys)
+
+
+def find_conflicts(rules: Sequence[AclRule]) -> list[ConflictFinding]:
+    """Order-sensitive overlaps between rules with different actions.
+
+    Each overlapping pair is classified per the anomaly taxonomy (see
+    :class:`ConflictFinding`); fully shadowed rules are reported by
+    :func:`find_shadowed` instead and skipped here.
+    """
+    expanded = _rule_keys(rules)
+    shadowed = {finding.shadowed for finding in find_shadowed(rules)}
+    findings = []
+    for lower in range(len(rules)):
+        if lower in shadowed:
+            continue  # already reported as shadowing, not a conflict
+        for upper in range(lower):
+            if rules[lower].action is rules[upper].action:
+                continue
+            overlaps = any(
+                a.overlaps(b) for a in expanded[upper] for b in expanded[lower]
+            )
+            if not overlaps:
+                continue
+            if _covers_all(expanded[lower], expanded[upper]):
+                kind = "generalization"
+            else:
+                kind = "correlation"
+            findings.append(ConflictFinding(winner=upper, loser=lower, kind=kind))
+    return findings
+
+
+def remove_redundant(rules: Sequence[AclRule]) -> list[AclRule]:
+    """Drop rules whose removal provably preserves semantics.
+
+    Only *redundant* findings (same action as the shadower) are
+    removed; shadowed rules with a different action are kept and left
+    to the operator — they are configuration bugs, not dead weight.
+    Removal is iterated to a fixed point because dropping one rule can
+    expose another pairwise cover.
+    """
+    current = list(rules)
+    while True:
+        removable = {f.shadowed for f in find_shadowed(current) if f.redundant}
+        if not removable:
+            return current
+        current = [rule for index, rule in enumerate(current) if index not in removable]
+
+
+def equivalent_on_samples(
+    a: Sequence[AclRule],
+    b: Sequence[AclRule],
+    samples: int = 2000,
+    seed: int = 2020,
+) -> Optional[int]:
+    """Randomized action-equivalence check of two ACLs.
+
+    Draws packets targeted at both rule sets (each rule's match space
+    gets sampled) plus uniform random queries, and compares the applied
+    actions.  Returns None when all samples agree, else a counterexample
+    query.  Probabilistic: agreement is evidence, not proof.
+    """
+    rng = random.Random(seed)
+    compiled_a = compile_acl(list(a))
+    compiled_b = compile_acl(list(b))
+
+    def targeted(compiled: CompiledAcl) -> int:
+        entry = compiled.entries[rng.randrange(len(compiled.entries))]
+        return entry.key.data | (rng.getrandbits(entry.key.length) & entry.key.mask)
+
+    length = compiled_a.layout.length
+    for index in range(samples):
+        if index % 3 == 0 and compiled_a.entries:
+            query = targeted(compiled_a)
+        elif index % 3 == 1 and compiled_b.entries:
+            query = targeted(compiled_b)
+        else:
+            query = rng.getrandbits(length)
+        if compiled_a.action_for(query) is not compiled_b.action_for(query):
+            return query
+    return None

@@ -1,0 +1,131 @@
+"""ACL-to-ternary-entry compiler.
+
+This is the "tool to convert ACL entries to ternary matching entries"
+the paper refers to from its source code (§3.1).  Each :class:`AclRule`
+expands into one or more :class:`TernaryEntry` rows:
+
+* IP prefixes become fixed leading bits followed by don't cares.
+* A port range becomes its minimal prefix cover (``repro.acl.ranges``),
+  with one entry per (src-cover x dst-cover) combination.
+* ``established`` becomes two entries, constraining the TCP flags field
+  to ACK set (``***1****``) or RST set (``*****1**``) exactly as §3.1
+  describes.
+
+All expansions of one rule share that rule's priority — they carry the
+same action, so first-match semantics are preserved.  Rule i of n gets
+priority ``n - i`` (top of the list = highest number = highest priority,
+the paper's convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.table import TernaryEntry
+from ..core.ternary import TernaryKey
+from .layout import LAYOUT_V4, KeyLayout
+from .ranges import ANY_PORT, range_to_keys
+from .rule import AclRule, Action, Protocol
+
+__all__ = ["CompiledAcl", "compile_acl", "compile_rule"]
+
+#: TCP flags patterns for the ``established`` keyword (ACK, RST).
+_ESTABLISHED_FLAGS = ("***1****", "*****1**")
+
+
+@dataclass(frozen=True)
+class CompiledAcl:
+    """A compiled ACL: ternary entries plus the original rules.
+
+    Entry values are rule indices (0-based, top of the ACL first), so a
+    lookup result maps back to the rule — and therefore the action —
+    that fired.
+    """
+
+    rules: tuple[AclRule, ...]
+    entries: tuple[TernaryEntry, ...]
+    layout: KeyLayout
+
+    def action_for(self, query: int, default: Action = Action.DENY) -> Action:
+        """The action the ACL applies to a packed query key.
+
+        An unmatched packet gets ``default`` (deny, the usual implicit
+        final rule of a router ACL).
+        """
+        best: TernaryEntry | None = None
+        for entry in self.entries:
+            if entry.matches(query) and (best is None or entry.priority > best.priority):
+                best = entry
+        return default if best is None else self.rules[best.value].action
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _port_keys(ports: tuple[int, int]) -> list[TernaryKey]:
+    if ports == ANY_PORT:
+        return [TernaryKey.wildcard(16)]
+    return range_to_keys(ports[0], ports[1], 16)
+
+
+def _flag_keys(rule: AclRule) -> list[TernaryKey]:
+    if rule.established:
+        return [TernaryKey.from_string(pattern) for pattern in _ESTABLISHED_FLAGS]
+    if rule.tcp_flags is not None:
+        return [TernaryKey.from_string(rule.tcp_flags)]
+    return [TernaryKey.wildcard(8)]
+
+
+def compile_rule(
+    rule: AclRule,
+    value: object,
+    priority: int,
+    layout: KeyLayout = LAYOUT_V4,
+) -> list[TernaryEntry]:
+    """Expand one rule into ternary entries under the given layout.
+
+    The address fields take the layout's widths: under an IPv6-capable
+    layout (``LAYOUT_V6``) an IPv4 prefix occupies the most significant
+    bits of the 128-bit field, which preserves prefix semantics for the
+    §5 key-length experiments.
+    """
+    src_addr, src_len = rule.src_prefix
+    dst_addr, dst_len = rule.dst_prefix
+    src_width = layout.width("src_ip")
+    dst_width = layout.width("dst_ip")
+    src_ip = TernaryKey.from_prefix(
+        src_addr >> (32 - src_len) if src_len else 0, src_len, src_width
+    )
+    dst_ip = TernaryKey.from_prefix(
+        dst_addr >> (32 - dst_len) if dst_len else 0, dst_len, dst_width
+    )
+    proto_number = rule.protocol.number
+    proto = (
+        TernaryKey.wildcard(8)
+        if proto_number is None
+        else TernaryKey.exact(proto_number, 8)
+    )
+    entries = []
+    for src_port in _port_keys(rule.src_ports):
+        for dst_port in _port_keys(rule.dst_ports):
+            for flags in _flag_keys(rule):
+                key = layout.pack_key(
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
+                    proto=proto,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    tcp_flags=flags,
+                )
+                entries.append(TernaryEntry(key=key, value=value, priority=priority))
+    return entries
+
+
+def compile_acl(rules: Sequence[AclRule], layout: KeyLayout = LAYOUT_V4) -> CompiledAcl:
+    """Compile a whole ACL (rules ordered top-down) into ternary entries."""
+    entries: list[TernaryEntry] = []
+    n = len(rules)
+    for index, rule in enumerate(rules):
+        entries.extend(compile_rule(rule, value=index, priority=n - index, layout=layout))
+    return CompiledAcl(rules=tuple(rules), entries=tuple(entries), layout=layout)

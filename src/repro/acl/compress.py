@@ -1,0 +1,93 @@
+"""Ternary entry compression: classic TCAM-style table minimization.
+
+TCAM capacity pressure bred a family of table minimizers; the simplest
+effective move is the Quine-McCluskey adjacency merge: two entries that
+share value and priority and whose keys differ in exactly one *fixed*
+bit cover the union of their match sets when that bit becomes ``*``.
+Applied to a fixed point, this shrinks expanded tables — port-range
+covers and aligned prefix groups collapse especially well.
+
+The merge is only sound within a (value, priority) class *and* when the
+merged key does not extend past entries of other classes in between —
+for priority-distinct tables the class restriction suffices because a
+merged key matches exactly the union of the two originals (no new
+packets are captured: the freed bit took both values already).
+
+``compress_entries`` is semantics-preserving by construction and the
+tests double-check with the analyzer's sampled equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.table import TernaryEntry
+from ..core.ternary import TernaryKey
+
+__all__ = ["compress_entries", "compression_ratio"]
+
+
+def _merge_pass(keys: set[tuple[int, int]], length: int) -> set[tuple[int, int]]:
+    """One adjacency-merge pass over (data, mask) pairs; returns the new
+    set (merged pairs replace their parents, unmergeable pairs stay)."""
+    merged: set[tuple[int, int]] = set()
+    used: set[tuple[int, int]] = set()
+    by_mask: dict[int, list[int]] = {}
+    for data, mask in keys:
+        by_mask.setdefault(mask, []).append(data)
+    for mask, datas in by_mask.items():
+        data_set = set(datas)
+        for data in datas:
+            for bit in range(length):
+                bit_value = 1 << bit
+                if mask & bit_value:
+                    continue  # already don't care here
+                partner = data ^ bit_value
+                if partner in data_set and data < partner:
+                    merged.add((data & ~bit_value, mask | bit_value))
+                    used.add((data, mask))
+                    used.add((partner, mask))
+    survivors = (keys - used) | merged
+    return survivors
+
+
+def compress_entries(entries: Sequence[TernaryEntry]) -> list[TernaryEntry]:
+    """Minimize a ternary table by iterated adjacency merging.
+
+    Entries are grouped by (value, priority); within each group, keys
+    differing in one fixed bit are merged until no merge applies.  The
+    output order groups by descending priority (lookup semantics are
+    priority-driven, so order is cosmetic).
+    """
+    if not entries:
+        return []
+    length = entries[0].key.length
+    groups: dict[tuple, set[tuple[int, int]]] = {}
+    for entry in entries:
+        if entry.key.length != length:
+            raise ValueError("all entries must share one key length")
+        groups.setdefault((entry.value, entry.priority), set()).add(
+            (entry.key.data, entry.key.mask)
+        )
+    result: list[TernaryEntry] = []
+    for (value, priority), keys in groups.items():
+        while True:
+            next_keys = _merge_pass(keys, length)
+            if next_keys == keys:
+                break
+            keys = next_keys
+        for data, mask in sorted(keys):
+            result.append(
+                TernaryEntry(TernaryKey(data, mask, length), value, priority)
+            )
+    result.sort(key=lambda e: e.priority, reverse=True)
+    return result
+
+
+def compression_ratio(
+    original: Sequence[TernaryEntry], compressed: Sequence[TernaryEntry]
+) -> float:
+    """Fraction of entries eliminated (0.0 = nothing, 0.5 = halved)."""
+    if not original:
+        return 0.0
+    return 1.0 - len(compressed) / len(original)

@@ -1,0 +1,128 @@
+"""ACL diffing: what changed between two policy versions.
+
+Operators reviewing a policy push need both views:
+
+* the **textual diff** — which rules were added, removed, or moved
+  (rule order is semantics in a first-match ACL);
+* the **semantic check** — whether the change actually alters any
+  packet's fate (a pure reorder of disjoint rules, or removing a
+  redundant rule, should verify as equivalent).
+
+:func:`diff_acls` computes the first; the second reuses the analyzer's
+sampled equivalence.  The CLI's ``diff`` subcommand prints both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .analyzer import equivalent_on_samples
+from .rule import AclRule
+
+__all__ = ["AclDiff", "diff_acls"]
+
+
+@dataclass
+class AclDiff:
+    """Rule-level difference between two ACLs."""
+
+    #: rules only in the new ACL, as (new_position, rule)
+    added: list[tuple[int, AclRule]] = field(default_factory=list)
+    #: rules only in the old ACL, as (old_position, rule)
+    removed: list[tuple[int, AclRule]] = field(default_factory=list)
+    #: rules present in both but at a different relative order,
+    #: as (old_position, new_position, rule)
+    moved: list[tuple[int, int, AclRule]] = field(default_factory=list)
+    #: None if the sampled semantic check found no behavioural change,
+    #: else a counterexample query key
+    counterexample: Optional[int] = None
+
+    @property
+    def textually_identical(self) -> bool:
+        return not (self.added or self.removed or self.moved)
+
+    @property
+    def semantically_equivalent(self) -> bool:
+        return self.counterexample is None
+
+    def summary(self) -> str:
+        if self.textually_identical:
+            return "identical"
+        parts = []
+        if self.added:
+            parts.append(f"+{len(self.added)} added")
+        if self.removed:
+            parts.append(f"-{len(self.removed)} removed")
+        if self.moved:
+            parts.append(f"~{len(self.moved)} moved")
+        verdict = (
+            "semantics preserved"
+            if self.semantically_equivalent
+            else "SEMANTICS CHANGED"
+        )
+        return f"{', '.join(parts)} ({verdict})"
+
+
+def _out_of_order(sequence: list[int]) -> set[int]:
+    """Indices not on a longest increasing subsequence of ``sequence``.
+
+    Walking the common rules in new-ACL order, a rule kept its relative
+    order iff its old position extends an increasing run; the minimal
+    'moved' set is everything off one longest such run.
+    """
+    import bisect
+
+    tails: list[int] = []
+    tail_indices: list[int] = []
+    parents = [-1] * len(sequence)
+    for i, value in enumerate(sequence):
+        pos = bisect.bisect_left(tails, value)
+        if pos == len(tails):
+            tails.append(value)
+            tail_indices.append(i)
+        else:
+            tails[pos] = value
+            tail_indices[pos] = i
+        parents[i] = tail_indices[pos - 1] if pos else -1
+    keep = set()
+    cursor = tail_indices[-1] if tail_indices else -1
+    while cursor != -1:
+        keep.add(cursor)
+        cursor = parents[cursor]
+    return set(range(len(sequence))) - keep
+
+
+def diff_acls(
+    old: Sequence[AclRule],
+    new: Sequence[AclRule],
+    samples: int = 1500,
+    seed: int = 2020,
+) -> AclDiff:
+    """Compute the rule-level and sampled-semantic diff of two ACLs."""
+    diff = AclDiff()
+    old_remaining: dict[AclRule, list[int]] = {}
+    for position, rule in enumerate(old):
+        old_remaining.setdefault(rule, []).append(position)
+    common: list[tuple[int, int, AclRule]] = []  # (old_pos, new_pos, rule)
+    for new_position, rule in enumerate(new):
+        positions = old_remaining.get(rule)
+        if positions:
+            common.append((positions.pop(0), new_position, rule))
+        else:
+            diff.added.append((new_position, rule))
+    matched_old = {old_position for old_position, _n, _r in common}
+    for position, rule in enumerate(old):
+        if position not in matched_old:
+            diff.removed.append((position, rule))
+    # Moved = common rules whose relative old-order is not preserved.
+    common.sort(key=lambda item: item[1])  # by new position
+    old_positions = [o for o, _n, _r in common]
+    for index in _out_of_order(old_positions):
+        old_position, new_position, rule = common[index]
+        diff.moved.append((old_position, new_position, rule))
+    if not diff.textually_identical:
+        diff.counterexample = equivalent_on_samples(
+            list(old), list(new), samples=samples, seed=seed
+        )
+    return diff

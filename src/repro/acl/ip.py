@@ -1,0 +1,96 @@
+"""IPv4 address and prefix utilities.
+
+Small, dependency-free helpers used by the ACL compiler and the workload
+generators.  Addresses are plain ``int`` (host byte order); prefixes are
+``(address, prefix_length)`` pairs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_prefix",
+    "format_prefix",
+    "prefix_mask",
+    "prefix_contains",
+    "reverse_bytes",
+]
+
+IPV4_BITS = 32
+IPV4_MAX = (1 << IPV4_BITS) - 1
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into an integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255 or (part != "0" and part.startswith("0")):
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format an integer as dotted-quad notation."""
+    if not 0 <= value <= IPV4_MAX:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_prefix(text: str) -> tuple[int, int]:
+    """Parse ``a.b.c.d/len`` (or a bare address as a /32).
+
+    The host bits are required to be zero, matching router configuration
+    semantics and keeping generated ternary keys canonical.
+    """
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise ValueError(f"invalid prefix length in {text!r}")
+        prefix_len = int(len_text)
+    else:
+        addr_text, prefix_len = text, IPV4_BITS
+    if not 0 <= prefix_len <= IPV4_BITS:
+        raise ValueError(f"prefix length out of range in {text!r}")
+    addr = parse_ipv4(addr_text)
+    if addr & ~prefix_mask(prefix_len) & IPV4_MAX:
+        raise ValueError(f"host bits set in prefix {text!r}")
+    return addr, prefix_len
+
+
+def format_prefix(addr: int, prefix_len: int) -> str:
+    return f"{format_ipv4(addr)}/{prefix_len}"
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Network mask for a prefix length (e.g. /24 -> 0xffffff00)."""
+    if not 0 <= prefix_len <= IPV4_BITS:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    return (IPV4_MAX << (IPV4_BITS - prefix_len)) & IPV4_MAX
+
+
+def prefix_contains(addr: int, prefix_len: int, candidate: int) -> bool:
+    """True iff ``candidate`` falls inside ``addr/prefix_len``."""
+    mask = prefix_mask(prefix_len)
+    return candidate & mask == addr & mask
+
+
+def reverse_bytes(value: int) -> int:
+    """Reverse the four bytes of an IPv4 address.
+
+    The reverse-byte order scanning traffic (paper §4.1) enumerates
+    destinations so that the *reversed* byte order is sequential.
+    """
+    return (
+        ((value & 0xFF) << 24)
+        | ((value & 0xFF00) << 8)
+        | ((value >> 8) & 0xFF00)
+        | ((value >> 24) & 0xFF)
+    )

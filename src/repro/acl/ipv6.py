@@ -1,0 +1,340 @@
+"""IPv6 ACL support (paper §5).
+
+The paper argues Palmtrie extends to IPv6 by widening the key layout
+(L = 512 suffices for layer 2-4 IPv6 rules) and quantifies the cost;
+``LAYOUT_V6`` in :mod:`repro.acl.layout` provides the layout.  This
+module supplies the missing substrate: RFC 4291 address parsing and a
+rule compiler that places IPv6 prefixes into 512-bit ternary entries.
+
+The paper also notes there is no public IPv6 ClassBench;
+:func:`synthetic_ipv6_rules` fills that gap for the benchmarks with a
+seeded generator mirroring the IPv4 profiles' structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.table import TernaryEntry
+from ..core.ternary import TernaryKey
+from .layout import LAYOUT_V6, KeyLayout
+from .ranges import ANY_PORT, range_to_keys
+from .rule import Action, Protocol
+
+__all__ = [
+    "parse_ipv6",
+    "format_ipv6",
+    "parse_prefix6",
+    "Ipv6Rule",
+    "compile_ipv6_rules",
+    "parse_ipv6_rule",
+    "parse_ipv6_acl",
+    "synthetic_ipv6_rules",
+]
+
+IPV6_BITS = 128
+IPV6_MAX = (1 << IPV6_BITS) - 1
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse RFC 4291 textual form (including ``::`` compression and an
+    embedded IPv4 tail) into an integer."""
+    if text.count("::") > 1:
+        raise ValueError(f"invalid IPv6 address {text!r}: multiple '::'")
+    head, sep, tail = text.partition("::")
+    head_groups = _parse_groups(head, text)
+    tail_groups = _parse_groups(tail, text) if sep else []
+    if sep:
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise ValueError(f"invalid IPv6 address {text!r}: '::' expands to nothing")
+        groups = head_groups + [0] * missing + tail_groups
+    else:
+        groups = head_groups
+    if len(groups) != 8:
+        raise ValueError(f"invalid IPv6 address {text!r}: {len(groups)} groups")
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _parse_groups(text: str, original: str) -> list[int]:
+    if not text:
+        return []
+    groups: list[int] = []
+    parts = text.split(":")
+    for index, part in enumerate(parts):
+        if "." in part:
+            if index != len(parts) - 1:
+                raise ValueError(f"invalid IPv6 address {original!r}: embedded IPv4 not last")
+            from .ip import parse_ipv4
+
+            v4 = parse_ipv4(part)
+            groups.extend([v4 >> 16, v4 & 0xFFFF])
+            continue
+        if not part or len(part) > 4 or any(c not in "0123456789abcdefABCDEF" for c in part):
+            raise ValueError(f"invalid IPv6 address {original!r}: bad group {part!r}")
+        groups.append(int(part, 16))
+    return groups
+
+
+def format_ipv6(value: int) -> str:
+    """Canonical RFC 5952 textual form (longest zero run compressed)."""
+    if not 0 <= value <= IPV6_MAX:
+        raise ValueError(f"IPv6 address out of range: {value}")
+    groups = [(value >> (16 * (7 - i))) & 0xFFFF for i in range(8)]
+    # Find the longest run of zero groups (length >= 2) for '::'.
+    best_start, best_len = -1, 1
+    i = 0
+    while i < 8:
+        if groups[i] == 0:
+            j = i
+            while j < 8 and groups[j] == 0:
+                j += 1
+            if j - i > best_len:
+                best_start, best_len = i, j - i
+            i = j
+        else:
+            i += 1
+    if best_start < 0:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len :])
+    return f"{head}::{tail}"
+
+
+def parse_prefix6(text: str) -> tuple[int, int]:
+    """Parse ``addr/len`` (bare addresses are /128); host bits must be 0."""
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise ValueError(f"invalid prefix length in {text!r}")
+        prefix_len = int(len_text)
+    else:
+        addr_text, prefix_len = text, IPV6_BITS
+    if not 0 <= prefix_len <= IPV6_BITS:
+        raise ValueError(f"prefix length out of range in {text!r}")
+    addr = parse_ipv6(addr_text)
+    host_mask = (1 << (IPV6_BITS - prefix_len)) - 1
+    if addr & host_mask:
+        raise ValueError(f"host bits set in prefix {text!r}")
+    return addr, prefix_len
+
+
+class Ipv6Rule:
+    """An IPv6 layer 3-4 rule (the v6 analogue of :class:`AclRule`)."""
+
+    __slots__ = ("action", "protocol", "src_prefix", "dst_prefix", "src_ports", "dst_ports")
+
+    def __init__(
+        self,
+        action: Action,
+        protocol: Protocol,
+        src_prefix: tuple[int, int],
+        dst_prefix: tuple[int, int],
+        src_ports: tuple[int, int] = ANY_PORT,
+        dst_ports: tuple[int, int] = ANY_PORT,
+    ) -> None:
+        for name, (addr, plen) in (("src", src_prefix), ("dst", dst_prefix)):
+            if not 0 <= plen <= IPV6_BITS:
+                raise ValueError(f"invalid {name} prefix length {plen}")
+            if not 0 <= addr <= IPV6_MAX:
+                raise ValueError(f"invalid {name} address")
+        if (src_ports != ANY_PORT or dst_ports != ANY_PORT) and not protocol.has_ports:
+            raise ValueError(f"port ranges require tcp or udp, not {protocol.value}")
+        self.action = action
+        self.protocol = protocol
+        self.src_prefix = src_prefix
+        self.dst_prefix = dst_prefix
+        self.src_ports = src_ports
+        self.dst_ports = dst_ports
+
+    def _key(self) -> tuple:
+        return (
+            self.action,
+            self.protocol,
+            self.src_prefix,
+            self.dst_prefix,
+            self.src_ports,
+            self.dst_ports,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ipv6Rule):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def to_line(self) -> str:
+        """Render back into the configuration dialect."""
+
+        def endpoint(prefix: tuple[int, int], ports: tuple[int, int]) -> str:
+            text = "any" if prefix == (0, 0) else f"{format_ipv6(prefix[0])}/{prefix[1]}"
+            if ports != ANY_PORT:
+                lo, hi = ports
+                text += f" eq {lo}" if lo == hi else f" range {lo} {hi}"
+            return text
+
+        return (
+            f"{self.action.value} {self.protocol.value} "
+            f"{endpoint(self.src_prefix, self.src_ports)} "
+            f"{endpoint(self.dst_prefix, self.dst_ports)}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Ipv6Rule({self.to_line()!r})"
+
+
+def _port_keys(ports: tuple[int, int]) -> list[TernaryKey]:
+    if ports == ANY_PORT:
+        return [TernaryKey.wildcard(16)]
+    return range_to_keys(ports[0], ports[1], 16)
+
+
+def compile_ipv6_rules(
+    rules: Sequence[Ipv6Rule], layout: KeyLayout = LAYOUT_V6
+) -> list[TernaryEntry]:
+    """Compile IPv6 rules into 512-bit ternary entries (value = rule index)."""
+    entries: list[TernaryEntry] = []
+    n = len(rules)
+    for index, rule in enumerate(rules):
+        src = TernaryKey.from_prefix(
+            rule.src_prefix[0] >> (IPV6_BITS - rule.src_prefix[1]) if rule.src_prefix[1] else 0,
+            rule.src_prefix[1],
+            layout.width("src_ip"),
+        )
+        dst = TernaryKey.from_prefix(
+            rule.dst_prefix[0] >> (IPV6_BITS - rule.dst_prefix[1]) if rule.dst_prefix[1] else 0,
+            rule.dst_prefix[1],
+            layout.width("dst_ip"),
+        )
+        number = rule.protocol.number
+        proto = TernaryKey.wildcard(8) if number is None else TernaryKey.exact(number, 8)
+        for sp in _port_keys(rule.src_ports):
+            for dp in _port_keys(rule.dst_ports):
+                entries.append(
+                    TernaryEntry(
+                        key=layout.pack_key(
+                            src_ip=src, dst_ip=dst, proto=proto, src_port=sp, dst_port=dp
+                        ),
+                        value=index,
+                        priority=n - index,
+                    )
+                )
+    return entries
+
+
+def parse_ipv6_rule(line: str, line_no: int | None = None) -> Ipv6Rule:
+    """Parse one IPv6 rule in the Table 2 dialect (v6 prefixes).
+
+    Same grammar as the IPv4 parser, e.g.
+    ``permit tcp any 2001:db8::/32 eq 443``.  ``established`` and
+    ``flags`` are not supported on the v6 path (the §5 evaluation uses
+    layer 3-4 fields only).
+    """
+    from .parser import AclParseError
+
+    tokens = line.split()
+    try:
+        if len(tokens) < 4:
+            raise ValueError("a rule needs at least: action protocol src dst")
+        try:
+            action = Action(tokens[0])
+        except ValueError:
+            raise ValueError(f"unknown action {tokens[0]!r}") from None
+        try:
+            protocol = Protocol(tokens[1])
+        except ValueError:
+            raise ValueError(f"unknown protocol {tokens[1]!r}") from None
+
+        def endpoint(pos: int) -> tuple[tuple[int, int], tuple[int, int], int]:
+            if pos >= len(tokens):
+                raise ValueError("missing address prefix")
+            text = tokens[pos]
+            prefix = (0, 0) if text == "any" else parse_prefix6(text)
+            pos += 1
+            ports = ANY_PORT
+            if pos < len(tokens) and tokens[pos] in ("eq", "range"):
+                if not protocol.has_ports:
+                    raise ValueError("port keywords are only valid for tcp/udp")
+                if tokens[pos] == "eq":
+                    if pos + 1 >= len(tokens):
+                        raise ValueError("eq needs a port number")
+                    port = int(tokens[pos + 1])
+                    ports = (port, port)
+                    pos += 2
+                else:
+                    if pos + 2 >= len(tokens):
+                        raise ValueError("range needs two ports")
+                    ports = (int(tokens[pos + 1]), int(tokens[pos + 2]))
+                    pos += 3
+                if not 0 <= ports[0] <= ports[1] <= 0xFFFF:
+                    raise ValueError(f"invalid port range {ports}")
+            return prefix, ports, pos
+
+        src_prefix, src_ports, pos = endpoint(2)
+        dst_prefix, dst_ports, pos = endpoint(pos)
+        if pos != len(tokens):
+            raise ValueError(f"unexpected token {tokens[pos]!r}")
+        return Ipv6Rule(
+            action=action,
+            protocol=protocol,
+            src_prefix=src_prefix,
+            dst_prefix=dst_prefix,
+            src_ports=src_ports,
+            dst_ports=dst_ports,
+        )
+    except ValueError as exc:
+        raise AclParseError(str(exc), line_no) from None
+
+
+def parse_ipv6_acl(text: str) -> list[Ipv6Rule]:
+    """Parse a whole IPv6 ACL (same comment conventions as v4)."""
+    rules = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line or line.startswith("!"):
+            continue
+        rules.append(parse_ipv6_rule(line, line_no))
+    return rules
+
+
+def synthetic_ipv6_rules(count: int, seed: int = 2020) -> list[Ipv6Rule]:
+    """A seeded IPv6 rule set (the public-dataset gap the paper notes)."""
+    if count <= 0:
+        raise ValueError(f"rule count must be positive, got {count}")
+    rng = random.Random(f"ipv6:{seed}")
+    # A pool of /48 sites under a documentation-style /32.
+    base = parse_ipv6("2001:db8::") | 0
+    sites = [base | (rng.getrandbits(16) << 80) for _ in range(max(count // 8, 1))]
+    rules = []
+    for _ in range(count):
+        protocol = rng.choices(
+            [Protocol.TCP, Protocol.UDP, Protocol.ICMP, Protocol.IP],
+            weights=[0.5, 0.3, 0.05, 0.15],
+        )[0]
+        dst_len = rng.choice((0, 32, 48, 56, 64, 128))
+        src_len = rng.choice((0, 0, 32, 48, 64))
+        site = sites[rng.randrange(len(sites))]
+        dst = (site & ~((1 << (128 - dst_len)) - 1), dst_len) if dst_len else (0, 0)
+        src_site = sites[rng.randrange(len(sites))]
+        src = (src_site & ~((1 << (128 - src_len)) - 1), src_len) if src_len else (0, 0)
+        if protocol.has_ports and rng.random() < 0.6:
+            port = rng.choice((22, 53, 80, 123, 443, 8080))
+            dst_ports = (port, port)
+        else:
+            dst_ports = ANY_PORT
+        rules.append(
+            Ipv6Rule(
+                action=Action.DENY if rng.random() < 0.3 else Action.PERMIT,
+                protocol=protocol,
+                src_prefix=src,
+                dst_prefix=dst,
+                dst_ports=dst_ports if protocol.has_ports else ANY_PORT,
+            )
+        )
+    return rules

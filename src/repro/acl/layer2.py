@@ -1,0 +1,150 @@
+"""Layer 2 ACL support (the fields paper §3.1 lists but defers).
+
+§3.1: "ACL entries are written up by the following layer 2-4 header
+information; the destination and source Ethernet addresses, EtherType,
+IEEE 802.1Q (VLAN) tag information, [...] We exclude layer 2 rules for
+simplicity."  The exclusion is editorial, not structural — ternary keys
+don't care what the bits mean — so this module supplies the missing
+substrate: MAC address parsing, a combined L2-L4 key layout, and an L2
+rule compiler.  Everything downstream (Palmtrie variants, benchmarks,
+apps) works unchanged on the wider keys.
+
+Layout (``LAYOUT_L2``, 256 bits): dst MAC 48 ‖ src MAC 48 ‖ EtherType
+16 ‖ VLAN ID 12 ‖ PCP 4 ‖ the 128-bit L3-L4 block of ``LAYOUT_V4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.table import TernaryEntry
+from ..core.ternary import TernaryKey
+from .layout import Field, KeyLayout
+from .rule import AclRule
+from .compiler import compile_rule
+
+__all__ = [
+    "LAYOUT_L2",
+    "parse_mac",
+    "format_mac",
+    "EtherType",
+    "L2Rule",
+    "compile_l2_rules",
+]
+
+#: common EtherType values
+class EtherType:
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+
+
+LAYOUT_L2 = KeyLayout(
+    [
+        Field("dst_mac", 48),
+        Field("src_mac", 48),
+        Field("ethertype", 16),
+        Field("vlan", 12),
+        Field("pcp", 4),
+        Field("src_ip", 32),
+        Field("dst_ip", 32),
+        Field("proto", 8),
+        Field("src_port", 16),
+        Field("dst_port", 16),
+        Field("tcp_flags", 8),
+    ],
+    total_length=256,
+)
+
+
+def parse_mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` (or ``-`` separated) into an integer."""
+    parts = text.replace("-", ":").split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {text!r}")
+    value = 0
+    for part in parts:
+        if len(part) != 2 or any(c not in "0123456789abcdefABCDEF" for c in part):
+            raise ValueError(f"invalid MAC address {text!r}")
+        value = (value << 8) | int(part, 16)
+    return value
+
+
+def format_mac(value: int) -> str:
+    if not 0 <= value < (1 << 48):
+        raise ValueError(f"MAC address out of range: {value}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))
+
+
+@dataclass(frozen=True)
+class L2Rule:
+    """A layer 2(-4) filtering rule.
+
+    MAC constraints are (address, care) pairs: ``care`` masks the bits
+    that must match (all-ones = exact MAC; the OUI convention — match a
+    vendor prefix — uses ``care=0xFFFFFF000000``).  ``None`` leaves a
+    field unconstrained.  An optional inner :class:`AclRule` constrains
+    the L3-L4 block.
+    """
+
+    priority: int
+    value: object
+    dst_mac: tuple[int, int] | None = None
+    src_mac: tuple[int, int] | None = None
+    ethertype: int | None = None
+    vlan: int | None = None
+    inner: AclRule | None = None
+
+    def __post_init__(self) -> None:
+        for name, constraint in (("dst_mac", self.dst_mac), ("src_mac", self.src_mac)):
+            if constraint is None:
+                continue
+            address, care = constraint
+            if not 0 <= address < (1 << 48) or not 0 <= care < (1 << 48):
+                raise ValueError(f"invalid {name} constraint")
+            if address & ~care:
+                raise ValueError(f"{name} has address bits outside the care mask")
+        if self.ethertype is not None and not 0 <= self.ethertype < (1 << 16):
+            raise ValueError(f"invalid ethertype {self.ethertype}")
+        if self.vlan is not None and not 0 <= self.vlan < (1 << 12):
+            raise ValueError(f"invalid VLAN id {self.vlan}")
+
+
+def _mac_key(constraint: tuple[int, int] | None) -> TernaryKey:
+    if constraint is None:
+        return TernaryKey.wildcard(48)
+    address, care = constraint
+    return TernaryKey(address, ~care & ((1 << 48) - 1), 48)
+
+
+def compile_l2_rules(rules: list[L2Rule], layout: KeyLayout = LAYOUT_L2) -> list[TernaryEntry]:
+    """Compile L2 rules into 256-bit ternary entries."""
+    entries: list[TernaryEntry] = []
+    for rule in rules:
+        parts: dict[str, TernaryKey] = {
+            "dst_mac": _mac_key(rule.dst_mac),
+            "src_mac": _mac_key(rule.src_mac),
+        }
+        if rule.ethertype is not None:
+            parts["ethertype"] = TernaryKey.exact(rule.ethertype, 16)
+        if rule.vlan is not None:
+            parts["vlan"] = TernaryKey.exact(rule.vlan, 12)
+        if rule.inner is None:
+            entries.append(
+                TernaryEntry(layout.pack_key(**parts), rule.value, rule.priority)
+            )
+            continue
+        # Expand the inner L3-L4 rule and graft each expansion's fields
+        # into the wide key.
+        for inner_entry in compile_rule(rule.inner, rule.value, rule.priority):
+            inner_key = inner_entry.key
+            from .layout import LAYOUT_V4
+
+            grafted = dict(parts)
+            for name in ("src_ip", "dst_ip", "proto", "src_port", "dst_port", "tcp_flags"):
+                grafted[name] = LAYOUT_V4.field_key(inner_key, name)
+            entries.append(
+                TernaryEntry(layout.pack_key(**grafted), rule.value, rule.priority)
+            )
+    return entries

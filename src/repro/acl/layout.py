@@ -1,0 +1,171 @@
+"""Key layouts: packing packet header fields into one ternary key.
+
+The paper fixes the key length L to 128 bits for IPv4 layer 3-4 rules
+(§4) and discusses a 512-bit layout for IPv6 (§5), but delegates the
+actual field placement to an external conversion tool.  This module
+re-specifies that placement explicitly.
+
+A :class:`KeyLayout` is an ordered sequence of named fields, most
+significant first.  It packs binary header values into query integers
+and ternary per-field keys into table keys, and unpacks them again for
+display and testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.ternary import TernaryKey
+
+__all__ = [
+    "Field",
+    "KeyLayout",
+    "LAYOUT_V4",
+    "LAYOUT_V6",
+    "TCP_FLAGS",
+    "TCP_ACK",
+    "TCP_RST",
+    "TCP_SYN",
+    "TCP_FIN",
+    "TCP_PSH",
+    "TCP_URG",
+]
+
+#: TCP flag bit values within the 8-bit flags field (CWR..FIN, RFC 793 + ECN).
+TCP_FLAGS: Mapping[str, int] = {
+    "cwr": 0x80,
+    "ece": 0x40,
+    "urg": 0x20,
+    "ack": 0x10,
+    "psh": 0x08,
+    "rst": 0x04,
+    "syn": 0x02,
+    "fin": 0x01,
+}
+TCP_URG = TCP_FLAGS["urg"]
+TCP_ACK = TCP_FLAGS["ack"]
+TCP_PSH = TCP_FLAGS["psh"]
+TCP_RST = TCP_FLAGS["rst"]
+TCP_SYN = TCP_FLAGS["syn"]
+TCP_FIN = TCP_FLAGS["fin"]
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One named bit field within a key layout."""
+
+    name: str
+    width: int
+
+
+class KeyLayout:
+    """An ordered field layout over an L-bit ternary key."""
+
+    def __init__(self, fields: list[Field], total_length: int | None = None) -> None:
+        widths = sum(f.width for f in fields)
+        if total_length is None:
+            total_length = widths
+        if widths > total_length:
+            raise ValueError(f"fields need {widths} bits but layout is {total_length}")
+        self.fields = list(fields)
+        self.length = total_length
+        # Offset of each field's least significant bit within the key.
+        self._offsets: dict[str, int] = {}
+        position = total_length
+        for f in fields:
+            if f.name in self._offsets:
+                raise ValueError(f"duplicate field name {f.name!r}")
+            position -= f.width
+            self._offsets[f.name] = position
+        self._widths = {f.name: f.width for f in fields}
+
+    def offset(self, name: str) -> int:
+        return self._offsets[name]
+
+    def width(self, name: str) -> int:
+        return self._widths[name]
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+
+    def pack_query(self, **values: int) -> int:
+        """Pack binary field values into a query integer.
+
+        Unmentioned fields are zero.  Raises on unknown names or values
+        that do not fit the field.
+        """
+        query = 0
+        for name, value in values.items():
+            if name not in self._offsets:
+                raise ValueError(f"unknown field {name!r}; layout has {list(self._widths)}")
+            if not 0 <= value < (1 << self._widths[name]):
+                raise ValueError(f"value {value} does not fit {self._widths[name]}-bit field {name!r}")
+            query |= value << self._offsets[name]
+        return query
+
+    def pack_key(self, **parts: TernaryKey) -> TernaryKey:
+        """Pack per-field ternary keys into one table key.
+
+        Unmentioned fields become all-``*`` (don't care), which is the
+        ACL semantics for an unconstrained field.
+        """
+        data = 0
+        mask = (1 << self.length) - 1
+        for name, part in parts.items():
+            if name not in self._offsets:
+                raise ValueError(f"unknown field {name!r}; layout has {list(self._widths)}")
+            width = self._widths[name]
+            if part.length != width:
+                raise ValueError(
+                    f"field {name!r} is {width} bits but key part has {part.length}"
+                )
+            off = self._offsets[name]
+            field_bits = ((1 << width) - 1) << off
+            data = (data & ~field_bits) | (part.data << off)
+            mask = (mask & ~field_bits) | (part.mask << off)
+        return TernaryKey(data, mask, self.length)
+
+    # ------------------------------------------------------------------
+    # Unpacking
+    # ------------------------------------------------------------------
+
+    def unpack_query(self, query: int) -> dict[str, int]:
+        return {
+            name: (query >> off) & ((1 << self._widths[name]) - 1)
+            for name, off in self._offsets.items()
+        }
+
+    def field_key(self, key: TernaryKey, name: str) -> TernaryKey:
+        """Extract one field of a packed table key as a ternary sub-key."""
+        if key.length != self.length:
+            raise ValueError(f"key length {key.length} != layout length {self.length}")
+        return key.chunk(self._offsets[name], self._widths[name])
+
+
+#: IPv4 layer 3-4 layout, L = 128 (paper §4).
+LAYOUT_V4 = KeyLayout(
+    [
+        Field("src_ip", 32),
+        Field("dst_ip", 32),
+        Field("proto", 8),
+        Field("src_port", 16),
+        Field("dst_port", 16),
+        Field("tcp_flags", 8),
+    ],
+    total_length=128,
+)
+
+#: IPv6-capable layout, L = 512 (paper §5 discussion).
+LAYOUT_V6 = KeyLayout(
+    [
+        Field("src_ip", 128),
+        Field("dst_ip", 128),
+        Field("proto", 8),
+        Field("src_port", 16),
+        Field("dst_port", 16),
+        Field("tcp_flags", 8),
+    ],
+    total_length=512,
+)

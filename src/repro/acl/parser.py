@@ -1,0 +1,138 @@
+"""Parser for the paper's ACL configuration dialect (Table 2).
+
+Grammar, one rule per line::
+
+    rule      := action protocol endpoint endpoint ["established"]
+                 ["flags" TERNARY8]
+    action    := "permit" | "deny"
+    protocol  := "ip" | "icmp" | "tcp" | "udp"
+    endpoint  := prefix [portspec]
+    prefix    := A.B.C.D["/"LEN] | "any"
+    portspec  := "eq" PORT | "range" LO HI | "gt" PORT | "lt" PORT
+                 | "neq" PORT       (expands to two rules downstream)
+
+Blank lines and ``#``/``!`` comments are ignored.  ``any`` is shorthand
+for ``0.0.0.0/0``.
+"""
+
+from __future__ import annotations
+
+from .ip import parse_prefix
+from .ranges import ANY_PORT
+from .rule import AclRule, Action, Protocol
+
+__all__ = ["AclParseError", "parse_acl", "parse_rule"]
+
+
+class AclParseError(ValueError):
+    """Raised for malformed ACL text; carries the line number."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+def _parse_port(token: str) -> int:
+    if not token.isdigit():
+        raise ValueError(f"invalid port {token!r}")
+    port = int(token)
+    if port > 0xFFFF:
+        raise ValueError(f"port {port} out of range")
+    return port
+
+
+def _parse_endpoint(tokens: list[str], pos: int, allow_ports: bool) -> tuple[tuple[int, int], tuple[int, int], int]:
+    """Parse a prefix plus optional port spec; returns (prefix, ports, next_pos)."""
+    if pos >= len(tokens):
+        raise ValueError("missing address prefix")
+    text = tokens[pos]
+    prefix = (0, 0) if text == "any" else parse_prefix(text)
+    pos += 1
+    ports = ANY_PORT
+    if pos < len(tokens) and tokens[pos] in ("eq", "range", "gt", "lt"):
+        keyword = tokens[pos]
+        if not allow_ports:
+            raise ValueError(f"port keyword {keyword!r} is only valid for tcp/udp")
+        if pos + 1 >= len(tokens):
+            raise ValueError(f"{keyword} needs a port number")
+        if keyword == "eq":
+            port = _parse_port(tokens[pos + 1])
+            ports = (port, port)
+            pos += 2
+        elif keyword == "range":
+            if pos + 2 >= len(tokens):
+                raise ValueError("range needs two ports")
+            lo, hi = _parse_port(tokens[pos + 1]), _parse_port(tokens[pos + 2])
+            if lo > hi:
+                raise ValueError(f"empty range [{lo}, {hi}]")
+            ports = (lo, hi)
+            pos += 3
+        elif keyword == "gt":
+            port = _parse_port(tokens[pos + 1])
+            if port == 0xFFFF:
+                raise ValueError("gt 65535 matches nothing")
+            ports = (port + 1, 0xFFFF)
+            pos += 2
+        else:  # lt
+            port = _parse_port(tokens[pos + 1])
+            if port == 0:
+                raise ValueError("lt 0 matches nothing")
+            ports = (0, port - 1)
+            pos += 2
+    return prefix, ports, pos
+
+
+def parse_rule(line: str, line_no: int | None = None) -> AclRule:
+    """Parse one ACL rule line."""
+    tokens = line.split()
+    try:
+        if len(tokens) < 4:
+            raise ValueError("a rule needs at least: action protocol src dst")
+        try:
+            action = Action(tokens[0])
+        except ValueError:
+            raise ValueError(f"unknown action {tokens[0]!r}") from None
+        try:
+            protocol = Protocol(tokens[1])
+        except ValueError:
+            raise ValueError(f"unknown protocol {tokens[1]!r}") from None
+        pos = 2
+        src_prefix, src_ports, pos = _parse_endpoint(tokens, pos, protocol.has_ports)
+        dst_prefix, dst_ports, pos = _parse_endpoint(tokens, pos, protocol.has_ports)
+        established = False
+        tcp_flags = None
+        while pos < len(tokens):
+            if tokens[pos] == "established":
+                established = True
+                pos += 1
+            elif tokens[pos] == "flags":
+                if pos + 1 >= len(tokens):
+                    raise ValueError("flags keyword needs a ternary string")
+                tcp_flags = tokens[pos + 1]
+                pos += 2
+            else:
+                raise ValueError(f"unexpected token {tokens[pos]!r}")
+        return AclRule(
+            action=action,
+            protocol=protocol,
+            src_prefix=src_prefix,
+            dst_prefix=dst_prefix,
+            src_ports=src_ports,
+            dst_ports=dst_ports,
+            established=established,
+            tcp_flags=tcp_flags,
+        )
+    except ValueError as exc:
+        raise AclParseError(str(exc), line_no) from None
+
+
+def parse_acl(text: str) -> list[AclRule]:
+    """Parse a whole ACL; rules are returned top-down (highest priority first)."""
+    rules = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()  # strip trailing comments
+        if not line or line.startswith("!"):
+            continue
+        rules.append(parse_rule(line, line_no))
+    return rules

@@ -1,0 +1,52 @@
+"""Port-range to ternary-prefix expansion.
+
+A ternary key cannot express an arbitrary integer range directly, so an
+ACL field like ``range 1024 2047`` must be converted into a set of
+prefix-shaped ternary strings (paper §3.1: "a port range is also
+converted into multiple entries").  The classic minimal cover uses at
+most ``2*W - 2`` prefixes for a W-bit field.
+"""
+
+from __future__ import annotations
+
+from ..core.ternary import TernaryKey
+
+__all__ = ["range_to_prefixes", "range_to_keys", "ANY_PORT"]
+
+#: the full 16-bit port range
+ANY_PORT = (0, 0xFFFF)
+
+
+def range_to_prefixes(lo: int, hi: int, width: int = 16) -> list[tuple[int, int]]:
+    """Minimal prefix cover of the inclusive integer range ``[lo, hi]``.
+
+    Returns ``(value, prefix_len)`` pairs: each covers the block of
+    ``2**(width - prefix_len)`` values whose top ``prefix_len`` bits equal
+    the top bits of ``value``.  Uses the standard greedy algorithm: at
+    each step take the largest aligned block starting at ``lo`` that does
+    not overshoot ``hi``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    limit = (1 << width) - 1
+    if not 0 <= lo <= hi <= limit:
+        raise ValueError(f"invalid range [{lo}, {hi}] for width {width}")
+    prefixes: list[tuple[int, int]] = []
+    while lo <= hi:
+        # Largest power-of-two block aligned at lo...
+        block = lo & -lo if lo else 1 << width
+        # ...shrunk until it fits within [lo, hi].
+        while lo + block - 1 > hi:
+            block >>= 1
+        prefix_len = width - block.bit_length() + 1
+        prefixes.append((lo, prefix_len))
+        lo += block
+    return prefixes
+
+
+def range_to_keys(lo: int, hi: int, width: int = 16) -> list[TernaryKey]:
+    """The range as ternary keys (e.g. ``[2, 3]`` over 4 bits -> ``001*``)."""
+    return [
+        TernaryKey.from_prefix(value >> (width - prefix_len), prefix_len, width)
+        for value, prefix_len in range_to_prefixes(lo, hi, width)
+    ]

@@ -1,0 +1,98 @@
+"""ACL rule model.
+
+An :class:`AclRule` is one line of a network access control list in the
+paper's Table 2 dialect: an action, a protocol, source/destination IPv4
+prefixes, optional port ranges and the optional ``established`` keyword.
+Rules are matched top-down, so earlier rules have higher priority.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .ip import format_prefix
+from .ranges import ANY_PORT
+
+__all__ = ["Action", "Protocol", "AclRule"]
+
+
+class Action(enum.Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class Protocol(enum.Enum):
+    """Protocol selector of a rule.
+
+    ``IP`` means any protocol over IP (the protocol field is don't care).
+    """
+
+    IP = "ip"
+    ICMP = "icmp"
+    TCP = "tcp"
+    UDP = "udp"
+
+    @property
+    def number(self) -> int | None:
+        """IANA protocol number, or None for the ``ip`` wildcard."""
+        return {Protocol.IP: None, Protocol.ICMP: 1, Protocol.TCP: 6, Protocol.UDP: 17}[self]
+
+    @property
+    def has_ports(self) -> bool:
+        return self in (Protocol.TCP, Protocol.UDP)
+
+
+@dataclass(frozen=True, slots=True)
+class AclRule:
+    """One ACL entry (pre-compilation, i.e. before ternary expansion)."""
+
+    action: Action
+    protocol: Protocol
+    src_prefix: tuple[int, int]
+    dst_prefix: tuple[int, int]
+    src_ports: tuple[int, int] = ANY_PORT
+    dst_ports: tuple[int, int] = ANY_PORT
+    established: bool = False
+    #: free-form ternary constraint on the 8 TCP flag bits, e.g. "***1****";
+    #: None means unconstrained (or, with established=True, ACK-or-RST).
+    tcp_flags: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        for name, (lo, hi) in (("src", self.src_ports), ("dst", self.dst_ports)):
+            if not 0 <= lo <= hi <= 0xFFFF:
+                raise ValueError(f"invalid {name} port range [{lo}, {hi}]")
+        if (self.src_ports != ANY_PORT or self.dst_ports != ANY_PORT) and not self.protocol.has_ports:
+            raise ValueError(f"port ranges require tcp or udp, not {self.protocol.value}")
+        if (self.established or self.tcp_flags) and self.protocol is not Protocol.TCP:
+            raise ValueError("TCP flag constraints require protocol tcp")
+        if self.established and self.tcp_flags:
+            raise ValueError("use either established or an explicit tcp_flags string")
+        if self.tcp_flags is not None:
+            if len(self.tcp_flags) != 8 or any(c not in "01*" for c in self.tcp_flags):
+                raise ValueError(f"tcp_flags must be 8 ternary digits, got {self.tcp_flags!r}")
+
+    def _ports_text(self, ports: tuple[int, int]) -> str:
+        lo, hi = ports
+        if (lo, hi) == ANY_PORT:
+            return ""
+        if lo == hi:
+            return f" eq {lo}"
+        return f" range {lo} {hi}"
+
+    def to_line(self) -> str:
+        """Render back into the Table 2 configuration dialect."""
+        parts = [
+            self.action.value,
+            self.protocol.value,
+            format_prefix(*self.src_prefix) + self._ports_text(self.src_ports),
+            format_prefix(*self.dst_prefix) + self._ports_text(self.dst_ports),
+        ]
+        if self.established:
+            parts.append("established")
+        if self.tcp_flags is not None:
+            parts.append(f"flags {self.tcp_flags}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_line()

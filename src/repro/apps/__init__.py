@@ -1,0 +1,19 @@
+"""Applications built on the Palmtrie (paper §6: e.g. flow monitoring)."""
+
+from .conntrack import Connection, ConnState, StatefulFirewall
+from .firewall import Firewall, RuleCounter
+from .flowmon import FlowMonitor, FlowRecord
+from .l3fwd import ForwardingStats, L3Forwarder, Verdict
+
+__all__ = [
+    "ConnState",
+    "Connection",
+    "Firewall",
+    "FlowMonitor",
+    "FlowRecord",
+    "ForwardingStats",
+    "L3Forwarder",
+    "RuleCounter",
+    "StatefulFirewall",
+    "Verdict",
+]

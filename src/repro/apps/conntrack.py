@@ -1,0 +1,171 @@
+"""Stateful firewall: connection tracking over the stateless core.
+
+The paper's opening distinguishes stateful firewalls ("manage the
+states of individual flows and apply an action to each packet acting
+on the managed state") from the stateless ACLs it accelerates (§1).
+This module implements the stateful layer the way real systems do:
+
+* a *flow table* (exact-match hash on the bidirectional 5-tuple) fast-
+  paths packets of established connections;
+* flow table misses fall through to the stateless ACL (any
+  :class:`~repro.core.table.TernaryMatcher`) — a permit *creates* the
+  flow state, so return traffic no longer needs an ``established``
+  rule;
+* a small TCP lifecycle (NEW → ESTABLISHED → CLOSING) plus idle
+  timeouts keep the table bounded; UDP/ICMP flows are purely
+  timeout-driven.
+
+This shows the complementary deployment model to the paper's
+``established`` trick: the paper encodes "stateful-ish" semantics in
+ternary TCP-flag entries; conntrack replaces that with real state while
+still leaning on Palmtrie for the policy decision on every new flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..acl.compiler import CompiledAcl
+from ..acl.rule import Action
+from ..core.plus import PalmtriePlus
+from ..core.table import TernaryMatcher
+from ..packet.headers import PROTO_TCP, PacketHeader
+
+__all__ = ["ConnState", "Connection", "StatefulFirewall"]
+
+_TCP_SYN = 0x02
+_TCP_ACK = 0x10
+_TCP_FIN = 0x01
+_TCP_RST = 0x04
+
+
+class ConnState(enum.Enum):
+    NEW = "new"
+    ESTABLISHED = "established"
+    CLOSING = "closing"
+
+
+@dataclass
+class Connection:
+    """Tracked state of one bidirectional flow."""
+
+    state: ConnState
+    last_seen: float
+    packets: int = 0
+    #: the ACL rule index that admitted the flow (None = default action)
+    rule_index: Optional[int] = None
+
+
+def _flow_key(header: PacketHeader) -> tuple:
+    """Direction-normalized 5-tuple (both directions share state)."""
+    forward = (header.src_ip, header.src_port)
+    backward = (header.dst_ip, header.dst_port)
+    if forward <= backward:
+        return (*forward, *backward, header.proto)
+    return (*backward, *forward, header.proto)
+
+
+class StatefulFirewall:
+    """Connection-tracking firewall over a stateless ACL matcher."""
+
+    def __init__(
+        self,
+        acl: CompiledAcl,
+        matcher: Optional[TernaryMatcher] = None,
+        idle_timeout: float = 300.0,
+        closing_timeout: float = 10.0,
+        max_connections: int = 1_000_000,
+    ) -> None:
+        if idle_timeout <= 0 or closing_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if max_connections <= 0:
+            raise ValueError("max_connections must be positive")
+        self.acl = acl
+        self.matcher = matcher or PalmtriePlus.build(
+            acl.entries, acl.layout.length, stride=8
+        )
+        self.idle_timeout = idle_timeout
+        self.closing_timeout = closing_timeout
+        self.max_connections = max_connections
+        self._table: dict[tuple, Connection] = {}
+        self.fast_path_hits = 0
+        self.acl_evaluations = 0
+        self.table_full_drops = 0
+
+    # ------------------------------------------------------------------
+
+    def check(self, header: PacketHeader, timestamp: float = 0.0) -> Action:
+        """Apply stateful policy to one packet."""
+        key = _flow_key(header)
+        connection = self._table.get(key)
+        if connection is not None:
+            if timestamp - connection.last_seen > self._timeout_for(connection):
+                del self._table[key]
+                connection = None
+        if connection is not None:
+            self.fast_path_hits += 1
+            connection.last_seen = max(connection.last_seen, timestamp)
+            connection.packets += 1
+            self._advance_tcp(connection, header)
+            return Action.PERMIT
+
+        # Flow table miss: consult the stateless policy.
+        self.acl_evaluations += 1
+        entry = self.matcher.lookup(header.to_query(self.acl.layout))
+        if entry is None:
+            return Action.DENY
+        rule_index = entry.value
+        if self.acl.rules[rule_index].action is Action.DENY:
+            return Action.DENY
+        if len(self._table) >= self.max_connections:
+            self.expire(timestamp)
+            if len(self._table) >= self.max_connections:
+                self.table_full_drops += 1
+                return Action.DENY  # fail closed under table pressure
+        state = ConnState.NEW
+        if header.proto != PROTO_TCP:
+            state = ConnState.ESTABLISHED  # no handshake to observe
+        self._table[key] = Connection(
+            state=state, last_seen=timestamp, packets=1, rule_index=rule_index
+        )
+        return Action.PERMIT
+
+    def _advance_tcp(self, connection: Connection, header: PacketHeader) -> None:
+        if header.proto != PROTO_TCP:
+            return
+        flags = header.tcp_flags
+        if flags & _TCP_RST:
+            connection.state = ConnState.CLOSING
+            return
+        if connection.state is ConnState.NEW and flags & _TCP_ACK:
+            connection.state = ConnState.ESTABLISHED
+        elif connection.state is ConnState.ESTABLISHED and flags & _TCP_FIN:
+            connection.state = ConnState.CLOSING
+
+    def _timeout_for(self, connection: Connection) -> float:
+        return (
+            self.closing_timeout
+            if connection.state is ConnState.CLOSING
+            else self.idle_timeout
+        )
+
+    # ------------------------------------------------------------------
+
+    def expire(self, now: float) -> int:
+        """Drop timed-out flows; returns the number removed."""
+        stale = [
+            key
+            for key, connection in self._table.items()
+            if now - connection.last_seen > self._timeout_for(connection)
+        ]
+        for key in stale:
+            del self._table[key]
+        return len(stale)
+
+    def connection_count(self) -> int:
+        return len(self._table)
+
+    def connection_for(self, header: PacketHeader) -> Optional[Connection]:
+        return self._table.get(_flow_key(header))

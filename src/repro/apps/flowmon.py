@@ -1,0 +1,147 @@
+"""Flow monitoring on top of Palmtrie classification (paper §6).
+
+The paper's closing remark expects "various applications of the
+Palmtrie, such as flow monitoring [8]" (RFC 7011, IPFIX).  This module
+is that application: packets are classified by a ternary rule table
+(which *class* of traffic is this?) and aggregated into per-flow
+records (packets, bytes, timestamps, class), with IPFIX-style export of
+expired flows.
+
+The classifier is any :class:`~repro.core.table.TernaryMatcher`;
+Palmtrie+ is the default, and the classes are arbitrary rule values
+(service names, QoS classes, ACL verdicts...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+from ..core.plus import PalmtriePlus
+from ..core.table import TernaryEntry, TernaryMatcher
+from ..packet.headers import PacketHeader
+
+__all__ = ["FlowKey", "FlowRecord", "FlowMonitor"]
+
+#: a flow is the classic 5-tuple
+FlowKey = tuple[int, int, int, int, int]
+
+
+@dataclass
+class FlowRecord:
+    """One aggregated flow, IPFIX-flavoured."""
+
+    key: FlowKey
+    traffic_class: Any
+    packets: int = 0
+    octets: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    tcp_flags_or: int = 0
+
+    def to_ipfix_dict(self) -> dict[str, Any]:
+        """The record as IPFIX information elements (RFC 7011/7012 names)."""
+        src_ip, dst_ip, proto, src_port, dst_port = self.key
+        return {
+            "sourceIPv4Address": src_ip,
+            "destinationIPv4Address": dst_ip,
+            "protocolIdentifier": proto,
+            "sourceTransportPort": src_port,
+            "destinationTransportPort": dst_port,
+            "packetDeltaCount": self.packets,
+            "octetDeltaCount": self.octets,
+            "flowStartSeconds": self.first_seen,
+            "flowEndSeconds": self.last_seen,
+            "tcpControlBits": self.tcp_flags_or,
+            "className": self.traffic_class,
+        }
+
+
+class FlowMonitor:
+    """Classify packets into traffic classes and aggregate flows.
+
+    ``idle_timeout`` controls expiry: a flow whose last packet is older
+    than the timeout (relative to the newest observed timestamp) is
+    exported by :meth:`expired` / :meth:`export_expired`.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[TernaryEntry],
+        key_length: int = 128,
+        matcher: Optional[TernaryMatcher] = None,
+        idle_timeout: float = 60.0,
+        default_class: Any = None,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise ValueError(f"idle timeout must be positive, got {idle_timeout}")
+        entries = list(entries)
+        self.matcher = matcher or PalmtriePlus.build(entries, key_length, stride=8)
+        self.idle_timeout = idle_timeout
+        self.default_class = default_class
+        self._flows: dict[FlowKey, FlowRecord] = {}
+        self._clock = 0.0
+        self.packets_seen = 0
+        self.octets_seen = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, header: PacketHeader, length: int = 0, timestamp: float = 0.0) -> FlowRecord:
+        """Account one packet; returns its (possibly new) flow record."""
+        if length < 0:
+            raise ValueError(f"packet length must be non-negative, got {length}")
+        self._clock = max(self._clock, timestamp)
+        self.packets_seen += 1
+        self.octets_seen += length
+        key: FlowKey = (
+            header.src_ip,
+            header.dst_ip,
+            header.proto,
+            header.src_port,
+            header.dst_port,
+        )
+        record = self._flows.get(key)
+        if record is None:
+            entry = self.matcher.lookup(header.to_query())
+            traffic_class = self.default_class if entry is None else entry.value
+            record = FlowRecord(
+                key=key,
+                traffic_class=traffic_class,
+                first_seen=timestamp,
+                last_seen=timestamp,
+            )
+            self._flows[key] = record
+        record.packets += 1
+        record.octets += length
+        record.last_seen = max(record.last_seen, timestamp)
+        record.tcp_flags_or |= header.tcp_flags
+        return record
+
+    # ------------------------------------------------------------------
+
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def flows(self) -> Iterator[FlowRecord]:
+        return iter(self._flows.values())
+
+    def class_totals(self) -> dict[Any, tuple[int, int]]:
+        """Per-class (packets, octets) aggregates over active flows."""
+        totals: dict[Any, tuple[int, int]] = {}
+        for record in self._flows.values():
+            packets, octets = totals.get(record.traffic_class, (0, 0))
+            totals[record.traffic_class] = (packets + record.packets, octets + record.octets)
+        return totals
+
+    def expired(self, now: Optional[float] = None) -> list[FlowRecord]:
+        """Flows idle longer than the timeout, without removing them."""
+        now = self._clock if now is None else now
+        return [r for r in self._flows.values() if now - r.last_seen > self.idle_timeout]
+
+    def export_expired(self, now: Optional[float] = None) -> list[dict[str, Any]]:
+        """Remove and export expired flows as IPFIX-style dictionaries."""
+        exported = []
+        for record in self.expired(now):
+            del self._flows[record.key]
+            exported.append(record.to_ipfix_dict())
+        return exported

@@ -1,0 +1,17 @@
+"""Comparison algorithms from the paper's evaluation (§4)."""
+
+from .dpdk_acl import BuildExplosionError, DpdkStyleAcl
+from .efficuts import EffiCutsClassifier
+from .sorted_list import SortedListMatcher
+from .tcam import TcamCost, TcamModel
+from .vectorized import VectorizedMatcher
+
+__all__ = [
+    "BuildExplosionError",
+    "DpdkStyleAcl",
+    "EffiCutsClassifier",
+    "SortedListMatcher",
+    "TcamCost",
+    "TcamModel",
+    "VectorizedMatcher",
+]

@@ -1,0 +1,272 @@
+"""EffiCuts-style baseline: separable multidimensional cutting trees.
+
+EffiCuts (Vamanan et al., SIGCOMM 2010) is the decision-tree packet
+classifier the paper benchmarks against.  It descends from HiCuts:
+rules are boxes in the multidimensional field space, internal nodes cut
+the space into equal intervals along one dimension, and leaves hold at
+most ``binth`` rules scanned linearly.  EffiCuts' own contribution is
+*tree separation*: rules are first partitioned by which dimensions they
+are "large" in (covering more than half the dimension), and one tree is
+built per partition so that large rules stop being replicated into
+every cut.  Lookup probes every tree and keeps the best priority.
+
+Like the original, this classifier assumes exact/prefix/range fields.
+A field whose ternary mask is not prefix-shaped (e.g. TCP flags — the
+paper excludes them from the EffiCuts comparison, §4.3) is widened to
+the full dimension for cutting; correctness is preserved because leaf
+scans always verify the full ternary key.
+
+The two behaviours the paper measures survive the port: deep trees plus
+leaf scans make lookups slow on general rule sets, and the recursive
+cutting with rule replication makes builds the slowest of the compared
+algorithms (Tables 4 and 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Sequence
+
+from ..core.table import TernaryEntry, TernaryMatcher
+
+__all__ = ["EffiCutsClassifier"]
+
+#: (offset, width) dimensions for the 128-bit IPv4 L3-L4 layout:
+#: src ip, dst ip, protocol, src port, dst port.  TCP flags excluded (§4.3).
+_DIMS_V4 = ((96, 32), (64, 32), (56, 8), (40, 16), (24, 16))
+
+
+def _field_range(entry: TernaryEntry, offset: int, width: int) -> tuple[int, int]:
+    """The [lo, hi] interval a ternary field covers, widened if needed."""
+    sub = entry.key.chunk(offset, width)
+    low_run = (sub.mask + 1) & ~sub.mask  # == 1 << run_length if contiguous
+    if sub.mask == low_run - 1 or sub.mask == 0:
+        return sub.data, sub.data | sub.mask
+    return 0, (1 << width) - 1  # non-prefix ternary: widen, verify at leaves
+
+
+class _CutNode:
+    __slots__ = ("dim", "lo", "width", "children")
+
+    def __init__(self, dim: int, lo: int, width: int, count: int) -> None:
+        self.dim = dim
+        self.lo = lo
+        self.width = width  # interval width of each cut
+        self.children: list[Any] = [None] * count
+
+
+class _Leaf:
+    __slots__ = ("rules",)
+
+    def __init__(self, rules: list[tuple[TernaryEntry, tuple[tuple[int, int], ...]]]) -> None:
+        self.rules = rules  # priority-descending
+
+
+class EffiCutsClassifier(TernaryMatcher):
+    """Separable cutting trees with linear leaf scans."""
+
+    name = "efficuts"
+
+    def __init__(
+        self,
+        key_length: int,
+        dimensions: Optional[Sequence[tuple[int, int]]] = None,
+        binth: int = 8,
+        max_cuts: int = 64,
+        max_depth: int = 32,
+        largeness: float = 0.5,
+    ) -> None:
+        super().__init__(key_length)
+        if dimensions is None:
+            dimensions = _DIMS_V4 if key_length == 128 else ((0, key_length),)
+        for offset, width in dimensions:
+            if offset < 0 or width <= 0 or offset + width > key_length:
+                raise ValueError(f"dimension ({offset}, {width}) outside {key_length}-bit key")
+        self.dimensions = tuple(dimensions)
+        self.binth = binth
+        self.max_cuts = max_cuts
+        self.max_depth = max_depth
+        self.largeness = largeness
+        self._entries: list[TernaryEntry] = []
+        self._trees: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: TernaryEntry) -> None:
+        raise NotImplementedError(
+            "efficuts does not support incremental updates (paper §4.4); "
+            "use EffiCutsClassifier.build()"
+        )
+
+    @classmethod
+    def build(
+        cls, entries: Iterable[TernaryEntry], key_length: int, **kwargs: Any
+    ) -> "EffiCutsClassifier":
+        matcher = cls(key_length, **kwargs)
+        matcher._entries = sorted(entries, key=lambda e: e.priority, reverse=True)
+        matcher._compile()
+        return matcher
+
+    def _compile(self) -> None:
+        dims = self.dimensions
+        ranged = [
+            (entry, tuple(_field_range(entry, off, width) for off, width in dims))
+            for entry in self._entries
+        ]
+        # Tree separation by per-dimension largeness vector.
+        groups: dict[tuple[bool, ...], list[tuple[TernaryEntry, tuple[tuple[int, int], ...]]]] = {}
+        for entry, ranges in ranged:
+            signature = tuple(
+                (hi - lo + 1) > self.largeness * (1 << width)
+                for (lo, hi), (_off, width) in zip(ranges, dims)
+            )
+            groups.setdefault(signature, []).append((entry, ranges))
+        space = tuple((0, (1 << width) - 1) for _off, width in dims)
+        self._trees = [self._build_tree(rules, space, 0) for rules in groups.values()]
+
+    def _build_tree(
+        self,
+        rules: list[tuple[TernaryEntry, tuple[tuple[int, int], ...]]],
+        box: tuple[tuple[int, int], ...],
+        depth: int,
+    ) -> Any:
+        if len(rules) <= self.binth or depth >= self.max_depth:
+            return _Leaf(rules)
+        dim, cuts = self._choose_cut(rules, box)
+        if cuts <= 1:
+            return _Leaf(rules)
+        lo, hi = box[dim]
+        width = (hi - lo + 1 + cuts - 1) // cuts
+        node = _CutNode(dim, lo, width, cuts)
+        progress = False
+        children_rules = []
+        for c in range(cuts):
+            clo = lo + c * width
+            chi = min(clo + width - 1, hi)
+            child_rules = [
+                (entry, ranges)
+                for entry, ranges in rules
+                if ranges[dim][0] <= chi and ranges[dim][1] >= clo
+            ]
+            children_rules.append((child_rules, clo, chi))
+            if len(child_rules) < len(rules):
+                progress = True
+        if not progress:
+            return _Leaf(rules)  # cutting cannot separate these rules
+        for c, (child_rules, clo, chi) in enumerate(children_rules):
+            child_box = box[:dim] + ((clo, chi),) + box[dim + 1 :]
+            node.children[c] = self._build_tree(child_rules, child_box, depth + 1)
+        return node
+
+    def _choose_cut(
+        self,
+        rules: list[tuple[TernaryEntry, tuple[tuple[int, int], ...]]],
+        box: tuple[tuple[int, int], ...],
+    ) -> tuple[int, int]:
+        """Pick the dimension with the most distinct rule endpoints in the
+        box and a HiCuts-style cut count ~ sqrt of the rule count."""
+        best_dim = 0
+        best_score = -1
+        for dim, (lo, hi) in enumerate(box):
+            if hi <= lo:
+                continue
+            endpoints = set()
+            for _entry, ranges in rules:
+                rlo, rhi = ranges[dim]
+                endpoints.add(max(rlo, lo))
+                endpoints.add(min(rhi, hi))
+            if len(endpoints) > best_score:
+                best_score = len(endpoints)
+                best_dim = dim
+        lo, hi = box[best_dim]
+        span = hi - lo + 1
+        cuts = min(self.max_cuts, max(2, int(math.isqrt(len(rules))) * 2), span)
+        return best_dim, cuts
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _point(self, query: int) -> tuple[int, ...]:
+        return tuple(
+            (query >> off) & ((1 << width) - 1) for off, width in self.dimensions
+        )
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        point = self._point(query)
+        best: Optional[TernaryEntry] = None
+        for tree in self._trees:
+            node = tree
+            while type(node) is _CutNode:
+                index = (point[node.dim] - node.lo) // node.width
+                node = node.children[index]
+            for entry, _ranges in node.rules:
+                if best is not None and entry.priority <= best.priority:
+                    break  # leaf is priority-sorted; nothing better remains
+                if entry.key.matches(query):
+                    best = entry
+                    break
+        return best
+
+    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+        """Instrumented lookup: updates ``self.stats`` work counters."""
+        self.stats.lookups += 1
+        point = self._point(query)
+        best: Optional[TernaryEntry] = None
+        for tree in self._trees:
+            node = tree
+            while type(node) is _CutNode:
+                self.stats.node_visits += 1
+                index = (point[node.dim] - node.lo) // node.width
+                node = node.children[index]
+            self.stats.node_visits += 1
+            for entry, _ranges in node.rules:
+                self.stats.key_comparisons += 1
+                if best is not None and entry.priority <= best.priority:
+                    break
+                if entry.key.matches(query):
+                    best = entry
+                    break
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def tree_count(self) -> int:
+        return len(self._trees)
+
+    def node_count(self) -> tuple[int, int]:
+        """(internal nodes, leaves) across all separated trees."""
+        internal = leaves = 0
+        stack = list(self._trees)
+        while stack:
+            node = stack.pop()
+            if type(node) is _CutNode:
+                internal += 1
+                stack.extend(node.children)
+            else:
+                leaves += 1
+        return internal, leaves
+
+    def memory_bytes(self) -> int:
+        """C-layout model: per internal node a child-pointer array; per
+        leaf its replicated rule references; one record per rule."""
+        internal_bytes = 0
+        leaf_refs = 0
+        stack = list(self._trees)
+        while stack:
+            node = stack.pop()
+            if type(node) is _CutNode:
+                internal_bytes += 16 + 8 * len(node.children)
+                stack.extend(node.children)
+            else:
+                leaf_refs += len(node.rules)
+        key_bytes = 2 * (self.key_length // 8)
+        return internal_bytes + leaf_refs * 8 + len(self._entries) * (key_bytes + 8 + 4)

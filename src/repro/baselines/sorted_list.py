@@ -1,0 +1,84 @@
+"""Sorted-list baseline (paper §2, §4).
+
+The naive ACL matcher used by iptables/pf-style filters: entries are
+kept sorted by priority (highest first) and a lookup scans linearly,
+returning the first match.  O(n) lookup, O(log n) insertion position
+search; the paper's scalability foil — and, per §4.3/§5, actually the
+fastest structure on tiny ACLs, which the adaptive matcher exploits.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from ..core.table import TernaryEntry, TernaryMatcher
+from ..core.ternary import TernaryKey
+
+__all__ = ["SortedListMatcher"]
+
+
+class SortedListMatcher(TernaryMatcher):
+    """Priority-sorted linear scan."""
+
+    name = "sorted-list"
+
+    def __init__(self, key_length: int) -> None:
+        super().__init__(key_length)
+        self._entries: list[TernaryEntry] = []
+        # Parallel list of negated priorities, kept for O(log n) bisection.
+        self._neg_priorities: list[int] = []
+
+    def insert(self, entry: TernaryEntry) -> None:
+        if entry.key.length != self.key_length:
+            raise ValueError(
+                f"entry key length {entry.key.length} != table key length {self.key_length}"
+            )
+        position = bisect.bisect_left(self._neg_priorities, -entry.priority)
+        self._entries.insert(position, entry)
+        self._neg_priorities.insert(position, -entry.priority)
+
+    def delete(self, key: TernaryKey) -> bool:
+        kept = [e for e in self._entries if e.key != key]
+        if len(kept) == len(self._entries):
+            return False
+        self._entries = kept
+        self._neg_priorities = [-e.priority for e in kept]
+        return True
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        # Highest priority first, so the first match is the answer.
+        full = (1 << self.key_length) - 1
+        masked_cache = query & full
+        for entry in self._entries:
+            key = entry.key
+            if masked_cache & ~key.mask & full == key.data:
+                return entry
+        return None
+
+    def lookup_all(self, query: int) -> list[TernaryEntry]:
+        """All matching entries; already in priority order."""
+        return [entry for entry in self._entries if entry.key.matches(query)]
+
+    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+        """Instrumented lookup: updates ``self.stats`` work counters."""
+        self.stats.lookups += 1
+        for position, entry in enumerate(self._entries):
+            if entry.key.matches(query):
+                self.stats.key_comparisons += position + 1
+                self.stats.node_visits += position + 1
+                return entry
+        self.stats.key_comparisons += len(self._entries)
+        self.stats.node_visits += len(self._entries)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TernaryEntry]:
+        return iter(self._entries)
+
+    def memory_bytes(self) -> int:
+        """C-layout model: a flat array of (key, value, priority) records."""
+        key_bytes = 2 * (self.key_length // 8)
+        return len(self._entries) * (key_bytes + 8 + 4)

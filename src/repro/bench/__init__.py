@@ -1,0 +1,31 @@
+"""Benchmark harness: measurement, cost model, scaling presets, reports."""
+
+from .chart import render_series
+from .costmodel import CacheModel, DEFAULT_MODEL, modeled_mlps
+from .experiments import ALL_EXPERIMENTS, run_experiment
+from .harness import BuildMeasurement, LookupMeasurement, measure_build, measure_lookup_rate
+from .memory import deep_sizeof, memory_comparison
+from .report import Table, format_rate, format_seconds, save_report
+from .scale import SCALES, Scale, current_scale
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "BuildMeasurement",
+    "CacheModel",
+    "DEFAULT_MODEL",
+    "LookupMeasurement",
+    "SCALES",
+    "Scale",
+    "Table",
+    "current_scale",
+    "deep_sizeof",
+    "format_rate",
+    "format_seconds",
+    "measure_build",
+    "measure_lookup_rate",
+    "memory_comparison",
+    "modeled_mlps",
+    "render_series",
+    "run_experiment",
+    "save_report",
+]

@@ -1,0 +1,67 @@
+"""ASCII chart rendering for figure-style experiment output.
+
+The paper's figures are log-scale line plots; the experiment drivers
+emit tables, and this module renders the same series as horizontal
+log-scale bars so a terminal diff of ``results/`` still *reads* like
+the figure: who is on top, by how much, and where lines cross.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["render_series"]
+
+
+def render_series(
+    title: str,
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[Optional[float]]],
+    unit: str = "",
+    width: int = 48,
+    log: bool = True,
+) -> str:
+    """Render named series as grouped horizontal bars.
+
+    ``series`` maps a series name to one value per x label (None for
+    missing points, rendered as ``N/A``).  With ``log=True`` bar length
+    is proportional to log10(value), anchored at the smallest positive
+    value across all series — mimicking the paper's log-scale y axes.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(x_labels)} x labels"
+            )
+    positives = [v for values in series.values() for v in values if v]
+    if not positives:
+        return f"{title}\n(no data)"
+    low = min(positives)
+    high = max(positives)
+
+    def bar(value: Optional[float]) -> str:
+        if value is None:
+            return "N/A"
+        if value <= 0:
+            return "|"
+        if log:
+            span = math.log10(high) - math.log10(low) or 1.0
+            fraction = (math.log10(value) - math.log10(low)) / span
+        else:
+            fraction = value / high
+        return "#" * max(1, round(fraction * width))
+
+    name_width = max(len(name) for name in series)
+    lines = [title, "=" * len(title)]
+    for i, label in enumerate(x_labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[i]
+            shown = "N/A" if value is None else f"{value:,.3g}{unit}"
+            lines.append(
+                f"  {name.ljust(name_width)} {bar(value):{width}} {shown}"
+            )
+    scale = "log" if log else "linear"
+    lines.append(f"[{scale} scale, {low:,.3g}..{high:,.3g}{unit}]")
+    return "\n".join(lines)

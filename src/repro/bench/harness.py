@@ -1,0 +1,103 @@
+"""Measurement harness.
+
+Mirrors the paper's methodology (§4): repeatedly call the lookup
+function with a traffic pattern, count lookups per interval, report the
+mean rate and standard deviation over the samples.  The paper runs 30
+samples of 10 seconds; the sample count and interval come from the
+active :class:`~repro.bench.scale.Scale`.
+
+Because pure-Python wall-clock rates are interpreter-dominated, every
+measurement also records deterministic per-lookup work counts (node
+visits, key comparisons) via the matchers' ``lookup_counted``, so the
+algorithmic comparison is visible independently of CPython overhead.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.table import TernaryMatcher
+
+__all__ = ["LookupMeasurement", "measure_lookup_rate", "measure_build", "BuildMeasurement"]
+
+
+@dataclass
+class LookupMeasurement:
+    """One lookup-rate measurement (paper's Mlps plots, scaled)."""
+
+    matcher: str
+    lookups_per_second: float
+    stddev: float
+    samples: list[float] = field(default_factory=list)
+    node_visits_per_lookup: float = 0.0
+    key_comparisons_per_lookup: float = 0.0
+
+    @property
+    def mega_lookups_per_second(self) -> float:
+        return self.lookups_per_second / 1e6
+
+
+def measure_lookup_rate(
+    matcher: TernaryMatcher,
+    queries: Sequence[int],
+    min_duration: float = 0.1,
+    samples: int = 3,
+) -> LookupMeasurement:
+    """Measure sustained lookup rate over the query stream.
+
+    Each sample loops the whole query list until ``min_duration`` has
+    elapsed and records lookups/second; the result aggregates the
+    samples like the paper's 30 x 10 s intervals.
+    """
+    if not queries:
+        raise ValueError("cannot measure with an empty query stream")
+    lookup = matcher.lookup
+    rates = []
+    for _ in range(max(1, samples)):
+        done = 0
+        start = time.perf_counter()
+        deadline = start + min_duration
+        while True:
+            for query in queries:
+                lookup(query)
+            done += len(queries)
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+        rates.append(done / (now - start))
+    counted = getattr(matcher, "lookup_counted", None)
+    visits = comparisons = 0.0
+    if counted is not None:
+        matcher.stats.reset()
+        for query in queries:
+            counted(query)
+        per = matcher.stats.per_lookup()
+        visits = per["node_visits"]
+        comparisons = per["key_comparisons"]
+    return LookupMeasurement(
+        matcher=matcher.name,
+        lookups_per_second=statistics.fmean(rates),
+        stddev=statistics.pstdev(rates) if len(rates) > 1 else 0.0,
+        samples=rates,
+        node_visits_per_lookup=visits,
+        key_comparisons_per_lookup=comparisons,
+    )
+
+
+@dataclass
+class BuildMeasurement:
+    """One build-time measurement (paper Fig. 11 / Table 5)."""
+
+    label: str
+    seconds: float
+    result: object = None
+
+
+def measure_build(label: str, builder: Callable[[], object]) -> BuildMeasurement:
+    """Time one data-structure construction."""
+    start = time.perf_counter()
+    result = builder()
+    return BuildMeasurement(label=label, seconds=time.perf_counter() - start, result=result)

@@ -1,0 +1,66 @@
+"""Memory accounting: modeled C bytes vs actual Python bytes.
+
+Figure 9 plots the memory a C implementation allocates; every matcher
+models that via ``memory_bytes()``.  This module adds the complementary
+measurement — the *actual* CPython footprint of a structure, from a
+deep ``sys.getsizeof`` walk over its object graph — so the model can be
+sanity-checked and Python deployments can be sized.
+
+The walk visits every reachable object once (id-deduplicated), follows
+``__dict__``, ``__slots__`` and container items, and stops at shared
+singletons (interned ints are still counted once, which slightly
+overstates sharing with the rest of the process — fine for relative
+comparisons).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable
+
+__all__ = ["deep_sizeof", "memory_comparison"]
+
+
+def _references(obj: Any) -> Iterable[Any]:
+    if isinstance(obj, dict):
+        yield from obj.keys()
+        yield from obj.values()
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        yield from obj
+        return
+    if isinstance(obj, (str, bytes, bytearray, int, float, complex, bool, type(None))):
+        return
+    obj_dict = getattr(obj, "__dict__", None)
+    if obj_dict is not None:
+        yield obj_dict
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            try:
+                yield getattr(obj, slot)
+            except AttributeError:
+                continue
+
+
+def deep_sizeof(root: Any) -> int:
+    """Total bytes of the object graph reachable from ``root``."""
+    seen: set[int] = set()
+    total = 0
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        identity = id(obj)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        total += sys.getsizeof(obj)
+        stack.extend(_references(obj))
+    return total
+
+
+def memory_comparison(matcher: Any) -> dict[str, int]:
+    """Modeled C bytes and actual Python bytes of one matcher."""
+    return {
+        "modeled_c_bytes": matcher.memory_bytes(),
+        "python_bytes": deep_sizeof(matcher),
+    }

@@ -1,0 +1,76 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Every benchmark regenerates a paper table or figure; figures are
+rendered as aligned text series (one row per x value) so the output is
+diffable and readable in a terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["Table", "format_rate", "format_seconds", "results_dir", "save_report"]
+
+
+def format_rate(lookups_per_second: float) -> str:
+    """Render a lookup rate: Mlps above 1e6, klps below."""
+    if lookups_per_second >= 1e6:
+        return f"{lookups_per_second / 1e6:.2f} Mlps"
+    return f"{lookups_per_second / 1e3:.1f} klps"
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 0.1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-4:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+class Table:
+    """A fixed-column text table in the style of the paper's tables."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows)) if self.rows else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def results_dir() -> str:
+    """Directory benchmark reports are saved into (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS", os.path.join(os.getcwd(), "results"))
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_report(name: str, text: str) -> str:
+    """Write a rendered report under the results directory; returns path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return path

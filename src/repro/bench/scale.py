@@ -1,0 +1,93 @@
+"""Benchmark scaling presets.
+
+The paper's evaluation runs 300-second measurements on ACLs of up to
+one million entries in C.  Pure Python cannot do that in reasonable
+time, so every benchmark reads its workload sizes from a preset chosen
+by the ``REPRO_SCALE`` environment variable:
+
+``small`` (default)
+    Finishes the whole suite in minutes; campus sweep q <= 6,
+    ClassBench sets <= 2 K rules.
+``medium``
+    Campus sweep q <= 10, ClassBench <= 10 K rules; tens of minutes.
+``paper``
+    The paper's actual parameters (q <= 16, up to 500 K rules).  Only
+    realistic with a compiled Python or a lot of patience; provided for
+    completeness.
+
+The relative shapes the benchmarks verify (who wins, by what factor,
+where crossovers fall) are already visible at ``small``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "current_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for one preset."""
+
+    name: str
+    #: campus dataset exponents q (D_q has 17 * 2**q rules)
+    campus_qs: tuple[int, ...]
+    #: q values at which the expensive builders (DPDK-style, EffiCuts) run
+    campus_qs_slow: tuple[int, ...]
+    #: ClassBench rule counts
+    classbench_sizes: tuple[int, ...]
+    #: ClassBench rule counts for the expensive builders
+    classbench_sizes_slow: tuple[int, ...]
+    #: queries per traffic pattern
+    query_count: int
+    #: minimum wall-clock seconds per lookup-rate measurement
+    min_duration: float
+    #: repeated samples per measurement (paper: 30 x 10 s)
+    samples: int
+
+
+SCALES: dict[str, Scale] = {
+    "small": Scale(
+        name="small",
+        campus_qs=(0, 2, 4, 6),
+        campus_qs_slow=(0, 2, 4),
+        classbench_sizes=(200, 1000, 2000),
+        classbench_sizes_slow=(200, 1000),
+        query_count=300,
+        min_duration=0.05,
+        samples=3,
+    ),
+    "medium": Scale(
+        name="medium",
+        campus_qs=(0, 2, 4, 6, 8, 10),
+        campus_qs_slow=(0, 2, 4, 6),
+        classbench_sizes=(1000, 5000, 10_000),
+        classbench_sizes_slow=(1000, 5000),
+        query_count=1000,
+        min_duration=0.2,
+        samples=5,
+    ),
+    "paper": Scale(
+        name="paper",
+        campus_qs=tuple(range(17)),
+        campus_qs_slow=tuple(range(11)),
+        classbench_sizes=(1000, 10_000, 50_000, 100_000, 200_000, 500_000),
+        classbench_sizes_slow=(1000, 10_000, 50_000),
+        query_count=10_000,
+        min_duration=10.0,
+        samples=30,
+    ),
+}
+
+
+def current_scale() -> Scale:
+    """The preset selected by ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} is not a preset; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,373 @@
+"""Command-line interface: ``palmtrie-repro`` / ``python -m repro``.
+
+Subcommands:
+
+``experiment <id>``
+    Regenerate a paper table or figure (fig7, fig8, fig9, fig10, fig11,
+    table3, table4, table5, ipv6) at the current REPRO_SCALE.
+
+``all``
+    Run every experiment and save reports under ``results/``.
+
+``match``
+    Compile an ACL file and look up a packet five-tuple against it.
+
+``generate``
+    Write a synthetic dataset (campus D_q or a ClassBench-like set) to
+    an ACL file, optionally with a matching binary traffic trace.
+
+``compile``
+    Compile an ACL file into a binary Palmtrie+ table (.plm).
+
+``analyze``
+    Lint an ACL file: shadowed rules, conflicts, redundancy.
+
+``replay``
+    Replay a binary trace or pcap file through an ACL and report
+    verdicts and the sustained lookup rate.
+
+``diff``
+    Compare two ACL files: added/removed/moved rules plus a sampled
+    semantic-equivalence verdict.
+
+``datasets``
+    Show the sizes of the campus/ClassBench datasets at each scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .acl.compiler import compile_acl
+from .acl.ip import parse_ipv4
+from .acl.parser import parse_acl
+from .acl.rule import Action
+from .bench.experiments import ALL_EXPERIMENTS, run_experiment
+from .bench.report import save_report
+from .bench.scale import SCALES, current_scale
+from .core.plus import PalmtriePlus
+from .packet.headers import PacketHeader
+
+__all__ = ["main"]
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    table = run_experiment(args.id)
+    text = table.render()
+    print(text)
+    if args.save:
+        path = save_report(args.id, text)
+        print(f"saved: {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for name in ALL_EXPERIMENTS:
+        print(f"== {name} ==", file=sys.stderr)
+        table = run_experiment(name)
+        text = table.render()
+        print(text)
+        print()
+        path = save_report(name, text)
+        print(f"saved: {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    with open(args.acl) as handle:
+        rules = parse_acl(handle.read())
+    compiled = compile_acl(rules)
+    matcher = PalmtriePlus.build(compiled.entries, compiled.layout.length, stride=8)
+    header = PacketHeader(
+        src_ip=parse_ipv4(args.src),
+        dst_ip=parse_ipv4(args.dst),
+        proto=args.proto,
+        src_port=args.sport,
+        dst_port=args.dport,
+        tcp_flags=args.flags,
+    )
+    entry = matcher.lookup(header.to_query(compiled.layout))
+    if entry is None:
+        print("no match -> implicit deny")
+        return 1
+    rule = compiled.rules[entry.value]
+    print(f"matched rule {entry.value + 1}: {rule.to_line()}")
+    return 0 if rule.action is Action.PERMIT else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .workloads.campus import campus_rules
+    from .workloads.classbench import PROFILES, classbench_rules
+    from .workloads.io import save_acl, save_trace
+    from .workloads.traffic import reverse_byte_scan, uniform_traffic
+
+    if args.kind == "campus":
+        rules = campus_rules(args.q)
+        comment = f"campus network dataset D_{args.q} ({len(rules)} rules)"
+    else:
+        if args.seed_file:
+            from .workloads.classbench import load_profile
+
+            profile = load_profile(args.seed_file)
+        else:
+            profile = PROFILES[args.profile]
+        rules = classbench_rules(profile, args.size, seed=args.seed)
+        comment = f"classbench-like {profile.name} set ({len(rules)} rules, seed {args.seed})"
+    save_acl(rules, args.output, comment=comment)
+    print(f"wrote {len(rules)} rules to {args.output}")
+    if args.trace:
+        compiled = compile_acl(rules)
+        if args.traffic == "scan":
+            queries = reverse_byte_scan(args.trace_count, seed=args.seed)
+        else:
+            queries = uniform_traffic(compiled.entries, args.trace_count, seed=args.seed)
+        written = save_trace(queries, compiled.layout.length, args.trace)
+        print(f"wrote {len(queries)} queries ({written} bytes) to {args.trace}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .core.serialize import save_plus
+    from .workloads.io import load_acl
+
+    rules = load_acl(args.acl)
+    compiled = compile_acl(rules)
+    entries = list(compiled.entries)
+    note = ""
+    if args.compress:
+        from .acl.compress import compress_entries, compression_ratio
+
+        squeezed = compress_entries(entries)
+        note = f", compressed {len(entries)} -> {len(squeezed)} entries " \
+               f"(-{100 * compression_ratio(entries, squeezed):.0f} %)"
+        entries = squeezed
+    matcher = PalmtriePlus.build(entries, compiled.layout.length, stride=args.stride)
+    written = save_plus(matcher, args.output)
+    print(
+        f"compiled {len(rules)} rules ({len(entries)} entries) into "
+        f"{args.output}: {written} bytes, stride {args.stride}{note}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .acl.analyzer import find_conflicts, find_shadowed
+    from .workloads.io import load_acl
+
+    rules = load_acl(args.acl)
+    shadowed = find_shadowed(rules)
+    conflicts = find_conflicts(rules)
+    correlations = [f for f in conflicts if f.kind == "correlation"]
+    generalizations = [f for f in conflicts if f.kind == "generalization"]
+    for finding in shadowed:
+        kind = "redundant" if finding.redundant else "SHADOWED (action differs!)"
+        print(
+            f"rule {finding.shadowed + 1} is {kind}, covered by rule {finding.by + 1}:"
+        )
+        print(f"    {rules[finding.shadowed].to_line()}")
+        print(f"    covered by: {rules[finding.by].to_line()}")
+    for finding in correlations:
+        print(
+            f"rules {finding.winner + 1} and {finding.loser + 1} partially overlap "
+            f"with different actions (order-sensitive):"
+        )
+        print(f"    {rules[finding.winner].to_line()}")
+        print(f"    {rules[finding.loser].to_line()}")
+    if generalizations and args.verbose:
+        for finding in generalizations:
+            print(
+                f"rule {finding.loser + 1} generalizes rule {finding.winner + 1} "
+                f"(specific-exception idiom)"
+            )
+    print(
+        f"{len(rules)} rules: {len(shadowed)} shadowed, "
+        f"{len(correlations)} correlations, "
+        f"{len(generalizations)} generalizations (benign idiom"
+        f"{'' if args.verbose else '; --verbose to list'})"
+    )
+    return 1 if shadowed or correlations else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import time
+
+    from .acl.rule import Action
+    from .core.table import build_matcher
+    from .workloads.io import load_acl, load_trace
+
+    rules = load_acl(args.acl)
+    compiled = compile_acl(rules)
+    matcher = build_matcher(
+        args.matcher, compiled.entries, compiled.layout.length,
+        **({"stride": args.stride} if args.matcher in ("palmtrie", "palmtrie-plus") else {}),
+    )
+    if args.input.endswith(".pcap"):
+        from .packet.codec import PacketDecodeError, decode_packet
+        from .packet.pcap import read_pcap
+
+        queries = []
+        errors = 0
+        for packet in read_pcap(args.input):
+            try:
+                queries.append(decode_packet(packet.data).to_query(compiled.layout))
+            except PacketDecodeError:
+                errors += 1
+        if errors:
+            print(f"skipped {errors} undecodable packets", file=sys.stderr)
+    else:
+        queries, key_length = load_trace(args.input)
+        if key_length != compiled.layout.length:
+            print(
+                f"error: trace keys are {key_length} bits, ACL keys are "
+                f"{compiled.layout.length}",
+                file=sys.stderr,
+            )
+            return 2
+    if not queries:
+        print("no packets to replay", file=sys.stderr)
+        return 2
+    verdicts = {"permit": 0, "deny": 0, "implicit-deny": 0}
+    start = time.perf_counter()
+    for query in queries:
+        entry = matcher.lookup(query)
+        if entry is None:
+            verdicts["implicit-deny"] += 1
+        else:
+            verdicts[compiled.rules[entry.value].action.value] += 1
+    elapsed = time.perf_counter() - start
+    total = len(queries)
+    print(f"replayed {total} packets through {matcher.name} in {elapsed:.2f} s "
+          f"({total / elapsed:,.0f} lookups/s)")
+    for verdict, count in verdicts.items():
+        print(f"  {verdict:14} {count:8}  ({100 * count / total:.1f} %)")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .acl.diff import diff_acls
+    from .workloads.io import load_acl
+
+    old = load_acl(args.old)
+    new = load_acl(args.new)
+    diff = diff_acls(old, new, samples=args.samples)
+    for position, rule in diff.removed:
+        print(f"- [{position + 1}] {rule.to_line()}")
+    for position, rule in diff.added:
+        print(f"+ [{position + 1}] {rule.to_line()}")
+    for old_position, new_position, rule in diff.moved:
+        print(f"~ [{old_position + 1} -> {new_position + 1}] {rule.to_line()}")
+    print(f"{args.old} -> {args.new}: {diff.summary()}")
+    if diff.counterexample is not None:
+        from .packet.headers import PacketHeader
+
+        header = PacketHeader.from_query(diff.counterexample)
+        print(f"counterexample packet: {header}")
+    return 0 if diff.semantically_equivalent else 1
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .workloads.campus import ENTRIES_PER_PREFIX, RULES_PER_PREFIX
+
+    scale = current_scale()
+    print(f"active scale: {scale.name} (REPRO_SCALE; presets: {', '.join(SCALES)})")
+    print("campus datasets:")
+    for q in scale.campus_qs:
+        print(f"  D_{q}: {RULES_PER_PREFIX << q} rules, {ENTRIES_PER_PREFIX << q} ternary entries")
+    print(f"classbench sizes: {', '.join(str(s) for s in scale.classbench_sizes)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="palmtrie-repro",
+        description="Palmtrie (CoNEXT 2020) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p_exp.add_argument("id", choices=sorted(ALL_EXPERIMENTS))
+    p_exp.add_argument("--save", action="store_true", help="also write results/<id>.txt")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_all = sub.add_parser("all", help="run every experiment, saving reports")
+    p_all.set_defaults(func=_cmd_all)
+
+    p_match = sub.add_parser("match", help="match one packet against an ACL file")
+    p_match.add_argument("acl", help="path to an ACL in the Table 2 dialect")
+    p_match.add_argument("--src", required=True, help="source IPv4 address")
+    p_match.add_argument("--dst", required=True, help="destination IPv4 address")
+    p_match.add_argument("--proto", type=int, default=6)
+    p_match.add_argument("--sport", type=int, default=0)
+    p_match.add_argument("--dport", type=int, default=0)
+    p_match.add_argument("--flags", type=lambda t: int(t, 0), default=0, help="TCP flags byte")
+    p_match.set_defaults(func=_cmd_match)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    gen_sub = p_gen.add_subparsers(dest="kind", required=True)
+    p_campus = gen_sub.add_parser("campus", help="campus D_q dataset")
+    p_campus.add_argument("--q", type=int, default=4, help="split exponent (17*2^q rules)")
+    p_cb = gen_sub.add_parser("classbench", help="ClassBench-like dataset")
+    p_cb.add_argument("--profile", choices=("acl", "fw", "ipc"), default="acl")
+    p_cb.add_argument("--seed-file", help="load a custom seed profile instead of --profile")
+    p_cb.add_argument("--size", type=int, default=1000)
+    for sub_parser in (p_campus, p_cb):
+        sub_parser.add_argument("-o", "--output", required=True, help="ACL file to write")
+        sub_parser.add_argument("--seed", type=int, default=2020)
+        sub_parser.add_argument("--trace", help="also write a binary trace here")
+        sub_parser.add_argument("--trace-count", type=int, default=10_000)
+        sub_parser.add_argument(
+            "--traffic", choices=("uniform", "scan"), default="uniform",
+            help="trace pattern (scan = reverse-byte order scanning)",
+        )
+        sub_parser.set_defaults(func=_cmd_generate)
+
+    p_compile = sub.add_parser("compile", help="compile an ACL into a binary Palmtrie+ table")
+    p_compile.add_argument("acl", help="ACL file in the Table 2 dialect")
+    p_compile.add_argument("-o", "--output", required=True, help=".plm file to write")
+    p_compile.add_argument("--stride", type=int, default=8)
+    p_compile.add_argument(
+        "--compress", action="store_true",
+        help="adjacency-merge equivalent entries before compiling",
+    )
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_analyze = sub.add_parser("analyze", help="lint an ACL: shadowing, conflicts")
+    p_analyze.add_argument("acl", help="ACL file in the Table 2 dialect")
+    p_analyze.add_argument("-v", "--verbose", action="store_true", help="also list generalizations")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_replay = sub.add_parser("replay", help="replay a .trace or .pcap through an ACL")
+    p_replay.add_argument("acl", help="ACL file in the Table 2 dialect")
+    p_replay.add_argument("input", help="a .trace (palmtrie-repro generate) or .pcap file")
+    p_replay.add_argument(
+        "--matcher",
+        default="palmtrie-plus",
+        choices=(
+            "sorted-list", "palmtrie-basic", "palmtrie", "palmtrie-plus",
+            "dpdk-acl", "efficuts", "adaptive", "tcam", "vectorized",
+        ),
+    )
+    p_replay.add_argument("--stride", type=int, default=8)
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_diff = sub.add_parser("diff", help="compare two ACL files")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.add_argument("--samples", type=int, default=1500,
+                        help="queries for the semantic equivalence check")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_data = sub.add_parser("datasets", help="show dataset sizes at the active scale")
+    p_data.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: the Palmtrie family plus its trie substrates."""
+
+from .adaptive import AdaptiveMatcher
+from .basic import BasicPalmtrie
+from .categories import CategorizedEntry, CategorizedTable
+from .introspect import TrieShape, to_dot, trie_shape
+from .multibit import MultibitPalmtrie
+from .patricia import PatriciaTrie
+from .pipeline import PipelinedLookup, PipelineStats
+from .plus import PalmtriePlus
+from .poptrie import Poptrie
+from .radix import RadixTree
+from .serialize import deserialize_plus, load_plus, save_plus, serialize_plus
+from .table import LookupStats, TernaryEntry, TernaryMatcher, build_matcher
+from .ternary import TernaryKey, extract_chunk
+
+__all__ = [
+    "AdaptiveMatcher",
+    "BasicPalmtrie",
+    "CategorizedEntry",
+    "CategorizedTable",
+    "LookupStats",
+    "MultibitPalmtrie",
+    "PalmtriePlus",
+    "PatriciaTrie",
+    "PipelineStats",
+    "PipelinedLookup",
+    "Poptrie",
+    "RadixTree",
+    "TernaryEntry",
+    "TernaryKey",
+    "TernaryMatcher",
+    "TrieShape",
+    "build_matcher",
+    "deserialize_plus",
+    "extract_chunk",
+    "load_plus",
+    "save_plus",
+    "serialize_plus",
+    "to_dot",
+    "trie_shape",
+]

@@ -1,0 +1,115 @@
+"""Multi-category classification (librte_acl's categories feature).
+
+DPDK's ACL library classifies one packet against several independent
+rule *categories* in a single pass — e.g. a firewall verdict, a QoS
+class and a mirror selector — returning the best match per category.
+The paper's comparator has it; this layer adds it over any matcher
+that supports :meth:`~repro.core.table.TernaryMatcher.lookup_all`.
+
+Entries are tagged with a category at insert time; one underlying
+structure holds everything, and per-category priority encoding happens
+on the multi-match result.  With Palmtrie+ underneath this costs one
+trie traversal for all categories together — the same economy the DPDK
+feature exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Sequence
+
+from .plus import PalmtriePlus
+from .table import TernaryEntry, TernaryMatcher
+from .ternary import TernaryKey
+
+__all__ = ["CategorizedEntry", "CategorizedTable"]
+
+
+class CategorizedEntry(TernaryEntry):
+    """A table row tagged with its classification category."""
+
+    # TernaryEntry is a slotted frozen dataclass; extend via subclass slot.
+    __slots__ = ("category",)
+
+    def __init__(
+        self, key: TernaryKey, value: Any, priority: int, category: Hashable
+    ) -> None:
+        super().__init__(key, value, priority)
+        object.__setattr__(self, "category", category)
+
+
+class CategorizedTable:
+    """One structure, many independent classification categories."""
+
+    def __init__(
+        self,
+        key_length: int,
+        matcher: Optional[TernaryMatcher] = None,
+        stride: int = 8,
+    ) -> None:
+        self._matcher = matcher or PalmtriePlus(key_length, stride=stride)
+        if not hasattr(self._matcher, "lookup_all"):
+            raise TypeError(f"{type(self._matcher).__name__} lacks lookup_all")
+        self.key_length = key_length
+        self._categories: set[Hashable] = set()
+
+    @classmethod
+    def build(
+        cls,
+        entries: Iterable[CategorizedEntry],
+        key_length: int,
+        stride: int = 8,
+    ) -> "CategorizedTable":
+        entries = list(entries)
+        table = cls(key_length, stride=stride)
+        for entry in entries:
+            table.insert(entry)
+        if isinstance(table._matcher, PalmtriePlus):
+            table._matcher.compile()
+        return table
+
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: CategorizedEntry) -> None:
+        if not isinstance(entry, CategorizedEntry):
+            raise TypeError("CategorizedTable stores CategorizedEntry rows")
+        self._matcher.insert(entry)
+        self._categories.add(entry.category)
+
+    def add_rule(
+        self,
+        key: TernaryKey,
+        value: Any,
+        priority: int,
+        category: Hashable,
+    ) -> None:
+        self.insert(CategorizedEntry(key, value, priority, category))
+
+    @property
+    def categories(self) -> frozenset:
+        return frozenset(self._categories)
+
+    # ------------------------------------------------------------------
+
+    def classify(self, query: int) -> dict[Hashable, CategorizedEntry]:
+        """Best match per category, in one pass over the structure.
+
+        Categories with no matching rule are absent from the result —
+        the caller decides each category's default.
+        """
+        winners: dict[Hashable, CategorizedEntry] = {}
+        # lookup_all returns matches best-priority-first; the first hit
+        # per category is that category's winner.
+        for entry in self._matcher.lookup_all(query):
+            category = entry.category  # type: ignore[attr-defined]
+            if category not in winners:
+                winners[category] = entry
+        return winners
+
+    def classify_value(
+        self, query: int, category: Hashable, default: Any = None
+    ) -> Any:
+        entry = self.classify(query).get(category)
+        return default if entry is None else entry.value
+
+    def __len__(self) -> int:
+        return len(self._matcher)

@@ -1,0 +1,168 @@
+"""Trie introspection: shape statistics and Graphviz export.
+
+The paper reasons about its structures through their shape — trie
+height drives the complexity bound (§3.3), node counts drive memory
+(Fig. 9), don't care branching drives the multi-bit stride design
+(§3.4).  This module extracts those quantities from live structures
+and renders small tries as Graphviz DOT (the way Figures 2 and 4 are
+drawn), for debugging, teaching and the analysis example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .basic import BasicPalmtrie, _DC
+from .basic import _Internal as _BasicInternal
+from .basic import _Leaf as _BasicLeaf
+from .multibit import EXACT, MultibitPalmtrie
+from .multibit import _Internal as _MultibitInternal
+from .multibit import _Leaf as _MultibitLeaf
+
+__all__ = ["TrieShape", "trie_shape", "to_dot"]
+
+
+@dataclass
+class TrieShape:
+    """Shape statistics of a Palmtrie structure."""
+
+    internal_nodes: int = 0
+    leaves: int = 0
+    entries: int = 0
+    height: int = 0
+    #: leaves per depth (index = depth)
+    leaf_depths: dict[int, int] = field(default_factory=dict)
+    #: total children across internal nodes
+    total_children: int = 0
+    #: children reached via don't care (center/ternary) slots
+    dont_care_children: int = 0
+
+    @property
+    def average_leaf_depth(self) -> float:
+        total = sum(depth * count for depth, count in self.leaf_depths.items())
+        return total / self.leaves if self.leaves else 0.0
+
+    @property
+    def average_branching(self) -> float:
+        return self.total_children / self.internal_nodes if self.internal_nodes else 0.0
+
+    @property
+    def dont_care_fraction(self) -> float:
+        return self.dont_care_children / self.total_children if self.total_children else 0.0
+
+
+def _basic_children(node: _BasicInternal):
+    for slot, child in enumerate(node.children):
+        if child is not None:
+            yield slot == _DC, child
+
+
+def _multibit_children(node: _MultibitInternal):
+    for child in node.descendants:
+        if child is not None:
+            yield False, child
+    for child in node.ternaries:
+        if child is not None:
+            yield True, child
+
+
+def trie_shape(trie: Union[BasicPalmtrie, MultibitPalmtrie]) -> TrieShape:
+    """Collect shape statistics by walking the structure."""
+    if isinstance(trie, BasicPalmtrie):
+        root = trie._root
+        leaf_type: type = _BasicLeaf
+        children_of = _basic_children
+    elif isinstance(trie, MultibitPalmtrie):
+        root = trie._root
+        leaf_type = _MultibitLeaf
+        children_of = _multibit_children
+    else:
+        raise TypeError(f"cannot inspect {type(trie).__name__}")
+    shape = TrieShape()
+    if root is None:
+        return shape
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        shape.height = max(shape.height, depth)
+        if isinstance(node, leaf_type):
+            shape.leaves += 1
+            shape.entries += len(node.entries)
+            shape.leaf_depths[depth] = shape.leaf_depths.get(depth, 0) + 1
+            continue
+        shape.internal_nodes += 1
+        for is_dont_care, child in children_of(node):
+            shape.total_children += 1
+            if is_dont_care:
+                shape.dont_care_children += 1
+            stack.append((child, depth + 1))
+    return shape
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    trie: Union[BasicPalmtrie, MultibitPalmtrie],
+    title: str = "palmtrie",
+    max_nodes: int = 500,
+) -> str:
+    """Render the trie as Graphviz DOT (Figure 2/4 style).
+
+    Exact matching branches are solid black edges, don't care branches
+    solid red — matching the paper's figure conventions.  Raises for
+    structures above ``max_nodes`` (plots that size are unreadable).
+    """
+    if isinstance(trie, BasicPalmtrie):
+        root = trie._root
+        leaf_type: type = _BasicLeaf
+        children_of = _basic_children
+
+        def label(node):
+            if isinstance(node, _BasicLeaf):
+                return f"{node.key.to_string()}\\nprio {node.best.priority}"
+            return f"bit={node.bit}"
+
+    elif isinstance(trie, MultibitPalmtrie):
+        root = trie._root
+        leaf_type = _MultibitLeaf
+        children_of = _multibit_children
+
+        def label(node):
+            if isinstance(node, _MultibitLeaf):
+                return f"{node.key.to_string()}\\nprio {node.entries[0].priority}"
+            return f"bit={node.bit}"
+
+    else:
+        raise TypeError(f"cannot render {type(trie).__name__}")
+
+    lines = [f'digraph "{_dot_escape(title)}" {{', "  node [fontname=monospace];"]
+    if root is not None:
+        ids: dict[int, int] = {}
+        order: list = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in ids:
+                continue
+            ids[id(node)] = len(order)
+            order.append(node)
+            if len(order) > max_nodes:
+                raise ValueError(f"trie exceeds {max_nodes} nodes; not rendering")
+            if not isinstance(node, leaf_type):
+                stack.extend(child for _dc, child in children_of(node))
+        for node in order:
+            shape = "box" if isinstance(node, leaf_type) else "circle"
+            lines.append(
+                f'  n{ids[id(node)]} [shape={shape}, label="{_dot_escape(label(node))}"];'
+            )
+        for node in order:
+            if isinstance(node, leaf_type):
+                continue
+            for is_dont_care, child in children_of(node):
+                style = ' [color=red, label="*"]' if is_dont_care else ""
+                lines.append(f"  n{ids[id(node)]} -> n{ids[id(child)]}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,475 @@
+"""Palmtrie_k: the multi-bit stride Palmtrie (paper §3.4-3.5, Algorithm 2).
+
+A node consumes a k-bit chunk of the key at its bit index.  Chunks that
+are fully binary take the *exact matching branch*: one of ``2**k``
+descendant slots indexed by the chunk value (Figure 5, top array).
+Chunks containing a don't care bit take a *don't care branch*: the
+chunk's binary prefix p (length l) up to its most significant ``*``
+selects one of ``2**k - 1`` ternary slots, indexed by ``2**l + p - 1``
+(Figure 5, bottom array); the key's remaining digits continue in the
+subtree below, whose bit index restarts right below the ``*``.  This is
+the paper's variable don't-care stride: bit indices therefore need not
+stay k-aligned, and the least significant chunk may sit at a negative
+bit index (> -k), reading bits below position 0 as 0.
+
+The three practical optimizations of §3.5 are all here:
+
+1. descendant indexing via the two contiguous slot arrays,
+2. an iterative lookup driven by a self-managed stack (Algorithm 2's
+   ``p``/``b`` stacks) instead of recursion,
+3. low-priority subtree skipping via a per-node ``max_priority``
+   (constructible without it for the Figure 7 ablation).
+
+Entries live in leaves holding their full ternary key (path
+compression: a chain with a single entry is represented by the leaf
+alone), and reaching a leaf triggers the full-key comparison that
+Algorithm 2 performs at line 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from .table import TernaryEntry, TernaryMatcher
+from .ternary import TernaryKey
+
+__all__ = ["MultibitPalmtrie", "key_path", "PathStep"]
+
+#: branch kinds within a path step
+EXACT = 0
+TERNARY = 1
+
+#: a path step: (bit index of the node, branch kind, slot index)
+PathStep = tuple[int, int, int]
+
+
+def key_path(key: TernaryKey, stride: int) -> list[PathStep]:
+    """Decompose a ternary key into its Palmtrie_k branch steps.
+
+    This is the paper's key split method (§3.4): the key is cut at every
+    don't care bit (the ``*`` roots a subtree) and the binary runs in
+    between are cut into k-bit chunks, the last of which may extend below
+    bit 0 (negative bit index, padded with 0).
+    """
+    length = key.length
+    if length < stride:
+        raise ValueError(f"key length {length} shorter than stride {stride}")
+    data = key.data
+    mask = key.mask
+    chunk_mask = (1 << stride) - 1
+    steps: list[PathStep] = []
+    bit = length - stride
+    while True:
+        if bit >= 0:
+            chunk_data = (data >> bit) & chunk_mask
+            chunk_wild = (mask >> bit) & chunk_mask
+        else:
+            chunk_data = (data << -bit) & chunk_mask
+            chunk_wild = (mask << -bit) & chunk_mask
+        if chunk_wild == 0:
+            steps.append((bit, EXACT, chunk_data))
+            if bit <= 0:
+                return steps
+            bit -= stride
+        else:
+            star = chunk_wild.bit_length() - 1  # chunk-relative msb '*'
+            prefix_len = stride - 1 - star
+            prefix = chunk_data >> (star + 1)
+            steps.append((bit, TERNARY, (1 << prefix_len) + prefix - 1))
+            star_abs = bit + star
+            if star_abs <= 0:
+                return steps
+            bit = star_abs - stride
+
+
+class _Leaf:
+    __slots__ = ("key", "entries", "max_priority", "data", "care_mask")
+
+    def __init__(self, entry: TernaryEntry) -> None:
+        self.key = entry.key
+        self.entries: list[TernaryEntry] = [entry]
+        self.max_priority = entry.priority
+        # Precomputed match test: query & care_mask == data.
+        self.data = entry.key.data
+        self.care_mask = ~entry.key.mask & ((1 << entry.key.length) - 1)
+
+    def add(self, entry: TernaryEntry) -> None:
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: e.priority, reverse=True)
+        self.max_priority = self.entries[0].priority
+
+    def remove(self, entry: TernaryEntry) -> bool:
+        try:
+            self.entries.remove(entry)
+        except ValueError:
+            return False
+        if self.entries:
+            self.max_priority = self.entries[0].priority
+        return True
+
+    @property
+    def best(self) -> TernaryEntry:
+        return self.entries[0]
+
+
+class _Internal:
+    __slots__ = ("bit", "descendants", "ternaries", "max_priority", "rep_steps")
+
+    def __init__(self, bit: int, stride: int) -> None:
+        self.bit = bit
+        self.descendants: list[Optional[_Node]] = [None] * (1 << stride)
+        self.ternaries: list[Optional[_Node]] = [None] * ((1 << stride) - 1)
+        self.max_priority = -1
+        # Path steps of any key stored below this node (Patricia path
+        # compression: the steps between a parent and child node are not
+        # materialized, so splits need a representative to compare
+        # against).  All keys below share the steps above self.bit, so
+        # any representative is equivalent — even one whose entry has
+        # since been deleted.
+        self.rep_steps: list[PathStep] = []
+
+    def get(self, kind: int, index: int) -> Optional["_Node"]:
+        return self.descendants[index] if kind == EXACT else self.ternaries[index]
+
+    def set(self, kind: int, index: int, node: Optional["_Node"]) -> None:
+        if kind == EXACT:
+            self.descendants[index] = node
+        else:
+            self.ternaries[index] = node
+
+    def children(self) -> Iterator["_Node"]:
+        for child in self.descendants:
+            if child is not None:
+                yield child
+        for child in self.ternaries:
+            if child is not None:
+                yield child
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class MultibitPalmtrie(TernaryMatcher):
+    """Palmtrie_k with the §3.5 practical optimizations."""
+
+    name = "palmtrie"
+
+    def __init__(self, key_length: int, stride: int = 8, subtree_skipping: bool = True) -> None:
+        super().__init__(key_length)
+        if not 1 <= stride <= 16:
+            raise ValueError(f"stride must be in 1..16, got {stride}")
+        if key_length < stride:
+            raise ValueError(f"stride {stride} exceeds key length {key_length}")
+        self.stride = stride
+        self.subtree_skipping = subtree_skipping
+        self._root = _Internal(key_length - stride, stride)
+        self._size = 0
+        # Ternary slot indices per chunk value: slots for prefixes of
+        # lengths 0..k-1 of the chunk, i.e. (i >> (k-l)) + 2**l - 1.
+        self._ternary_slots = [
+            tuple((i >> (stride - l)) + (1 << l) - 1 for l in range(stride))
+            for i in range(1 << stride)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: TernaryEntry) -> None:
+        if entry.key.length != self.key_length:
+            raise ValueError(
+                f"entry key length {entry.key.length} != trie key length {self.key_length}"
+            )
+        key = entry.key
+        steps = key_path(key, self.stride)
+        node = self._root
+        i = 0
+        while True:
+            # Invariant: node.bit == steps[i][0].
+            node.max_priority = max(node.max_priority, entry.priority)
+            bit, kind, index = steps[i]
+            child = node.get(kind, index)
+            if child is None:
+                node.set(kind, index, _Leaf(entry))
+                break
+            if isinstance(child, _Leaf):
+                if child.key == key:
+                    child.add(entry)
+                    break
+                # Split at the first step where the two keys diverge
+                # (they share steps[0..i] and differ, so j exists).
+                other = key_path(child.key, self.stride)
+                j = i + 1
+                while steps[j] == other[j]:
+                    j += 1
+                split = _Internal(steps[j][0], self.stride)
+                split.max_priority = max(child.max_priority, entry.priority)
+                split.rep_steps = other
+                split.set(steps[j][1], steps[j][2], _Leaf(entry))
+                split.set(other[j][1], other[j][2], child)
+                node.set(kind, index, split)
+                break
+            # Path compression: the edge to this internal child skips the
+            # steps every key below shares.  Compare the new key against
+            # the child's representative over the skipped region.
+            rep = child.rep_steps
+            j = i + 1
+            while rep[j][0] > child.bit and steps[j] == rep[j]:
+                j += 1
+            if steps[j][0] == child.bit == rep[j][0]:
+                node = child
+                i = j
+                continue
+            # Mismatch inside the compressed edge: splice a new node in.
+            split = _Internal(steps[j][0], self.stride)
+            split.max_priority = max(child.max_priority, entry.priority)
+            split.rep_steps = rep
+            split.set(steps[j][1], steps[j][2], _Leaf(entry))
+            split.set(rep[j][1], rep[j][2], child)
+            node.set(kind, index, split)
+            break
+        self._size += 1
+
+    def remove_entry(self, entry: TernaryEntry) -> bool:
+        """Remove one specific entry (key + value + priority).
+
+        Unlike :meth:`delete`, other entries sharing the same ternary
+        key survive — the granularity a single ACL rule withdrawal
+        needs.  Returns True if the entry was present.
+        """
+        if entry.key.length != self.key_length:
+            raise ValueError(
+                f"entry key length {entry.key.length} != trie key length {self.key_length}"
+            )
+        leaf = self._find_leaf(entry.key)
+        if leaf is None or entry not in leaf.entries:
+            return False
+        if len(leaf.entries) == 1:
+            return self.delete(entry.key)
+        leaf.remove(entry)
+        self._size -= 1
+        self._refresh_max_priorities(entry.key)
+        return True
+
+    def _find_leaf(self, key: TernaryKey) -> Optional[_Leaf]:
+        steps = key_path(key, self.stride)
+        node: Optional[_Node] = self._root
+        i = 0
+        while isinstance(node, _Internal):
+            while i < len(steps) and steps[i][0] > node.bit:
+                i += 1
+            if i >= len(steps) or steps[i][0] != node.bit:
+                return None
+            node = node.get(steps[i][1], steps[i][2])
+            i += 1
+        return node if isinstance(node, _Leaf) and node.key == key else None
+
+    def _refresh_max_priorities(self, key: TernaryKey) -> None:
+        """Recompute max_priority along the path to ``key``."""
+        steps = key_path(key, self.stride)
+        path: list[_Internal] = []
+        node: Optional[_Node] = self._root
+        i = 0
+        while isinstance(node, _Internal):
+            path.append(node)
+            while i < len(steps) and steps[i][0] > node.bit:
+                i += 1
+            if i >= len(steps) or steps[i][0] != node.bit:
+                break
+            node = node.get(steps[i][1], steps[i][2])
+            i += 1
+        for internal in reversed(path):
+            internal.max_priority = max(
+                (c.max_priority for c in internal.children()), default=-1
+            )
+
+    def delete(self, key: TernaryKey) -> bool:
+        """Remove all entries stored under exactly this ternary key."""
+        if key.length != self.key_length:
+            raise ValueError(f"key length {key.length} != trie key length {self.key_length}")
+        steps = key_path(key, self.stride)
+        path: list[tuple[_Internal, PathStep]] = []
+        node: Optional[_Node] = self._root
+        i = 0
+        while isinstance(node, _Internal):
+            # Skip the compressed-edge region to this node's bit index.
+            while i < len(steps) and steps[i][0] > node.bit:
+                i += 1
+            if i >= len(steps) or steps[i][0] != node.bit:
+                return False
+            step = steps[i]
+            path.append((node, step))
+            node = node.get(step[1], step[2])
+            if node is None:
+                return False
+            i += 1
+        if not isinstance(node, _Leaf) or node.key != key:
+            return False
+        self._size -= len(node.entries)
+        removed: Optional[_Node] = node
+        for parent, (bit, kind, index) in reversed(path):
+            if removed is not None:
+                parent.set(kind, index, None)
+                removed = None
+            children = list(parent.children())
+            if not children and parent is not self._root:
+                removed = parent
+                continue
+            parent.max_priority = max(
+                (c.max_priority for c in children), default=-1
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        skipping = self.subtree_skipping
+        result: Optional[TernaryEntry] = None
+        result_priority = -1
+        stack: list[_Node] = [self._root]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            x = pop()
+            if skipping and result_priority > x.max_priority:
+                continue
+            if type(x) is _Leaf:
+                if query & x.care_mask == x.data and x.max_priority > result_priority:
+                    result = x.entries[0]
+                    result_priority = result.priority
+                continue
+            bit = x.bit
+            if bit >= 0:
+                i = (query >> bit) & chunk_mask
+            else:
+                i = (query << -bit) & chunk_mask
+            child = x.descendants[i]
+            if child is not None:
+                push(child)
+            ternaries = x.ternaries
+            for slot in slots[i]:
+                t = ternaries[slot]
+                if t is not None:
+                    push(t)
+        return result
+
+    def lookup_all(self, query: int) -> list[TernaryEntry]:
+        """All matching entries, highest priority first (no skipping)."""
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        matches: list[TernaryEntry] = []
+        stack: list[_Node] = [self._root]
+        while stack:
+            x = stack.pop()
+            if type(x) is _Leaf:
+                if query & x.care_mask == x.data:
+                    matches.extend(x.entries)
+                continue
+            bit = x.bit
+            if bit >= 0:
+                i = (query >> bit) & chunk_mask
+            else:
+                i = (query << -bit) & chunk_mask
+            child = x.descendants[i]
+            if child is not None:
+                stack.append(child)
+            for slot in slots[i]:
+                t = x.ternaries[slot]
+                if t is not None:
+                    stack.append(t)
+        matches.sort(key=lambda e: e.priority, reverse=True)
+        return matches
+
+    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+        """Instrumented lookup: updates ``self.stats`` work counters."""
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        skipping = self.subtree_skipping
+        result: Optional[TernaryEntry] = None
+        result_priority = -1
+        visits = comparisons = 0
+        stack: list[_Node] = [self._root]
+        while stack:
+            x = stack.pop()
+            if skipping and result_priority > x.max_priority:
+                continue
+            visits += 1
+            if type(x) is _Leaf:
+                comparisons += 1
+                if query & x.care_mask == x.data and x.max_priority > result_priority:
+                    result = x.entries[0]
+                    result_priority = result.priority
+                continue
+            bit = x.bit
+            if bit >= 0:
+                i = (query >> bit) & chunk_mask
+            else:
+                i = (query << -bit) & chunk_mask
+            child = x.descendants[i]
+            if child is not None:
+                stack.append(child)
+            for slot in slots[i]:
+                t = x.ternaries[slot]
+                if t is not None:
+                    stack.append(t)
+        self.stats.lookups += 1
+        self.stats.node_visits += visits
+        self.stats.key_comparisons += comparisons
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def entries(self) -> Iterator[TernaryEntry]:
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield from node.entries
+            else:
+                stack.extend(node.children())
+
+    def node_count(self) -> tuple[int, int]:
+        """(internal nodes, leaves)."""
+        internal = leaves = 0
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                leaves += 1
+            else:
+                internal += 1
+                stack.extend(node.children())
+        return internal, leaves
+
+    def depth(self) -> int:
+        best = 0
+        stack: list[tuple[_Node, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            best = max(best, depth)
+            if isinstance(node, _Internal):
+                stack.extend((c, depth + 1) for c in node.children())
+        return best
+
+    def memory_bytes(self) -> int:
+        """C-layout model (the quantity Figure 9 plots): each internal
+        node allocates ``2**(k+1) - 1`` 8-byte pointers plus its bit
+        index and max_priority; each leaf stores the 2L-bit key, an
+        8-byte value and a 4-byte priority (§3.6's motivation: over 4 KiB
+        per node at k = 8).
+        """
+        internal, leaves = self.node_count()
+        pointers = (1 << (self.stride + 1)) - 1
+        internal_bytes = pointers * 8 + 4 + 4
+        key_bytes = 2 * (self.key_length // 8)
+        leaf_bytes = key_bytes + 8 + 4 + 4
+        return internal * internal_bytes + leaves * leaf_bytes

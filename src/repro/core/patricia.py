@@ -1,0 +1,164 @@
+"""Patricia trie over binary keys (paper §3.2, Figure 1 right).
+
+The Patricia trie eliminates unary branching nodes from the radix tree
+by recording, at each branching point, the *bit index* that
+distinguishes the subtrees.  The number of branching points equals the
+number of stored keys minus one, so the structure is O(n).
+
+This implementation uses the child-owning ("crit-bit") formulation:
+keys live in leaves and internal nodes carry only a bit index.  It is
+behaviourally equivalent to the textbook back-pointer formulation the
+paper sketches — the final full-key comparison on reaching a leaf plays
+the role of the paper's ``bit <= N.bit`` termination test — and the
+same formulation carries over directly to the ternary Palmtrie
+(``repro.core.basic``).
+
+Bit numbering matches the paper: bit ``key_length - 1`` is the most
+significant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Union
+
+__all__ = ["PatriciaTrie"]
+
+
+class _Leaf:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: int, value: Any) -> None:
+        self.key = key
+        self.value = value
+
+
+class _Internal:
+    __slots__ = ("bit", "children")
+
+    def __init__(self, bit: int) -> None:
+        self.bit = bit
+        self.children: list[Optional[_Node]] = [None, None]
+
+
+_Node = Union[_Leaf, _Internal]
+
+
+class PatriciaTrie:
+    """Exact-match Patricia trie over fixed-length binary keys."""
+
+    def __init__(self, key_length: int) -> None:
+        if key_length <= 0:
+            raise ValueError(f"key length must be positive, got {key_length}")
+        self.key_length = key_length
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < (1 << self.key_length):
+            raise ValueError(f"key 0x{key:x} does not fit in {self.key_length} bits")
+
+    def insert(self, key: int, value: Any) -> None:
+        self._check_key(key)
+        if self._root is None:
+            self._root = _Leaf(key, value)
+            self._size += 1
+            return
+        # Walk to a leaf following the key's bits.
+        node = self._root
+        while isinstance(node, _Internal):
+            child = node.children[(key >> node.bit) & 1]
+            if child is None:
+                # In a binary Patricia trie both children always exist;
+                # guard anyway to keep the walk total.
+                child = next(c for c in node.children if c is not None)
+            node = child
+        if node.key == key:
+            node.value = value
+            return
+        pos = (node.key ^ key).bit_length() - 1
+        # Re-descend to the insertion point: the first node at or below pos.
+        parent: Optional[_Internal] = None
+        node = self._root
+        while isinstance(node, _Internal) and node.bit > pos:
+            parent = node
+            node = node.children[(key >> node.bit) & 1]
+        split = _Internal(pos)
+        split.children[(key >> pos) & 1] = _Leaf(key, value)
+        existing_bit = (self._representative(node) >> pos) & 1
+        split.children[existing_bit] = node
+        if parent is None:
+            self._root = split
+        else:
+            parent.children[(key >> parent.bit) & 1] = split
+        self._size += 1
+
+    @staticmethod
+    def _representative(node: _Node) -> int:
+        while isinstance(node, _Internal):
+            node = next(c for c in node.children if c is not None)
+        return node.key
+
+    def lookup(self, key: int) -> Any:
+        """Exact-match lookup; None if absent."""
+        self._check_key(key)
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[(key >> node.bit) & 1]
+            if node is None:
+                return None
+        if node is None or node.key != key:
+            return None
+        return node.value
+
+    def delete(self, key: int) -> bool:
+        self._check_key(key)
+        parent: Optional[_Internal] = None
+        grandparent: Optional[_Internal] = None
+        node = self._root
+        while isinstance(node, _Internal):
+            grandparent = parent
+            parent = node
+            node = node.children[(key >> node.bit) & 1]
+            if node is None:
+                return False
+        if node is None or node.key != key:
+            return False
+        self._size -= 1
+        if parent is None:
+            self._root = None
+            return True
+        # Splice out the parent, promoting the sibling.
+        sibling = parent.children[1 - ((key >> parent.bit) & 1)]
+        if grandparent is None:
+            self._root = sibling
+        else:
+            grandparent.children[(key >> grandparent.bit) & 1] = sibling
+        return True
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield node.key, node.value
+            else:
+                stack.extend(c for c in node.children if c is not None)
+
+    def node_count(self) -> int:
+        """Total nodes; 2n - 1 for n keys (the Patricia O(n) property)."""
+        count = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Internal):
+                stack.extend(c for c in node.children if c is not None)
+        return count
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None

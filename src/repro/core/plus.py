@@ -1,0 +1,354 @@
+"""Palmtrie+_k: bitmap-compressed Palmtrie (paper §3.6, Algorithm 3).
+
+Palmtrie_k nodes waste most of their ``2**(k+1) - 1`` pointer slots on
+NULLs.  Palmtrie+ removes them with the Poptrie technique: each internal
+node keeps two bitmaps (one per branch array) marking the non-NULL
+slots, and its surviving children are stored as contiguous runs inside
+one global node array.  A child is located with a population count:
+child ``i`` lives at ``offset + popcount(bitmap & ((1 << i) - 1))``.
+Nodes with keys and values are pushed to the leaves (the B-tree vs
+B+ tree analogy of §3.6).
+
+Palmtrie+ does not support incremental updates directly.  Following the
+paper, updates are applied to a retained source Palmtrie_k and the
+compressed form is recompiled from it (:meth:`compile`); lookups
+transparently recompile when the source has pending changes.
+
+Note: Algorithm 3 line 20 in the paper tests ``x.bitmap_c`` inside the
+don't care loop; that is a typo for ``x.bitmap_t`` (the corresponding
+popcount on line 21 uses ``bitmap_t``).  This implementation uses
+``bitmap_t`` for both.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Iterator, Optional, Union
+
+from .multibit import MultibitPalmtrie
+from .multibit import _Internal as _SourceInternal  # noqa: F401 (typing aid)
+from .multibit import _Leaf as _SourceLeaf
+from .table import TernaryEntry, TernaryMatcher
+from .ternary import TernaryKey
+
+__all__ = ["PalmtriePlus"]
+
+
+class _PlusLeaf:
+    """A leaf of the compressed trie (bit index conceptually -inf)."""
+
+    __slots__ = ("key", "entries", "max_priority", "data", "care_mask")
+
+    def __init__(self, key: TernaryKey, entries: list[TernaryEntry]) -> None:
+        self.key = key
+        self.entries = entries  # best priority first
+        self.max_priority = entries[0].priority
+        # Precomputed match test: query & care_mask == data.
+        self.data = key.data
+        self.care_mask = ~key.mask & ((1 << key.length) - 1)
+
+    @property
+    def best(self) -> TernaryEntry:
+        return self.entries[0]
+
+
+class _PlusInternal:
+    __slots__ = ("bit", "max_priority", "bitmap_c", "offset_c", "bitmap_t", "offset_t")
+
+    def __init__(self, bit: int, max_priority: int) -> None:
+        self.bit = bit
+        self.max_priority = max_priority
+        self.bitmap_c = 0
+        self.offset_c = 0
+        self.bitmap_t = 0
+        self.offset_t = 0
+
+
+_PlusNode = Union[_PlusLeaf, _PlusInternal]
+
+
+class PalmtriePlus(TernaryMatcher):
+    """Palmtrie+_k: Palmtrie_k compiled into bitmap-indexed node arrays."""
+
+    name = "palmtrie-plus"
+
+    def __init__(self, key_length: int, stride: int = 8, subtree_skipping: bool = True) -> None:
+        super().__init__(key_length)
+        self.stride = stride
+        self.subtree_skipping = subtree_skipping
+        self._source = MultibitPalmtrie(key_length, stride=stride, subtree_skipping=subtree_skipping)
+        self._nodes: list[_PlusNode] = []
+        self._root: Optional[_PlusNode] = None
+        self._dirty = False
+        # Entries not yet inserted into the source trie: a deserialized
+        # table defers that rebuild until the first mutation.
+        self._pending_entries: Optional[list[TernaryEntry]] = None
+        self._ternary_slots = self._source._ternary_slots
+        self.compile()
+
+    # ------------------------------------------------------------------
+    # Construction: updates go to the source trie, then recompile.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_palmtrie(cls, source: MultibitPalmtrie) -> "PalmtriePlus":
+        """Compile an existing Palmtrie_k (the §3.6 compilation step)."""
+        plus = cls.__new__(cls)
+        TernaryMatcher.__init__(plus, source.key_length)
+        plus.stride = source.stride
+        plus.subtree_skipping = source.subtree_skipping
+        plus._source = source
+        plus._nodes = []
+        plus._root = None
+        plus._dirty = True
+        plus._pending_entries = None
+        plus._ternary_slots = source._ternary_slots
+        plus.compile()
+        return plus
+
+    def _hydrate_source(self) -> None:
+        """Materialize the source trie from deferred entries (loaded
+        tables defer this until the first mutation)."""
+        if self._pending_entries is not None:
+            pending = self._pending_entries
+            self._pending_entries = None
+            for entry in pending:
+                self._source.insert(entry)
+
+    @classmethod
+    def build(
+        cls, entries: Iterable[TernaryEntry], key_length: int, **kwargs: Any
+    ) -> "PalmtriePlus":
+        """Bulk build: insert everything into the source, compile once."""
+        plus = cls(key_length, **kwargs)
+        for entry in entries:
+            plus._source.insert(entry)
+        plus._dirty = True
+        plus.compile()
+        return plus
+
+    def insert(self, entry: TernaryEntry) -> None:
+        """Incremental update of the source Palmtrie_k; marks the
+        compressed form stale (recompiled on next lookup or
+        :meth:`compile`).  The paper calls out exactly this cost model:
+        insertion implies recompilation (§3.6, §4.4).
+        """
+        self._hydrate_source()
+        self._source.insert(entry)
+        self._dirty = True
+
+    def delete(self, key: TernaryKey) -> bool:
+        self._hydrate_source()
+        removed = self._source.delete(key)
+        if removed:
+            self._dirty = True
+        return removed
+
+    def remove_entry(self, entry: TernaryEntry) -> bool:
+        """Remove one specific entry via the source trie (then recompile)."""
+        self._hydrate_source()
+        removed = self._source.remove_entry(entry)
+        if removed:
+            self._dirty = True
+        return removed
+
+    def compile(self) -> None:
+        """Rebuild the node array from the source trie (compilation part
+        of the update procedure, measured separately in Fig. 11/Table 5)."""
+        self._hydrate_source()
+        nodes: list[_PlusNode] = []
+        root = self._compile_shallow(self._source._root)
+        queue: deque[tuple[Any, _PlusNode]] = deque([(self._source._root, root)])
+        while queue:
+            src, dst = queue.popleft()
+            if isinstance(src, _SourceLeaf):
+                continue
+            assert isinstance(dst, _PlusInternal)
+            bitmap = 0
+            dst.offset_c = len(nodes)
+            for i, child in enumerate(src.descendants):
+                if child is not None:
+                    bitmap |= 1 << i
+                    compiled = self._compile_shallow(child)
+                    nodes.append(compiled)
+                    queue.append((child, compiled))
+            dst.bitmap_c = bitmap
+            bitmap = 0
+            dst.offset_t = len(nodes)
+            for i, child in enumerate(src.ternaries):
+                if child is not None:
+                    bitmap |= 1 << i
+                    compiled = self._compile_shallow(child)
+                    nodes.append(compiled)
+                    queue.append((child, compiled))
+            dst.bitmap_t = bitmap
+        self._nodes = nodes
+        self._root = root
+        self._dirty = False
+
+    @staticmethod
+    def _compile_shallow(src: Any) -> _PlusNode:
+        if isinstance(src, _SourceLeaf):
+            return _PlusLeaf(src.key, list(src.entries))
+        return _PlusInternal(src.bit, src.max_priority)
+
+    # ------------------------------------------------------------------
+    # Lookup (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        if self._dirty:
+            self.compile()
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        skipping = self.subtree_skipping
+        nodes = self._nodes
+        result: Optional[TernaryEntry] = None
+        result_priority = -1
+        stack: list[_PlusNode] = [self._root]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            x = pop()
+            if skipping and result_priority > x.max_priority:
+                continue
+            if type(x) is _PlusLeaf:
+                if query & x.care_mask == x.data and x.max_priority > result_priority:
+                    result = x.entries[0]
+                    result_priority = result.priority
+                continue
+            bit = x.bit
+            if bit >= 0:
+                i = (query >> bit) & chunk_mask
+            else:
+                i = (query << -bit) & chunk_mask
+            bitmap_c = x.bitmap_c
+            if (bitmap_c >> i) & 1:
+                push(nodes[x.offset_c + (bitmap_c & ((1 << i) - 1)).bit_count()])
+            bitmap_t = x.bitmap_t
+            if bitmap_t:
+                offset_t = x.offset_t
+                for h in slots[i]:
+                    if (bitmap_t >> h) & 1:
+                        push(nodes[offset_t + (bitmap_t & ((1 << h) - 1)).bit_count()])
+        return result
+
+    def lookup_all(self, query: int) -> list[TernaryEntry]:
+        """All matching entries, highest priority first (no skipping)."""
+        if self._dirty:
+            self.compile()
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        nodes = self._nodes
+        matches: list[TernaryEntry] = []
+        stack: list[_PlusNode] = [self._root]
+        while stack:
+            x = stack.pop()
+            if type(x) is _PlusLeaf:
+                if query & x.care_mask == x.data:
+                    matches.extend(x.entries)
+                continue
+            bit = x.bit
+            if bit >= 0:
+                i = (query >> bit) & chunk_mask
+            else:
+                i = (query << -bit) & chunk_mask
+            bitmap_c = x.bitmap_c
+            if (bitmap_c >> i) & 1:
+                stack.append(nodes[x.offset_c + (bitmap_c & ((1 << i) - 1)).bit_count()])
+            bitmap_t = x.bitmap_t
+            if bitmap_t:
+                offset_t = x.offset_t
+                for h in slots[i]:
+                    if (bitmap_t >> h) & 1:
+                        stack.append(nodes[offset_t + (bitmap_t & ((1 << h) - 1)).bit_count()])
+        matches.sort(key=lambda e: e.priority, reverse=True)
+        return matches
+
+    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+        """Instrumented lookup: updates ``self.stats`` work counters."""
+        if self._dirty:
+            self.compile()
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        skipping = self.subtree_skipping
+        nodes = self._nodes
+        result: Optional[TernaryEntry] = None
+        result_priority = -1
+        visits = comparisons = 0
+        stack: list[_PlusNode] = [self._root]
+        while stack:
+            x = stack.pop()
+            if skipping and result_priority > x.max_priority:
+                continue
+            visits += 1
+            if type(x) is _PlusLeaf:
+                comparisons += 1
+                if query & x.care_mask == x.data and x.max_priority > result_priority:
+                    result = x.entries[0]
+                    result_priority = result.priority
+                continue
+            bit = x.bit
+            if bit >= 0:
+                i = (query >> bit) & chunk_mask
+            else:
+                i = (query << -bit) & chunk_mask
+            if (x.bitmap_c >> i) & 1:
+                stack.append(nodes[x.offset_c + (x.bitmap_c & ((1 << i) - 1)).bit_count()])
+            for h in slots[i]:
+                if (x.bitmap_t >> h) & 1:
+                    stack.append(nodes[x.offset_t + (x.bitmap_t & ((1 << h) - 1)).bit_count()])
+        self.stats.lookups += 1
+        self.stats.node_visits += visits
+        self.stats.key_comparisons += comparisons
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._pending_entries is not None:
+            return len(self._pending_entries)
+        return len(self._source)
+
+    def entries(self) -> Iterator[TernaryEntry]:
+        if self._pending_entries is not None:
+            yield from self._pending_entries
+            return
+        yield from self._source.entries()
+
+    def node_count(self) -> tuple[int, int]:
+        """(internal nodes, leaves) of the *compiled* structure."""
+        if self._dirty:
+            self.compile()
+        internal = sum(1 for n in self._nodes if isinstance(n, _PlusInternal))
+        leaves = len(self._nodes) - internal
+        if isinstance(self._root, _PlusInternal):
+            internal += 1
+        elif self._root is not None:
+            leaves += 1
+        return internal, leaves
+
+    def memory_bytes(self) -> int:
+        """C-layout model of the compiled form (Figure 6's union node):
+        per internal node two ``2**k``-bit bitmaps, two 4-byte offsets,
+        bit index and max_priority; per leaf the 2L-bit key, an 8-byte
+        value and 4-byte priorities.  The pointer arrays of Palmtrie_k
+        are gone — this is what Figure 9 shows collapsing to the
+        Palmtrie_1 level.
+        """
+        if self._dirty:
+            self.compile()
+        internal, leaves = self.node_count()
+        bitmap_bytes = (1 << self.stride) // 8 if self.stride >= 3 else 1
+        internal_bytes = 2 * bitmap_bytes + 4 + 4 + 4 + 4
+        key_bytes = 2 * (self.key_length // 8)
+        leaf_bytes = key_bytes + 8 + 4 + 4
+        return internal * internal_bytes + leaves * leaf_bytes
+
+    @property
+    def source(self) -> MultibitPalmtrie:
+        """The retained Palmtrie_k that absorbs incremental updates."""
+        self._hydrate_source()
+        return self._source

@@ -1,0 +1,244 @@
+"""Poptrie: compressed longest-prefix-match trie (Asai & Ohara, SIGCOMM'15).
+
+Palmtrie+ "adopts the technique derived from Poptrie" (paper §3.6): a
+bitmap per node marks non-NULL children, children live in contiguous
+arrays, and a population count turns a bitmap prefix into an array
+index.  This module implements the original structure itself — a
+k-stride LPM table — both as the substrate the paper builds on and as
+a standalone IPv4 routing-table lookup.
+
+Structure (following the SIGCOMM'15 paper, without direct pointing):
+
+* An internal node covers a k-bit chunk.  ``vector`` has bit i set iff
+  child i continues into another internal node; those children form a
+  contiguous run in the global node array at ``base1``.
+* Chunks that do not continue resolve to a *leaf* value (the LPM
+  result inherited from the covering prefixes).  Adjacent equal leaves
+  are run-length compressed: ``leafvec`` marks run starts, and the run
+  values form a contiguous slice of the global leaf array at ``base0``.
+
+Lookup is the Poptrie inner loop::
+
+    while vector bit set:  node = N[base1 + popcnt(vector below i)]
+    return L[base0 + popcnt(leafvec through i) - 1]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = ["Poptrie"]
+
+
+class _BinaryNode:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_BinaryNode]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class _PoptrieNode:
+    __slots__ = ("vector", "base1", "leafvec", "base0")
+
+    def __init__(self) -> None:
+        self.vector = 0
+        self.base1 = 0
+        self.leafvec = 0
+        self.base0 = 0
+
+
+class Poptrie:
+    """Longest-prefix-match over fixed-length keys with k-bit stride."""
+
+    def __init__(self, key_length: int = 32, stride: int = 6) -> None:
+        if key_length <= 0:
+            raise ValueError(f"key length must be positive, got {key_length}")
+        if not 1 <= stride <= 8:
+            raise ValueError(f"stride must be in 1..8, got {stride}")
+        self.key_length = key_length
+        self.stride = stride
+        self._binary_root = _BinaryNode()
+        self._route_count = 0
+        self._nodes: list[_PoptrieNode] = []
+        self._leaves: list[Any] = []
+        self._root: Optional[_PoptrieNode] = None
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Route table maintenance (on the uncompressed binary trie)
+    # ------------------------------------------------------------------
+
+    def insert(self, prefix_bits: int, prefix_len: int, value: Any) -> None:
+        """Add/replace a route ``prefix/len -> value``."""
+        if not 0 <= prefix_len <= self.key_length:
+            raise ValueError(f"prefix length {prefix_len} out of range")
+        if not 0 <= prefix_bits < (1 << max(prefix_len, 1)):
+            raise ValueError(f"prefix 0x{prefix_bits:x} does not fit {prefix_len} bits")
+        node = self._binary_root
+        for depth in range(prefix_len):
+            bit = (prefix_bits >> (prefix_len - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _BinaryNode()
+            node = node.children[bit]
+        if not node.has_value:
+            self._route_count += 1
+        node.value = value
+        node.has_value = True
+        self._dirty = True
+
+    def delete(self, prefix_bits: int, prefix_len: int) -> bool:
+        """Withdraw a route; returns True if it existed."""
+        node: Optional[_BinaryNode] = self._binary_root
+        for depth in range(prefix_len):
+            if node is None:
+                return False
+            bit = (prefix_bits >> (prefix_len - 1 - depth)) & 1
+            node = node.children[bit]
+        if node is None or not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._route_count -= 1
+        self._dirty = True
+        return True
+
+    @classmethod
+    def build(
+        cls,
+        routes: Iterable[tuple[int, int, Any]],
+        key_length: int = 32,
+        stride: int = 6,
+    ) -> "Poptrie":
+        trie = cls(key_length, stride)
+        for prefix_bits, prefix_len, value in routes:
+            trie.insert(prefix_bits, prefix_len, value)
+        trie.compile()
+        return trie
+
+    # ------------------------------------------------------------------
+    # Compilation (binary trie -> compressed arrays)
+    # ------------------------------------------------------------------
+
+    def compile(self) -> None:
+        """Rebuild the compressed node/leaf arrays."""
+        self._nodes = []
+        self._leaves = []
+        self._root = self._compile_node(self._binary_root, None)
+        self._dirty = False
+
+    def _walk_chunk(
+        self, node: Optional[_BinaryNode], chunk: int, inherited: Any
+    ) -> tuple[Optional[_BinaryNode], Any]:
+        """Descend ``stride`` levels following ``chunk``'s bits, tracking
+        the best (longest) route value seen on the way."""
+        for depth in range(self.stride - 1, -1, -1):
+            if node is None:
+                return None, inherited
+            bit = (chunk >> depth) & 1
+            node = node.children[bit]
+            if node is not None and node.has_value:
+                inherited = (node.value,)
+        return node, inherited
+
+    def _compile_node(self, binary: _BinaryNode, inherited: Any) -> _PoptrieNode:
+        if binary.has_value:
+            inherited = (binary.value,)
+        children: list[Optional[_BinaryNode]] = []
+        child_inherited: list[Any] = []
+        leaf_values: list[Any] = []
+        vector = 0
+        for chunk in range(1 << self.stride):
+            descendant, best = self._walk_chunk(binary, chunk, inherited)
+            if descendant is not None and any(descendant.children):
+                vector |= 1 << chunk
+                children.append(descendant)
+                child_inherited.append(best)
+                leaf_values.append(None)
+            else:
+                children.append(None)
+                child_inherited.append(None)
+                leaf_values.append(best)
+        node = _PoptrieNode()
+        node.vector = vector
+        # Run-length compress the leaf slots (Poptrie's leafvec).
+        node.base0 = len(self._leaves)
+        leafvec = 0
+        previous = object()  # sentinel unequal to anything
+        for chunk in range(1 << self.stride):
+            if (vector >> chunk) & 1:
+                continue
+            value = leaf_values[chunk]
+            if value != previous:
+                leafvec |= 1 << chunk
+                self._leaves.append(None if value is None else value[0])
+                previous = value
+        node.leafvec = leafvec
+        # Children are compiled after the leaf slice so each node's
+        # children occupy one contiguous run.
+        node.base1 = len(self._nodes)
+        compiled_children = []
+        for chunk in range(1 << self.stride):
+            if (vector >> chunk) & 1:
+                placeholder = _PoptrieNode()
+                self._nodes.append(placeholder)
+                compiled_children.append((children[chunk], child_inherited[chunk], placeholder))
+        for binary_child, best, placeholder in compiled_children:
+            compiled = self._compile_node(binary_child, best)
+            placeholder.vector = compiled.vector
+            placeholder.base1 = compiled.base1
+            placeholder.leafvec = compiled.leafvec
+            placeholder.base0 = compiled.base0
+        return node
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: int) -> Any:
+        """Longest-prefix-match; None when no route covers the key."""
+        if self._dirty:
+            self.compile()
+        node = self._root
+        nodes = self._nodes
+        stride = self.stride
+        chunk_mask = (1 << stride) - 1
+        shift = self.key_length - stride
+        while True:
+            if shift >= 0:
+                chunk = (key >> shift) & chunk_mask
+            else:
+                chunk = (key << -shift) & chunk_mask
+            vector = node.vector
+            if not (vector >> chunk) & 1:
+                leafvec = node.leafvec
+                index = (leafvec & ((2 << chunk) - 1)).bit_count() - 1
+                return self._leaves[node.base0 + index]
+            node = nodes[node.base1 + (vector & ((1 << chunk) - 1)).bit_count()]
+            shift -= stride
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._route_count
+
+    def node_count(self) -> int:
+        if self._dirty:
+            self.compile()
+        return len(self._nodes) + 1  # internal nodes + root
+
+    def leaf_count(self) -> int:
+        if self._dirty:
+            self.compile()
+        return len(self._leaves)
+
+    def memory_bytes(self) -> int:
+        """C-layout model: per node two 2**k-bit vectors + two 4-byte
+        bases; 4-byte leaf values (the SIGCOMM'15 sizing)."""
+        if self._dirty:
+            self.compile()
+        vector_bytes = max((1 << self.stride) // 8, 1)
+        return self.node_count() * (2 * vector_bytes + 8) + len(self._leaves) * 4

@@ -1,0 +1,122 @@
+"""Binary radix tree (paper §3.2, Figure 1 left).
+
+The radix tree is the uncompressed ancestor of the Patricia trie: each
+edge consumes exactly one bit, so a key of length d is stored at depth
+d.  The Palmtrie itself never uses this structure; it is included as the
+substrate the paper builds its exposition on, and it doubles as a
+longest-prefix-match table for tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["RadixTree"]
+
+
+class _RadixNode:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_RadixNode]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class RadixTree:
+    """A binary radix tree over fixed-length keys / variable-length prefixes."""
+
+    def __init__(self, key_length: int) -> None:
+        if key_length <= 0:
+            raise ValueError(f"key length must be positive, got {key_length}")
+        self.key_length = key_length
+        self._root = _RadixNode()
+        self._size = 0
+
+    def insert(self, prefix_bits: int, prefix_len: int, value: Any) -> None:
+        """Insert ``value`` under a prefix (``prefix_len`` msb-aligned bits)."""
+        if not 0 <= prefix_len <= self.key_length:
+            raise ValueError(f"prefix length {prefix_len} out of range")
+        if not 0 <= prefix_bits < (1 << max(prefix_len, 1)):
+            raise ValueError(f"prefix bits 0x{prefix_bits:x} do not fit {prefix_len} bits")
+        node = self._root
+        for depth in range(prefix_len):
+            bit = (prefix_bits >> (prefix_len - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _RadixNode()
+            node = node.children[bit]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup_exact(self, prefix_bits: int, prefix_len: int) -> Any:
+        """Value stored at exactly this prefix, or None."""
+        node = self._root
+        for depth in range(prefix_len):
+            bit = (prefix_bits >> (prefix_len - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node.value if node.has_value else None
+
+    def lookup_lpm(self, key: int) -> Any:
+        """Longest-prefix-match lookup over a full-length key."""
+        node = self._root
+        best = node.value if node.has_value else None
+        for depth in range(self.key_length):
+            bit = (key >> (self.key_length - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def delete(self, prefix_bits: int, prefix_len: int) -> bool:
+        """Remove a stored prefix; prunes now-empty chains. True if removed."""
+        path: list[tuple[_RadixNode, int]] = []
+        node = self._root
+        for depth in range(prefix_len):
+            bit = (prefix_bits >> (prefix_len - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child.has_value or any(child.children):
+                break
+            parent.children[bit] = None
+        return True
+
+    def node_count(self) -> int:
+        """Total nodes (Figure 1 contrasts this with the Patricia trie)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(child for child in node.children if child is not None)
+        return count
+
+    def items(self) -> Iterator[tuple[int, int, Any]]:
+        """Yield ``(prefix_bits, prefix_len, value)`` for all stored prefixes."""
+        stack: list[tuple[_RadixNode, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, bits, depth = stack.pop()
+            if node.has_value:
+                yield bits, depth, node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (bits << 1) | bit, depth + 1))
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,183 @@
+"""Ternary matching table abstractions.
+
+The paper's problem statement (§3.1): a table of entries, each holding a
+ternary *key*, a *value* and a *priority*; a lookup returns the value of
+the highest-priority entry matching a binary query key.  Higher numbers
+mean higher priority.
+
+Every matcher in this library (the Palmtrie family and all baselines)
+implements :class:`TernaryMatcher`, so they are interchangeable in the
+benchmarks and differential tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from .ternary import TernaryKey
+
+__all__ = ["TernaryEntry", "LookupStats", "TernaryMatcher", "build_matcher"]
+
+
+@dataclass(frozen=True, slots=True)
+class TernaryEntry:
+    """One row of a ternary matching table (paper Table 1)."""
+
+    key: TernaryKey
+    value: Any
+    priority: int
+
+    def matches(self, query: int) -> bool:
+        return self.key.matches(query)
+
+
+@dataclass
+class LookupStats:
+    """Per-structure work counters.
+
+    Wall-clock lookup rates in pure Python are dominated by interpreter
+    overhead, so the harness also reports deterministic work counts: the
+    number of structure nodes visited and full key comparisons performed.
+    Counters accumulate across lookups; call :meth:`reset` between runs.
+    """
+
+    node_visits: int = 0
+    key_comparisons: int = 0
+    lookups: int = 0
+
+    def reset(self) -> None:
+        self.node_visits = 0
+        self.key_comparisons = 0
+        self.lookups = 0
+
+    def per_lookup(self) -> dict[str, float]:
+        n = max(self.lookups, 1)
+        return {
+            "node_visits": self.node_visits / n,
+            "key_comparisons": self.key_comparisons / n,
+        }
+
+
+class TernaryMatcher(abc.ABC):
+    """Interface shared by every ternary matching structure in this repo."""
+
+    #: human-readable algorithm name, overridden by subclasses
+    name = "abstract"
+
+    def __init__(self, key_length: int) -> None:
+        if key_length <= 0:
+            raise ValueError(f"key length must be positive, got {key_length}")
+        self.key_length = key_length
+        self.stats = LookupStats()
+
+    # -- construction ---------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, entry: TernaryEntry) -> None:
+        """Insert one entry.
+
+        Structures without incremental update support (Palmtrie+, the
+        DPDK- and EffiCuts-style baselines) raise
+        :class:`NotImplementedError`; build them with :meth:`build`.
+        """
+
+    def delete(self, key: TernaryKey) -> bool:
+        """Remove the entry with exactly this ternary key.
+
+        Returns True if an entry was removed.  Optional; incremental
+        structures override it.
+        """
+        raise NotImplementedError(f"{self.name} does not support deletion")
+
+    @classmethod
+    def build(cls, entries: Iterable[TernaryEntry], key_length: int, **kwargs: Any) -> "TernaryMatcher":
+        """Build a matcher from a full rule set (bulk construction)."""
+        matcher = cls(key_length, **kwargs)
+        for entry in entries:
+            matcher.insert(entry)
+        return matcher
+
+    # -- lookup -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        """Return the highest-priority matching entry, or None."""
+
+    def lookup_value(self, query: int, default: Any = None) -> Any:
+        entry = self.lookup(query)
+        return default if entry is None else entry.value
+
+    def lookup_all(self, query: int) -> list[TernaryEntry]:
+        """Every matching entry, highest priority first.
+
+        The ternary matching problem proper returns only the winner
+        (:meth:`lookup`); multi-match classification (e.g. a packet
+        belonging to several monitoring classes) needs the full list.
+        Optional; structures that resolve matches away at build time
+        (the DPDK-style trie) do not support it.
+        """
+        raise NotImplementedError(f"{self.name} does not support multi-match lookup")
+
+    # -- introspection ----------------------------------------------------
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of entries stored."""
+
+    def memory_bytes(self) -> int:
+        """Model of the memory footprint of the *C* layout (paper §4.2).
+
+        This deliberately models the struct sizes a C implementation
+        would allocate (the quantity Figure 9 plots), not Python object
+        overhead: 32 bytes per stored key (L=128: data+mask), 8-byte
+        values, 4-byte priorities, 8-byte pointers.
+        """
+        raise NotImplementedError(f"{self.name} does not model memory")
+
+
+def _check_entries(entries: Sequence[TernaryEntry], key_length: int) -> None:
+    for entry in entries:
+        if entry.key.length != key_length:
+            raise ValueError(
+                f"entry key length {entry.key.length} != table key length {key_length}"
+            )
+
+
+def build_matcher(kind: str, entries: Sequence[TernaryEntry], key_length: int, **kwargs: Any) -> TernaryMatcher:
+    """Factory used by the CLI and benchmarks.
+
+    ``kind`` is one of ``sorted-list``, ``palmtrie-basic``, ``palmtrie``
+    (multi-bit; pass ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``),
+    ``dpdk-acl``, ``efficuts`` or ``adaptive``.
+    """
+    # Imported here to avoid import cycles: baselines import this module.
+    from ..baselines.dpdk_acl import DpdkStyleAcl
+    from ..baselines.efficuts import EffiCutsClassifier
+    from ..baselines.sorted_list import SortedListMatcher
+    from ..baselines.tcam import TcamModel
+    from ..baselines.vectorized import VectorizedMatcher
+    from .adaptive import AdaptiveMatcher
+    from .basic import BasicPalmtrie
+    from .multibit import MultibitPalmtrie
+    from .plus import PalmtriePlus
+
+    entries = list(entries)
+    _check_entries(entries, key_length)
+    kinds = {
+        "sorted-list": SortedListMatcher,
+        "palmtrie-basic": BasicPalmtrie,
+        "palmtrie": MultibitPalmtrie,
+        "palmtrie-plus": PalmtriePlus,
+        "dpdk-acl": DpdkStyleAcl,
+        "efficuts": EffiCutsClassifier,
+        "adaptive": AdaptiveMatcher,
+        "tcam": TcamModel,
+        "vectorized": VectorizedMatcher,
+    }
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        raise ValueError(f"unknown matcher kind {kind!r}; choose from {sorted(kinds)}") from None
+    return cls.build(entries, key_length, **kwargs)

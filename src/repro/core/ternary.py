@@ -1,0 +1,207 @@
+"""Ternary bit-string keys.
+
+A ternary key is a fixed-length string over the alphabet ``{0, 1, *}``
+where ``*`` is a *don't care* bit that matches both 0 and 1 (paper §3.1).
+Following the paper's implementation notes (§4), a key is represented by
+two integers:
+
+``data``
+    The binary digits of the key.  Bits under a don't care position are
+    normalized to 0.
+``mask``
+    The don't care positions: bit i of ``mask`` is 1 iff position i of the
+    key is ``*``.
+
+Bit positions use the paper's numbering: bit ``length - 1`` is the most
+significant (leftmost) bit and bit 0 the least significant.  This matches
+ordinary integer bit numbering, so ``extract`` is a shift-and-mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TernaryKey", "extract_chunk"]
+
+
+def extract_chunk(query: int, offset: int, width: int) -> int:
+    """Extract ``width`` bits of ``query`` ending at bit ``offset``.
+
+    This is the paper's ``extract(key, off, len)``: the returned chunk
+    covers bit positions ``offset + width - 1 .. offset``.  A negative
+    ``offset`` (allowed by the multi-bit stride extension, §3.4) treats
+    bits below position 0 as 0.
+    """
+    if offset >= 0:
+        return (query >> offset) & ((1 << width) - 1)
+    return (query << -offset) & ((1 << width) - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class TernaryKey:
+    """An immutable fixed-length ternary bit string."""
+
+    data: int
+    mask: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"key length must be non-negative, got {self.length}")
+        full = (1 << self.length) - 1
+        if not 0 <= self.mask <= full:
+            raise ValueError(f"mask 0x{self.mask:x} does not fit in {self.length} bits")
+        if not 0 <= self.data <= full:
+            raise ValueError(f"data 0x{self.data:x} does not fit in {self.length} bits")
+        if self.data & self.mask:
+            # Normalize: a don't care position carries no binary digit.
+            object.__setattr__(self, "data", self.data & ~self.mask)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "TernaryKey":
+        """Parse a key written as in the paper, e.g. ``"011*1000"``."""
+        data = 0
+        mask = 0
+        for ch in text:
+            data <<= 1
+            mask <<= 1
+            if ch == "1":
+                data |= 1
+            elif ch == "*":
+                mask |= 1
+            elif ch != "0":
+                raise ValueError(f"invalid ternary digit {ch!r} in {text!r}")
+        return cls(data, mask, len(text))
+
+    @classmethod
+    def exact(cls, value: int, length: int) -> "TernaryKey":
+        """A key with no don't care bits (matches exactly ``value``)."""
+        return cls(value, 0, length)
+
+    @classmethod
+    def wildcard(cls, length: int) -> "TernaryKey":
+        """The all-``*`` key that matches every query."""
+        return cls(0, (1 << length) - 1, length)
+
+    @classmethod
+    def from_prefix(cls, prefix_bits: int, prefix_len: int, length: int) -> "TernaryKey":
+        """A prefix key: ``prefix_len`` fixed leading bits, then ``*``.
+
+        ``prefix_bits`` holds the prefix value in its *low* ``prefix_len``
+        bits (e.g. ``from_prefix(0b101, 3, 8)`` is ``101*****``).
+        """
+        if not 0 <= prefix_len <= length:
+            raise ValueError(f"prefix length {prefix_len} out of range for {length}-bit key")
+        shift = length - prefix_len
+        return cls(prefix_bits << shift, (1 << shift) - 1, length)
+
+    # ------------------------------------------------------------------
+    # Matching algebra
+    # ------------------------------------------------------------------
+
+    def matches(self, query: int) -> bool:
+        """True iff the binary ``query`` matches this ternary key."""
+        return (query & ~self.mask) & ((1 << self.length) - 1) == self.data
+
+    def covers(self, other: "TernaryKey") -> bool:
+        """True iff every query matched by ``other`` is matched by ``self``."""
+        if self.length != other.length:
+            raise ValueError("cannot compare keys of different lengths")
+        if other.mask & ~self.mask:
+            return False  # other is wild somewhere self is fixed
+        return other.data & ~self.mask == self.data
+
+    def overlaps(self, other: "TernaryKey") -> bool:
+        """True iff some query is matched by both keys."""
+        if self.length != other.length:
+            raise ValueError("cannot compare keys of different lengths")
+        common_fixed = ~(self.mask | other.mask)
+        return (self.data ^ other.data) & common_fixed & ((1 << self.length) - 1) == 0
+
+    @property
+    def is_exact(self) -> bool:
+        return self.mask == 0
+
+    @property
+    def wildcard_count(self) -> int:
+        return self.mask.bit_count()
+
+    # ------------------------------------------------------------------
+    # Bit access
+    # ------------------------------------------------------------------
+
+    def bit(self, index: int) -> str:
+        """The digit at bit position ``index`` as ``'0'``, ``'1'`` or ``'*'``."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"bit index {index} out of range for {self.length}-bit key")
+        if (self.mask >> index) & 1:
+            return "*"
+        return "1" if (self.data >> index) & 1 else "0"
+
+    def chunk(self, offset: int, width: int) -> "TernaryKey":
+        """The sub-key covering bit positions ``offset+width-1 .. offset``.
+
+        Negative offsets pad with ``0`` digits below position 0, mirroring
+        ``extract_chunk``.
+        """
+        return TernaryKey(
+            extract_chunk(self.data, offset, width),
+            extract_chunk(self.mask, offset, width),
+            width,
+        )
+
+    def msb_wildcard(self) -> int:
+        """Position of the most significant ``*`` bit, or -1 if exact."""
+        return self.mask.bit_length() - 1
+
+    def first_diff_bit(self, other: "TernaryKey") -> int:
+        """Most significant position where the two keys differ, or -1.
+
+        Digits are compared ternarily: ``*`` differs from both 0 and 1.
+        """
+        if self.length != other.length:
+            raise ValueError("cannot compare keys of different lengths")
+        diff = (self.data ^ other.data) | (self.mask ^ other.mask)
+        return diff.bit_length() - 1
+
+    def concat(self, other: "TernaryKey") -> "TernaryKey":
+        """Concatenate: ``self`` becomes the most significant digits."""
+        return TernaryKey(
+            (self.data << other.length) | other.data,
+            (self.mask << other.length) | other.mask,
+            self.length + other.length,
+        )
+
+    def enumerate_matches(self) -> Iterator[int]:
+        """Yield every binary query this key matches (2**wildcard_count).
+
+        Intended for tests and tiny keys; raises for more than 2**20
+        expansions to avoid accidental blowup.
+        """
+        wild_positions = [i for i in range(self.length) if (self.mask >> i) & 1]
+        if len(wild_positions) > 20:
+            raise ValueError("refusing to enumerate more than 2**20 matches")
+        for combo in range(1 << len(wild_positions)):
+            query = self.data
+            for j, pos in enumerate(wild_positions):
+                if (combo >> j) & 1:
+                    query |= 1 << pos
+            yield query
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        return "".join(self.bit(i) for i in range(self.length - 1, -1, -1))
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_string()
+
+    def __repr__(self) -> str:
+        return f"TernaryKey('{self.to_string()}')"

@@ -1,0 +1,14 @@
+"""Packet substrate: header model, IPv4/TCP/UDP/ICMP codec, pcap files."""
+
+from .codec import decode_packet, encode_packet
+from .headers import PacketHeader
+from .pcap import PcapPacket, read_pcap, write_pcap
+
+__all__ = [
+    "PacketHeader",
+    "PcapPacket",
+    "decode_packet",
+    "encode_packet",
+    "read_pcap",
+    "write_pcap",
+]

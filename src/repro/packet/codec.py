@@ -1,0 +1,110 @@
+"""Binary codec for IPv4 packets carrying TCP, UDP or ICMP.
+
+The evaluation harness mostly synthesizes :class:`PacketHeader` objects
+directly, but a real deployment (and the examples) filter raw packets.
+This codec builds and parses the wire format with correct checksums so
+the examples can run over realistic byte streams.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .headers import PROTO_ICMP, PROTO_TCP, PROTO_UDP, PacketHeader
+
+__all__ = ["encode_packet", "decode_packet", "ipv4_checksum", "PacketDecodeError"]
+
+_IPV4_HEADER = struct.Struct("!BBHHHBBHII")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_UDP_HEADER = struct.Struct("!HHHH")
+_ICMP_HEADER = struct.Struct("!BBHHH")
+
+_IPV4_MIN_LEN = 20
+
+
+class PacketDecodeError(ValueError):
+    """Raised when bytes cannot be parsed as an IPv4 L3-L4 packet."""
+
+
+def ipv4_checksum(data: bytes) -> int:
+    """RFC 1071 internet checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def encode_packet(header: PacketHeader, payload: bytes = b"") -> bytes:
+    """Serialize a header (plus payload) into IPv4 wire format."""
+    if header.proto == PROTO_TCP:
+        l4 = _TCP_HEADER.pack(
+            header.src_port,
+            header.dst_port,
+            0,  # seq
+            0,  # ack
+            5 << 4,  # data offset = 5 words
+            header.tcp_flags,
+            0xFFFF,  # window
+            0,  # checksum (not computed; ACLs do not read it)
+            0,  # urgent pointer
+        ) + payload
+    elif header.proto == PROTO_UDP:
+        l4 = _UDP_HEADER.pack(header.src_port, header.dst_port, 8 + len(payload), 0) + payload
+    elif header.proto == PROTO_ICMP:
+        body = _ICMP_HEADER.pack(8, 0, 0, header.src_port, header.dst_port) + payload
+        l4 = _ICMP_HEADER.pack(8, 0, ipv4_checksum(body), header.src_port, header.dst_port) + payload
+    else:
+        l4 = payload
+    total_len = _IPV4_MIN_LEN + len(l4)
+    ip_fields = (
+        (4 << 4) | 5,  # version + IHL
+        0,  # DSCP/ECN
+        total_len,
+        0,  # identification
+        0,  # flags + fragment offset
+        64,  # TTL
+        header.proto,
+        0,  # checksum placeholder
+        header.src_ip,
+        header.dst_ip,
+    )
+    ip_header = _IPV4_HEADER.pack(*ip_fields)
+    checksum = ipv4_checksum(ip_header)
+    ip_header = _IPV4_HEADER.pack(*ip_fields[:7], checksum, *ip_fields[8:])
+    return ip_header + l4
+
+
+def decode_packet(data: bytes) -> PacketHeader:
+    """Parse IPv4 wire format into the fields ACL matching examines."""
+    if len(data) < _IPV4_MIN_LEN:
+        raise PacketDecodeError(f"truncated IPv4 header ({len(data)} bytes)")
+    (ver_ihl, _dscp, total_len, _ident, _frag, _ttl, proto, _cksum, src_ip, dst_ip) = (
+        _IPV4_HEADER.unpack_from(data)
+    )
+    if ver_ihl >> 4 != 4:
+        raise PacketDecodeError(f"not IPv4 (version {ver_ihl >> 4})")
+    ihl_bytes = (ver_ihl & 0x0F) * 4
+    if ihl_bytes < _IPV4_MIN_LEN or len(data) < ihl_bytes:
+        raise PacketDecodeError(f"bad IPv4 header length {ihl_bytes}")
+    if total_len > len(data):
+        raise PacketDecodeError(f"IPv4 total length {total_len} exceeds capture")
+    l4 = data[ihl_bytes:total_len]
+    src_port = dst_port = tcp_flags = 0
+    if proto == PROTO_TCP:
+        if len(l4) < _TCP_HEADER.size:
+            raise PacketDecodeError("truncated TCP header")
+        src_port, dst_port, _seq, _ack, _off, tcp_flags, _win, _ck, _urg = _TCP_HEADER.unpack_from(l4)
+    elif proto == PROTO_UDP:
+        if len(l4) < _UDP_HEADER.size:
+            raise PacketDecodeError("truncated UDP header")
+        src_port, dst_port, _length, _ck = _UDP_HEADER.unpack_from(l4)
+    return PacketHeader(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        proto=proto,
+        src_port=src_port,
+        dst_port=dst_port,
+        tcp_flags=tcp_flags,
+    )

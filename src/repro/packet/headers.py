@@ -1,0 +1,74 @@
+"""Layer 3-4 packet header model.
+
+A :class:`PacketHeader` is the five-tuple-plus-flags view of a packet
+that ACL matching consumes.  ``to_query`` packs it into the binary query
+integer a :class:`~repro.core.table.TernaryMatcher` looks up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..acl.ip import format_ipv4
+from ..acl.layout import LAYOUT_V4, KeyLayout
+
+__all__ = ["PacketHeader", "PROTO_ICMP", "PROTO_TCP", "PROTO_UDP"]
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+@dataclass(frozen=True, slots=True)
+class PacketHeader:
+    """The header fields an IPv4 layer 3-4 ACL examines."""
+
+    src_ip: int
+    dst_ip: int
+    proto: int
+    src_port: int = 0
+    dst_port: int = 0
+    tcp_flags: int = 0
+
+    def __post_init__(self) -> None:
+        checks = (
+            ("src_ip", self.src_ip, 32),
+            ("dst_ip", self.dst_ip, 32),
+            ("proto", self.proto, 8),
+            ("src_port", self.src_port, 16),
+            ("dst_port", self.dst_port, 16),
+            ("tcp_flags", self.tcp_flags, 8),
+        )
+        for name, value, bits in checks:
+            if not 0 <= value < (1 << bits):
+                raise ValueError(f"{name}={value} does not fit in {bits} bits")
+
+    def to_query(self, layout: KeyLayout = LAYOUT_V4) -> int:
+        """Pack into the binary query integer for table lookup."""
+        return layout.pack_query(
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            proto=self.proto,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            tcp_flags=self.tcp_flags,
+        )
+
+    @classmethod
+    def from_query(cls, query: int, layout: KeyLayout = LAYOUT_V4) -> "PacketHeader":
+        fields = layout.unpack_query(query)
+        return cls(
+            src_ip=fields["src_ip"],
+            dst_ip=fields["dst_ip"],
+            proto=fields["proto"],
+            src_port=fields["src_port"],
+            dst_port=fields["dst_port"],
+            tcp_flags=fields["tcp_flags"],
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{format_ipv4(self.src_ip)}:{self.src_port} -> "
+            f"{format_ipv4(self.dst_ip)}:{self.dst_port} proto={self.proto}"
+            f" flags=0x{self.tcp_flags:02x}"
+        )

@@ -1,0 +1,138 @@
+"""Minimal pcap (libpcap classic format) reader/writer.
+
+Real deployments feed firewalls from capture files; this codec writes
+and reads the classic ``.pcap`` container so synthetic traffic can be
+exchanged with standard tools (tcpdump/wireshark read our output).
+
+Supported link types: ``LINKTYPE_ETHERNET`` (frames get a synthetic
+Ethernet header built with :mod:`repro.acl.layer2` MACs) and
+``LINKTYPE_RAW`` (bare IPv4 packets, what :mod:`repro.packet.codec`
+produces).  Both byte orders are accepted on read; writes are
+little-endian, microsecond resolution, format version 2.4.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "PcapFormatError",
+    "PcapPacket",
+    "write_pcap",
+    "read_pcap",
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW",
+    "ETHERTYPE_IPV4",
+]
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+ETHERTYPE_IPV4 = 0x0800
+
+_MAGIC_LE = 0xA1B2C3D4
+_MAGIC_BE = 0xD4C3B2A1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_PACKET_HEADER = struct.Struct("<IIII")
+
+
+class PcapFormatError(ValueError):
+    """Raised when bytes do not parse as a pcap file."""
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One captured packet: timestamp plus link-layer bytes."""
+
+    timestamp: float
+    data: bytes
+
+
+def _ethernet_frame(payload: bytes, dst_mac: int, src_mac: int) -> bytes:
+    return (
+        dst_mac.to_bytes(6, "big")
+        + src_mac.to_bytes(6, "big")
+        + ETHERTYPE_IPV4.to_bytes(2, "big")
+        + payload
+    )
+
+
+def write_pcap(
+    path: str,
+    packets: Sequence[PcapPacket],
+    linktype: int = LINKTYPE_RAW,
+    dst_mac: int = 0x020000000002,
+    src_mac: int = 0x020000000001,
+    snaplen: int = 65535,
+) -> int:
+    """Write packets to a pcap file; returns bytes written.
+
+    With ``LINKTYPE_ETHERNET``, each packet's data is treated as an
+    IPv4 packet and wrapped in a synthetic Ethernet header.
+    """
+    if linktype not in (LINKTYPE_ETHERNET, LINKTYPE_RAW):
+        raise ValueError(f"unsupported linktype {linktype}")
+    written = 0
+    with open(path, "wb") as handle:
+        written += handle.write(
+            _GLOBAL_HEADER.pack(_MAGIC_LE, 2, 4, 0, 0, snaplen, linktype)
+        )
+        for packet in packets:
+            data = packet.data
+            if linktype == LINKTYPE_ETHERNET:
+                data = _ethernet_frame(data, dst_mac, src_mac)
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1e6))
+            captured = data[:snaplen]
+            written += handle.write(
+                _PACKET_HEADER.pack(seconds, micros, len(captured), len(data))
+            )
+            written += handle.write(captured)
+    return written
+
+
+def read_pcap(path: str, strip_ethernet: bool = True) -> Iterator[PcapPacket]:
+    """Yield packets from a pcap file.
+
+    With ``strip_ethernet=True`` (default), Ethernet captures yield the
+    IPv4 payload (non-IPv4 frames are skipped), so the output feeds
+    :func:`repro.packet.codec.decode_packet` directly.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(_GLOBAL_HEADER.size)
+        if len(header) != _GLOBAL_HEADER.size:
+            raise PcapFormatError("truncated pcap global header")
+        (magic,) = struct.unpack_from("<I", header)
+        if magic == _MAGIC_LE:
+            order = "<"
+        elif magic == _MAGIC_BE:
+            order = ">"
+        else:
+            raise PcapFormatError(f"bad pcap magic 0x{magic:08x}")
+        _magic, major, _minor, _zone, _sig, _snaplen, linktype = struct.unpack(
+            order + "IHHiIII", header
+        )
+        if major != 2:
+            raise PcapFormatError(f"unsupported pcap version {major}")
+        if linktype not in (LINKTYPE_ETHERNET, LINKTYPE_RAW):
+            raise PcapFormatError(f"unsupported linktype {linktype}")
+        packet_header = struct.Struct(order + "IIII")
+        while True:
+            head = handle.read(packet_header.size)
+            if not head:
+                return
+            if len(head) != packet_header.size:
+                raise PcapFormatError("truncated packet header")
+            seconds, micros, captured_len, _original_len = packet_header.unpack(head)
+            data = handle.read(captured_len)
+            if len(data) != captured_len:
+                raise PcapFormatError("truncated packet body")
+            if linktype == LINKTYPE_ETHERNET and strip_ethernet:
+                if len(data) < 14:
+                    raise PcapFormatError("truncated Ethernet header")
+                ethertype = int.from_bytes(data[12:14], "big")
+                if ethertype != ETHERTYPE_IPV4:
+                    continue
+                data = data[14:]
+            yield PcapPacket(timestamp=seconds + micros / 1e6, data=data)

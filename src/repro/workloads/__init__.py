@@ -1,0 +1,25 @@
+"""Workload generators: the paper's datasets and traffic patterns (§4.1)."""
+
+from .campus import campus_acl, campus_rules
+from .classbench import ACL_SEED, FW_SEED, IPC_SEED, PROFILES, classbench_acl, classbench_rules
+from .io import load_acl, load_trace, save_acl, save_trace
+from .traffic import pareto_trace, query_matching_entry, reverse_byte_scan, uniform_traffic
+
+__all__ = [
+    "ACL_SEED",
+    "FW_SEED",
+    "IPC_SEED",
+    "PROFILES",
+    "campus_acl",
+    "campus_rules",
+    "classbench_acl",
+    "classbench_rules",
+    "load_acl",
+    "load_trace",
+    "pareto_trace",
+    "save_acl",
+    "save_trace",
+    "query_matching_entry",
+    "reverse_byte_scan",
+    "uniform_traffic",
+]

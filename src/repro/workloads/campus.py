@@ -1,0 +1,90 @@
+"""Synthetic campus-network ACLs (paper §4.1, dataset D_q).
+
+The ACL splits 10.0.0.0/8 into 2**q equal prefixes.  For each split
+prefix P it emits exactly 17 rules (so the ACL of D_q has 17 * 2**q
+rules and, because the ``established`` rule expands into two ternary
+entries, 18 * 2**q ternary matching entries):
+
+1.  permit all outbound traffic from P,
+2.  permit inbound ICMP to P,
+3.  permit inbound DNS responses (UDP source port 53) to P,
+4.  permit inbound NTP responses (UDP source port 123) to P,
+5.  permit established TCP to P,
+6.  pass any traffic to the DMZ — the first /27 of P,
+7-16. permit the public services of the second /27 of P: DNS over UDP
+    and TCP, HTTP, HTTPS, QUIC, SMTP, POP3, IMAP, IMAPS and POP3S,
+17. deny everything else to P.
+"""
+
+from __future__ import annotations
+
+from ..acl.compiler import CompiledAcl, compile_acl
+from ..acl.ip import parse_ipv4
+from ..acl.rule import AclRule, Action, Protocol
+
+__all__ = [
+    "campus_rules",
+    "campus_acl",
+    "RULES_PER_PREFIX",
+    "ENTRIES_PER_PREFIX",
+    "CAMPUS_BASE",
+    "CAMPUS_BASE_LEN",
+]
+
+CAMPUS_BASE = parse_ipv4("10.0.0.0")
+CAMPUS_BASE_LEN = 8
+RULES_PER_PREFIX = 17
+ENTRIES_PER_PREFIX = 18
+
+_ANY = (0, 0)
+
+#: (protocol, destination port) of the service rules for the second /27.
+_SERVICES: tuple[tuple[Protocol, int], ...] = (
+    (Protocol.UDP, 53),   # DNS
+    (Protocol.TCP, 53),   # DNS over TCP
+    (Protocol.TCP, 80),   # HTTP
+    (Protocol.TCP, 443),  # HTTPS
+    (Protocol.UDP, 443),  # QUIC
+    (Protocol.TCP, 25),   # SMTP
+    (Protocol.TCP, 110),  # POP3
+    (Protocol.TCP, 143),  # IMAP
+    (Protocol.TCP, 993),  # IMAPS
+    (Protocol.TCP, 995),  # POP3S
+)
+
+
+def campus_rules(q: int) -> list[AclRule]:
+    """The D_q rule list (17 * 2**q rules, highest priority first)."""
+    if not 0 <= q <= 24 - CAMPUS_BASE_LEN:
+        raise ValueError(f"q must be in 0..16, got {q}")
+    split_len = CAMPUS_BASE_LEN + q
+    block = 1 << (32 - split_len)
+    rules: list[AclRule] = []
+    for i in range(1 << q):
+        prefix = (CAMPUS_BASE + i * block, split_len)
+        dmz = (prefix[0], 27)
+        services = (prefix[0] + (1 << (32 - 27)), 27)
+        rules.append(AclRule(Action.PERMIT, Protocol.IP, prefix, _ANY))
+        rules.append(AclRule(Action.PERMIT, Protocol.ICMP, _ANY, prefix))
+        rules.append(
+            AclRule(Action.PERMIT, Protocol.UDP, _ANY, prefix, src_ports=(53, 53))
+        )
+        rules.append(
+            AclRule(Action.PERMIT, Protocol.UDP, _ANY, prefix, src_ports=(123, 123))
+        )
+        rules.append(AclRule(Action.PERMIT, Protocol.TCP, _ANY, prefix, established=True))
+        rules.append(AclRule(Action.PERMIT, Protocol.IP, _ANY, dmz))
+        for protocol, port in _SERVICES:
+            rules.append(
+                AclRule(Action.PERMIT, protocol, _ANY, services, dst_ports=(port, port))
+            )
+        rules.append(AclRule(Action.DENY, Protocol.IP, _ANY, prefix))
+    assert len(rules) == RULES_PER_PREFIX << q
+    return rules
+
+
+def campus_acl(q: int) -> CompiledAcl:
+    """Compiled D_q dataset: 18 * 2**q ternary entries over L = 128."""
+    compiled = compile_acl(campus_rules(q))
+    assert len(compiled.entries) == ENTRIES_PER_PREFIX << q
+    return compiled

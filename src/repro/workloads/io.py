@@ -1,0 +1,93 @@
+"""Dataset and trace file I/O.
+
+The paper's artifact ships rule sets and traffic traces as files; this
+module provides the equivalent persistence so generated workloads can
+be saved, shared and replayed:
+
+* ACLs are stored in the Table 2 text dialect (``repro.acl.parser``),
+  one rule per line with ``#`` comments.
+* Traces are a compact binary format: header (magic ``PTRC``, version,
+  key length, query count) followed by fixed-width little-endian query
+  keys.  A D_16-scale trace stays replayable without parsing overhead.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Sequence
+
+from ..acl.parser import parse_acl
+from ..acl.rule import AclRule
+
+__all__ = ["save_acl", "load_acl", "save_trace", "load_trace", "TraceFormatError"]
+
+_TRACE_MAGIC = b"PTRC"
+_TRACE_VERSION = 1
+_TRACE_HEADER = struct.Struct("<4sHHIQ")  # magic, version, reserved, key bits, count
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be decoded."""
+
+
+def save_acl(rules: Sequence[AclRule], path: str, comment: str = "") -> None:
+    """Write rules in the Table 2 dialect (round-trips via load_acl)."""
+    with open(path, "w") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"# {line}\n")
+        for rule in rules:
+            handle.write(rule.to_line() + "\n")
+
+
+def load_acl(path: str) -> list[AclRule]:
+    """Read an ACL file written by :func:`save_acl` (or by hand)."""
+    with open(path) as handle:
+        return parse_acl(handle.read())
+
+
+def save_trace(queries: Sequence[int], key_length: int, path: str) -> int:
+    """Write a binary query trace; returns bytes written."""
+    if key_length <= 0:
+        raise ValueError(f"key length must be positive, got {key_length}")
+    key_bytes = (key_length + 7) // 8
+    limit = 1 << key_length
+    with open(path, "wb") as handle:
+        written = handle.write(
+            _TRACE_HEADER.pack(_TRACE_MAGIC, _TRACE_VERSION, 0, key_length, len(queries))
+        )
+        for query in queries:
+            if not 0 <= query < limit:
+                raise ValueError(f"query 0x{query:x} does not fit {key_length} bits")
+            written += handle.write(query.to_bytes(key_bytes, "little"))
+    return written
+
+
+def _read_trace(handle: BinaryIO) -> tuple[list[int], int]:
+    header = handle.read(_TRACE_HEADER.size)
+    if len(header) != _TRACE_HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, _reserved, key_length, count = _TRACE_HEADER.unpack(header)
+    if magic != _TRACE_MAGIC:
+        raise TraceFormatError(f"bad trace magic {magic!r}")
+    if version != _TRACE_VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    if key_length <= 0:
+        raise TraceFormatError("corrupt key length")
+    key_bytes = (key_length + 7) // 8
+    body = handle.read()
+    if len(body) != count * key_bytes:
+        raise TraceFormatError(
+            f"trace body is {len(body)} bytes, expected {count * key_bytes}"
+        )
+    queries = [
+        int.from_bytes(body[i * key_bytes : (i + 1) * key_bytes], "little")
+        for i in range(count)
+    ]
+    return queries, key_length
+
+
+def load_trace(path: str) -> tuple[list[int], int]:
+    """Read a trace file; returns ``(queries, key_length)``."""
+    with open(path, "rb") as handle:
+        return _read_trace(handle)

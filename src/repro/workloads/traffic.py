@@ -1,0 +1,103 @@
+"""Synthetic traffic patterns (paper §4.1).
+
+Two generators mirror the paper's campus-network evaluation traffic:
+
+* :func:`uniform_traffic` — queries that uniformly and randomly result
+  in each ACL entry; the hardest pattern for caches because there is no
+  locality to exploit.
+* :func:`reverse_byte_scan` — the real-world scanning attack pattern
+  (IMC '12 "/0 stealth scan"): TCP SYN probes to port 5060 (SIP) whose
+  destination addresses walk 10.0.0.0/8 sequentially in reverse-byte
+  order (…, 10.255.0.0, 10.0.1.0, 10.1.1.0, …) with random sources.
+
+A third, :func:`pareto_trace`, reproduces the ClassBench trace
+behaviour: headers drawn from the rule set with Pareto-distributed
+repetition, giving the skewed per-flow locality of real traces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..acl.layout import LAYOUT_V4, TCP_SYN, KeyLayout
+from ..core.table import TernaryEntry
+
+__all__ = ["uniform_traffic", "reverse_byte_scan", "pareto_trace", "query_matching_entry"]
+
+
+def query_matching_entry(entry: TernaryEntry, rng: random.Random) -> int:
+    """A uniformly random binary query matched by ``entry``'s key."""
+    key = entry.key
+    return key.data | (rng.getrandbits(key.length) & key.mask)
+
+
+def uniform_traffic(
+    entries: Sequence[TernaryEntry], count: int, seed: int = 2020
+) -> list[int]:
+    """Queries generated so each entry is targeted uniformly at random."""
+    if not entries:
+        raise ValueError("cannot generate traffic for an empty table")
+    rng = random.Random(seed)
+    n = len(entries)
+    return [
+        query_matching_entry(entries[rng.randrange(n)], rng) for _ in range(count)
+    ]
+
+
+def reverse_byte_scan(
+    count: int,
+    seed: int = 2020,
+    layout: KeyLayout = LAYOUT_V4,
+    start: int = 0,
+) -> list[int]:
+    """The reverse-byte order scanning attack over 10.0.0.0/8.
+
+    Destination address i has bytes ``10 . c&0xff . (c>>8)&0xff .
+    (c>>16)&0xff`` for the sequential counter c — so the *reversed* byte
+    order is sequential, exactly the paper's example sequence.  Sources
+    and source ports are random; every probe is a TCP SYN to port 5060.
+    """
+    rng = random.Random(seed)
+    queries = []
+    for i in range(start, start + count):
+        c = i & 0xFFFFFF
+        dst = (
+            (10 << 24)
+            | ((c & 0xFF) << 16)
+            | (((c >> 8) & 0xFF) << 8)
+            | ((c >> 16) & 0xFF)
+        )
+        queries.append(
+            layout.pack_query(
+                src_ip=rng.getrandbits(32),
+                dst_ip=dst,
+                proto=6,
+                src_port=rng.randrange(1024, 65536),
+                dst_port=5060,
+                tcp_flags=TCP_SYN,
+            )
+        )
+    return queries
+
+
+def pareto_trace(
+    entries: Sequence[TernaryEntry],
+    count: int,
+    seed: int = 2020,
+    alpha: float = 1.0,
+    max_repeat: int = 64,
+) -> list[int]:
+    """A ClassBench-style trace: rule-targeted headers with Pareto repeats."""
+    if not entries:
+        raise ValueError("cannot generate traffic for an empty table")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = random.Random(seed)
+    n = len(entries)
+    queries: list[int] = []
+    while len(queries) < count:
+        query = query_matching_entry(entries[rng.randrange(n)], rng)
+        repeats = min(max_repeat, int(rng.paretovariate(alpha)))
+        queries.extend([query] * min(repeats, count - len(queries)))
+    return queries

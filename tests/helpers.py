@@ -1,0 +1,65 @@
+"""Shared test helpers: tiny table builders and oracles."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+#: the paper's Table 1 dataset: (key, value, priority)
+TABLE1_ROWS = (
+    ("011*1000", 1, 6),
+    ("1*0***10", 2, 8),
+    ("0001****", 3, 9),
+    ("10110011", 4, 3),
+    ("0*1101**", 5, 7),
+    ("1110****", 6, 4),
+    ("010010**", 7, 5),
+    ("01110***", 8, 2),
+    ("1*******", 9, 1),
+)
+
+
+def table1_entries() -> list[TernaryEntry]:
+    return [
+        TernaryEntry(TernaryKey.from_string(key), value, priority)
+        for key, value, priority in TABLE1_ROWS
+    ]
+
+
+def random_entries(
+    count: int, key_length: int, seed: int = 0, priority_range: int = 1000
+) -> list[TernaryEntry]:
+    """Uniformly random ternary tables (dense in the §3.3 sense)."""
+    rng = random.Random(seed)
+    return [
+        TernaryEntry(
+            TernaryKey.from_string("".join(rng.choice("01*") for _ in range(key_length))),
+            i,
+            rng.randrange(priority_range),
+        )
+        for i in range(count)
+    ]
+
+
+def oracle_lookup(entries: Sequence[TernaryEntry], query: int) -> TernaryEntry | None:
+    """Reference semantics: highest-priority matching entry."""
+    best = None
+    for entry in entries:
+        if entry.key.matches(query) and (best is None or entry.priority > best.priority):
+            best = entry
+    return best
+
+
+def assert_same_result(expected: TernaryEntry | None, got: TernaryEntry | None) -> None:
+    """Matchers must agree on the winning *priority* (ties on priority may
+    legitimately return either tied entry)."""
+    expected_priority = expected.priority if expected is not None else None
+    got_priority = got.priority if got is not None else None
+    assert expected_priority == got_priority, (
+        f"expected priority {expected_priority} "
+        f"(value {getattr(expected, 'value', None)}), "
+        f"got {got_priority} (value {getattr(got, 'value', None)})"
+    )

@@ -1,0 +1,173 @@
+"""Unit tests for ACL analysis (repro.acl.analyzer)."""
+
+import pytest
+
+from repro.acl.analyzer import (
+    equivalent_on_samples,
+    find_conflicts,
+    find_shadowed,
+    remove_redundant,
+)
+from repro.acl.parser import parse_acl
+
+
+def _rules(text):
+    return parse_acl(text)
+
+
+class TestShadowing:
+    def test_exact_duplicate_is_shadowed(self):
+        rules = _rules(
+            "permit ip 10.0.0.0/8 any\n"
+            "permit ip 10.0.0.0/8 any\n"
+        )
+        (finding,) = find_shadowed(rules)
+        assert finding.shadowed == 1 and finding.by == 0
+        assert finding.redundant
+
+    def test_more_specific_after_general(self):
+        rules = _rules(
+            "permit ip 10.0.0.0/8 any\n"
+            "permit ip 10.1.0.0/16 any\n"
+        )
+        (finding,) = find_shadowed(rules)
+        assert finding.shadowed == 1
+        assert finding.redundant
+
+    def test_shadowed_with_different_action_not_redundant(self):
+        rules = _rules(
+            "permit ip 10.0.0.0/8 any\n"
+            "deny ip 10.1.0.0/16 any\n"
+        )
+        (finding,) = find_shadowed(rules)
+        assert not finding.redundant  # a likely configuration bug
+
+    def test_general_after_specific_not_shadowed(self):
+        rules = _rules(
+            "permit ip 10.1.0.0/16 any\n"
+            "permit ip 10.0.0.0/8 any\n"
+        )
+        assert find_shadowed(rules) == []
+
+    def test_port_expansion_must_be_fully_covered(self):
+        rules = _rules(
+            "permit tcp any any range 1000 1999\n"
+            "permit tcp any any range 1200 1300\n"   # inside -> shadowed
+            "permit tcp any any range 1900 2100\n"   # straddles -> live
+        )
+        findings = find_shadowed(rules)
+        assert [f.shadowed for f in findings] == [1]
+
+    def test_protocol_wildcard_covers_tcp(self):
+        rules = _rules(
+            "permit ip any 10.0.0.0/8\n"
+            "permit tcp any 10.0.0.0/8\n"
+        )
+        (finding,) = find_shadowed(rules)
+        assert finding.shadowed == 1
+
+    def test_empty_and_single(self):
+        assert find_shadowed([]) == []
+        assert find_shadowed(_rules("permit ip any any\n")) == []
+
+
+class TestConflicts:
+    def test_partial_overlap_different_actions(self):
+        rules = _rules(
+            "deny tcp any 10.0.0.0/8 eq 80\n"
+            "permit tcp 192.168.0.0/16 any\n"
+        )
+        (finding,) = find_conflicts(rules)
+        assert (finding.winner, finding.loser) == (0, 1)
+        assert finding.kind == "correlation"
+
+    def test_specific_exception_is_generalization(self):
+        # The classic idiom: permit an exception, then deny the block.
+        rules = _rules(
+            "permit tcp any 10.0.0.32/27 eq 80\n"
+            "deny ip any 10.0.0.0/8\n"
+        )
+        (finding,) = find_conflicts(rules)
+        assert finding.kind == "generalization"
+        assert (finding.winner, finding.loser) == (0, 1)
+
+    def test_same_action_overlap_is_fine(self):
+        rules = _rules(
+            "permit tcp any 10.0.0.0/8\n"
+            "permit tcp 192.168.0.0/16 any\n"
+        )
+        assert find_conflicts(rules) == []
+
+    def test_disjoint_different_actions_fine(self):
+        rules = _rules(
+            "deny tcp any 10.0.0.0/8\n"
+            "permit tcp any 11.0.0.0/8\n"
+        )
+        assert find_conflicts(rules) == []
+
+    def test_shadowed_rules_not_double_reported(self):
+        rules = _rules(
+            "permit ip any any\n"
+            "deny tcp any 10.0.0.0/8\n"   # fully shadowed, not a "conflict"
+        )
+        assert find_conflicts(rules) == []
+        assert len(find_shadowed(rules)) == 1
+
+
+class TestRemoveRedundant:
+    def test_removes_only_safe_rules(self):
+        rules = _rules(
+            "permit ip 10.0.0.0/8 any\n"
+            "permit ip 10.1.0.0/16 any\n"   # redundant
+            "deny ip 10.2.0.0/16 any\n"     # shadowed but different action: keep
+        )
+        optimized = remove_redundant(rules)
+        assert len(optimized) == 2
+        assert optimized[0] == rules[0]
+        assert optimized[1] == rules[2]
+
+    def test_iterates_to_fixed_point(self):
+        rules = _rules(
+            "permit ip 10.0.0.0/8 any\n"
+            "permit ip 10.1.0.0/16 any\n"
+            "permit ip 10.1.1.0/24 any\n"
+        )
+        assert len(remove_redundant(rules)) == 1
+
+    def test_optimization_preserves_semantics(self):
+        rules = _rules(
+            "permit udp any eq 53 10.0.0.0/8\n"
+            "permit udp any eq 53 10.1.0.0/16\n"
+            "deny ip any 10.0.0.0/8\n"
+            "permit ip 10.0.0.0/8 any\n"
+        )
+        optimized = remove_redundant(rules)
+        assert len(optimized) < len(rules)
+        assert equivalent_on_samples(rules, optimized, samples=800) is None
+
+
+class TestEquivalence:
+    def test_reordered_disjoint_rules_equivalent(self):
+        a = _rules("permit tcp any 10.0.0.0/8\ndeny udp any 11.0.0.0/8\n")
+        b = _rules("deny udp any 11.0.0.0/8\npermit tcp any 10.0.0.0/8\n")
+        assert equivalent_on_samples(a, b, samples=600) is None
+
+    def test_detects_difference(self):
+        a = _rules("permit tcp any 10.0.0.0/8\n")
+        b = _rules("deny tcp any 10.0.0.0/8\n")
+        counterexample = equivalent_on_samples(a, b, samples=600)
+        assert counterexample is not None
+        # The counterexample really does disagree.
+        from repro.acl.compiler import compile_acl
+
+        assert compile_acl(a).action_for(counterexample) is not compile_acl(
+            b
+        ).action_for(counterexample)
+
+    def test_swapped_overlapping_rules_detected(self):
+        a = _rules(
+            "deny tcp any 10.0.0.0/8 eq 80\n"
+            "permit tcp any 10.0.0.0/8\n"
+        )
+        b = list(reversed(a))
+        assert equivalent_on_samples(a, b, samples=2000) is not None

@@ -1,0 +1,112 @@
+"""Unit tests for multi-category classification (repro.core.categories)."""
+
+import pytest
+
+from repro.core.categories import CategorizedEntry, CategorizedTable
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+
+def _key(text):
+    return TernaryKey.from_string(text)
+
+
+@pytest.fixture()
+def table():
+    table = CategorizedTable(8, stride=4)
+    # Firewall category.
+    table.add_rule(_key("0000****"), "permit-mgmt", 30, "fw")
+    table.add_rule(_key("********"), "deny-rest", 10, "fw")
+    # QoS category, overlapping the same key space.
+    table.add_rule(_key("0000**00"), "gold", 20, "qos")
+    table.add_rule(_key("********"), "best-effort", 5, "qos")
+    return table
+
+
+class TestClassify:
+    def test_one_pass_returns_all_categories(self, table):
+        winners = table.classify(0b00001100)
+        assert winners["fw"].value == "permit-mgmt"
+        assert winners["qos"].value == "gold"
+
+    def test_per_category_priority_encoding(self, table):
+        winners = table.classify(0b11110000)
+        assert winners["fw"].value == "deny-rest"
+        assert winners["qos"].value == "best-effort"
+
+    def test_missing_category_absent(self):
+        table = CategorizedTable(8, stride=4)
+        table.add_rule(_key("0000****"), "x", 1, "fw")
+        winners = table.classify(0b11110000)
+        assert winners == {}
+
+    def test_classify_value_with_default(self, table):
+        assert table.classify_value(0b00001100, "qos") == "gold"
+        assert table.classify_value(0b00001100, "mirror", default="none") == "none"
+
+    def test_categories_property(self, table):
+        assert table.categories == frozenset({"fw", "qos"})
+
+    def test_len(self, table):
+        assert len(table) == 4
+
+
+class TestEntryType:
+    def test_categorized_entry_fields(self):
+        entry = CategorizedEntry(_key("01**"), "v", 3, "fw")
+        assert entry.key == _key("01**")
+        assert entry.priority == 3
+        assert entry.category == "fw"
+        assert entry.matches(0b0100)
+
+    def test_frozen(self):
+        entry = CategorizedEntry(_key("01**"), "v", 3, "fw")
+        # Frozen slotted dataclass subclasses raise TypeError (CPython's
+        # zero-arg-super quirk) rather than FrozenInstanceError; either
+        # way mutation must fail.
+        with pytest.raises((AttributeError, TypeError)):
+            entry.category = "other"
+
+    def test_plain_entry_rejected(self):
+        table = CategorizedTable(8)
+        with pytest.raises(TypeError, match="CategorizedEntry"):
+            table.insert(TernaryEntry(_key("01******"), "v", 1))
+
+    def test_matcher_without_lookup_all_rejected(self):
+        from repro.baselines.dpdk_acl import DpdkStyleAcl
+
+        class NoMulti(DpdkStyleAcl):
+            lookup_all = None
+
+        with pytest.raises(TypeError):
+            CategorizedTable(8, matcher=object())
+
+
+class TestAgainstPerCategoryOracle:
+    def test_random(self):
+        import random
+
+        rng = random.Random(77)
+        entries = []
+        for i in range(60):
+            digits = "".join(rng.choice("01*") for _ in range(8))
+            entries.append(
+                CategorizedEntry(
+                    _key(digits), i, rng.randrange(100), rng.choice(("a", "b", "c"))
+                )
+            )
+        table = CategorizedTable.build(entries, 8, stride=3)
+        for query in range(256):
+            winners = table.classify(query)
+            for category in ("a", "b", "c"):
+                expected = max(
+                    (
+                        e
+                        for e in entries
+                        if e.category == category and e.matches(query)
+                    ),
+                    key=lambda e: e.priority,
+                    default=None,
+                )
+                got = winners.get(category)
+                assert (expected and expected.priority) == (got and got.priority)

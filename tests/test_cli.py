@@ -1,0 +1,257 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+ACL_TEXT = """\
+permit ip 192.0.2.0/24 0.0.0.0/0
+permit tcp 0.0.0.0/0 192.0.2.0/24 established
+deny ip 0.0.0.0/0 192.0.2.0/24
+"""
+
+
+@pytest.fixture()
+def acl_file(tmp_path):
+    path = tmp_path / "policy.acl"
+    path.write_text(ACL_TEXT)
+    return str(path)
+
+
+class TestMatchCommand:
+    def test_permitted_packet_exits_zero(self, acl_file, capsys):
+        code = main(
+            ["match", acl_file, "--src", "192.0.2.7", "--dst", "8.8.8.8", "--proto", "6"]
+        )
+        assert code == 0
+        assert "matched rule 1" in capsys.readouterr().out
+
+    def test_denied_packet_exits_one(self, acl_file, capsys):
+        code = main(
+            [
+                "match", acl_file,
+                "--src", "8.8.8.8", "--dst", "192.0.2.7",
+                "--proto", "6", "--flags", "0x02",
+            ]
+        )
+        assert code == 1
+        assert "deny" in capsys.readouterr().out
+
+    def test_established_flag_permitted(self, acl_file, capsys):
+        code = main(
+            [
+                "match", acl_file,
+                "--src", "8.8.8.8", "--dst", "192.0.2.7",
+                "--proto", "6", "--flags", "0x10",
+            ]
+        )
+        assert code == 0
+        assert "established" in capsys.readouterr().out
+
+    def test_no_match_is_implicit_deny(self, acl_file, capsys):
+        code = main(
+            ["match", acl_file, "--src", "8.8.8.8", "--dst", "9.9.9.9", "--proto", "17"]
+        )
+        assert code == 1
+        assert "implicit deny" in capsys.readouterr().out
+
+
+class TestDatasetsCommand:
+    def test_lists_sizes(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "D_0: 17 rules, 18 ternary entries" in out
+        assert "classbench sizes" in out
+
+
+class TestExperimentCommand:
+    def test_table3_prints_and_saves(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+        assert main(["experiment", "table3", "--save"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert (tmp_path / "table3.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestGenerateCommand:
+    def test_campus_with_trace(self, tmp_path, capsys):
+        acl_path = str(tmp_path / "d1.acl")
+        trace_path = str(tmp_path / "d1.trace")
+        code = main(
+            [
+                "generate", "campus", "--q", "1", "-o", acl_path,
+                "--trace", trace_path, "--trace-count", "100",
+            ]
+        )
+        assert code == 0
+        from repro.workloads.io import load_acl, load_trace
+
+        assert len(load_acl(acl_path)) == 34
+        queries, key_length = load_trace(trace_path)
+        assert len(queries) == 100 and key_length == 128
+
+    def test_classbench(self, tmp_path):
+        acl_path = str(tmp_path / "fw.acl")
+        assert main(["generate", "classbench", "--profile", "fw", "--size", "50",
+                     "-o", acl_path]) == 0
+        from repro.workloads.io import load_acl
+
+        assert len(load_acl(acl_path)) == 50
+
+    def test_scan_trace(self, tmp_path):
+        acl_path = str(tmp_path / "d0.acl")
+        trace_path = str(tmp_path / "scan.trace")
+        assert main(["generate", "campus", "--q", "0", "-o", acl_path,
+                     "--trace", trace_path, "--trace-count", "10",
+                     "--traffic", "scan"]) == 0
+        from repro.acl.layout import LAYOUT_V4
+        from repro.workloads.io import load_trace
+
+        queries, _ = load_trace(trace_path)
+        assert all(LAYOUT_V4.unpack_query(q)["dst_port"] == 5060 for q in queries)
+
+
+class TestCompileCommand:
+    def test_compile_to_binary(self, acl_file, tmp_path, capsys):
+        out = str(tmp_path / "table.plm")
+        assert main(["compile", acl_file, "-o", out]) == 0
+        from repro.core.serialize import load_plus
+
+        matcher = load_plus(out)
+        assert matcher.stride == 8
+        assert len(matcher) == 4  # 3 rules, established doubles one
+
+    def test_compile_with_compression(self, tmp_path, capsys):
+        from repro.core.serialize import load_plus
+
+        # Two adjacent exact ports in one rule class merge to a prefix.
+        acl_path = tmp_path / "c.acl"
+        acl_path.write_text(
+            "permit tcp any any eq 80\npermit tcp any any eq 81\n"
+        )
+        out = str(tmp_path / "c.plm")
+        assert main(["compile", str(acl_path), "-o", out, "--compress"]) == 0
+        assert "compressed" in capsys.readouterr().out
+        matcher = load_plus(out)
+        # Compression merges only same-(value, priority) classes; two
+        # distinct rules stay distinct but the table still matches both.
+        from repro.packet.headers import PacketHeader
+
+        q80 = PacketHeader(1, 2, 6, 3, 80).to_query()
+        q81 = PacketHeader(1, 2, 6, 3, 81).to_query()
+        assert matcher.lookup(q80) is not None
+        assert matcher.lookup(q81) is not None
+
+
+class TestAnalyzeCommand:
+    def test_clean_acl_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.acl"
+        path.write_text("permit tcp any 10.0.0.0/8\npermit udp any 10.0.0.0/8\n")
+        assert main(["analyze", str(path)]) == 0
+        assert "0 shadowed, 0 correlations" in capsys.readouterr().out
+
+    def test_redundant_rule_flagged(self, tmp_path, capsys):
+        path = tmp_path / "dup.acl"
+        path.write_text("permit ip 10.0.0.0/8 any\npermit ip 10.1.0.0/16 any\n")
+        assert main(["analyze", str(path)]) == 1
+        assert "redundant" in capsys.readouterr().out
+
+    def test_generalizations_summarized(self, tmp_path, capsys):
+        path = tmp_path / "idiom.acl"
+        path.write_text(
+            "permit tcp any 10.0.0.32/27 eq 80\ndeny ip any 10.0.0.0/8\n"
+        )
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 generalizations" in out
+        assert "generalizes" not in out  # only listed with --verbose
+        assert main(["analyze", str(path), "--verbose"]) == 0
+        assert "generalizes" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    @pytest.fixture()
+    def dataset(self, tmp_path):
+        acl_path = str(tmp_path / "d0.acl")
+        trace_path = str(tmp_path / "d0.trace")
+        main(["generate", "campus", "--q", "0", "-o", acl_path,
+              "--trace", trace_path, "--trace-count", "80"])
+        return acl_path, trace_path
+
+    def test_replay_trace(self, dataset, capsys):
+        acl_path, trace_path = dataset
+        assert main(["replay", acl_path, trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 80 packets" in out
+        assert "permit" in out
+
+    @pytest.mark.parametrize("matcher", ["sorted-list", "vectorized", "tcam"])
+    def test_replay_other_matchers(self, dataset, matcher, capsys):
+        acl_path, trace_path = dataset
+        assert main(["replay", acl_path, trace_path, "--matcher", matcher]) == 0
+        assert matcher in capsys.readouterr().out
+
+    def test_replay_pcap(self, dataset, tmp_path, capsys):
+        from repro.packet import PacketHeader, PcapPacket, encode_packet, write_pcap
+
+        acl_path, _ = dataset
+        pcap_path = str(tmp_path / "t.pcap")
+        header = PacketHeader(0x0A000001, 0x08080808, 6, 40000, 443, 0x02)
+        write_pcap(pcap_path, [PcapPacket(0.0, encode_packet(header))])
+        assert main(["replay", acl_path, pcap_path]) == 0
+        assert "replayed 1 packets" in capsys.readouterr().out
+
+    def test_key_length_mismatch(self, dataset, tmp_path, capsys):
+        from repro.workloads.io import save_trace
+
+        acl_path, _ = dataset
+        bad_trace = str(tmp_path / "bad.trace")
+        save_trace([1, 2, 3], 64, bad_trace)
+        assert main(["replay", acl_path, bad_trace]) == 2
+        assert "64 bits" in capsys.readouterr().err
+
+    def test_empty_trace(self, dataset, tmp_path, capsys):
+        from repro.workloads.io import save_trace
+
+        acl_path, _ = dataset
+        empty = str(tmp_path / "empty.trace")
+        save_trace([], 128, empty)
+        assert main(["replay", acl_path, empty]) == 2
+
+
+class TestDiffCommand:
+    def test_equivalent_reorder_exits_zero(self, tmp_path, capsys):
+        old = tmp_path / "old.acl"
+        new = tmp_path / "new.acl"
+        old.write_text("permit tcp any 10.0.0.0/8\ndeny udp any 11.0.0.0/8\n")
+        new.write_text("deny udp any 11.0.0.0/8\npermit tcp any 10.0.0.0/8\n")
+        assert main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "~" in out and "semantics preserved" in out
+
+    def test_semantic_change_exits_one(self, tmp_path, capsys):
+        old = tmp_path / "old.acl"
+        new = tmp_path / "new.acl"
+        old.write_text("deny tcp any 10.0.0.0/8 eq 80\npermit tcp any 10.0.0.0/8\n")
+        new.write_text("permit tcp any 10.0.0.0/8\ndeny tcp any 10.0.0.0/8 eq 80\n")
+        assert main(["diff", str(old), str(new), "--samples", "2500"]) == 1
+        out = capsys.readouterr().out
+        assert "SEMANTICS CHANGED" in out
+        assert "counterexample packet" in out
+
+    def test_identical(self, tmp_path, capsys):
+        path = tmp_path / "a.acl"
+        path.write_text("permit ip any any\n")
+        assert main(["diff", str(path), str(path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

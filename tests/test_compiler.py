@@ -1,0 +1,128 @@
+"""Unit tests for the ACL-to-ternary compiler (repro.acl.compiler)."""
+
+import pytest
+
+from repro.acl.compiler import compile_acl, compile_rule
+from repro.acl.layout import LAYOUT_V4, LAYOUT_V6, TCP_ACK, TCP_RST, TCP_SYN
+from repro.acl.parser import parse_acl, parse_rule
+from repro.acl.rule import Action
+from repro.packet.headers import PROTO_ICMP, PROTO_TCP, PROTO_UDP, PacketHeader
+
+TABLE2_ACL = """\
+permit ip 192.0.2.0/24 0.0.0.0/0
+permit icmp 0.0.0.0/0 192.0.2.0/24
+permit udp 0.0.0.0/0 eq 53 192.0.2.0/24
+permit tcp 0.0.0.0/0 192.0.2.0/24 established
+deny ip 0.0.0.0/0 192.0.2.0/24
+"""
+
+INSIDE = 0xC0000205  # 192.0.2.5
+OUTSIDE = 0x08080808  # 8.8.8.8
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return compile_acl(parse_acl(TABLE2_ACL))
+
+
+class TestCompileRule:
+    def test_simple_rule_is_one_entry(self):
+        rule = parse_rule("permit ip 192.0.2.0/24 any")
+        entries = compile_rule(rule, value=0, priority=1)
+        assert len(entries) == 1
+        key = entries[0].key
+        src = LAYOUT_V4.field_key(key, "src_ip")
+        assert src.to_string() == "110000000000000000000010" + "*" * 8
+
+    def test_established_expands_to_two(self):
+        rule = parse_rule("permit tcp any any established")
+        entries = compile_rule(rule, value=0, priority=1)
+        assert len(entries) == 2
+        flags = [LAYOUT_V4.field_key(e.key, "tcp_flags").to_string() for e in entries]
+        assert set(flags) == {"***1****", "*****1**"}
+
+    def test_port_range_expands(self):
+        rule = parse_rule("permit tcp any gt 1023 any")
+        entries = compile_rule(rule, value=0, priority=1)
+        assert len(entries) == 6  # the classic ephemeral-range cover
+
+    def test_cross_product_of_ranges_and_flags(self):
+        rule = parse_rule("permit tcp any gt 1023 any established")
+        entries = compile_rule(rule, value=0, priority=1)
+        assert len(entries) == 12
+
+    def test_proto_wildcard_for_ip(self):
+        rule = parse_rule("permit ip any any")
+        (entry,) = compile_rule(rule, value=0, priority=1)
+        assert LAYOUT_V4.field_key(entry.key, "proto").to_string() == "********"
+
+    def test_v6_layout_widens_addresses(self):
+        rule = parse_rule("permit ip 192.0.2.0/24 any")
+        (entry,) = compile_rule(rule, value=0, priority=1, layout=LAYOUT_V6)
+        assert entry.key.length == 512
+        src = LAYOUT_V6.field_key(entry.key, "src_ip")
+        assert src.length == 128
+        assert src.to_string().startswith("110000000000000000000010")
+        assert src.to_string().endswith("*" * 104)
+
+
+class TestCompileAcl:
+    def test_table2_entry_count(self, table2):
+        # 5 rules; the established rule doubles -> 6 ternary entries.
+        assert len(table2.rules) == 5
+        assert len(table2.entries) == 6
+
+    def test_priorities_descend_with_rule_order(self, table2):
+        priorities = [e.priority for e in table2.entries]
+        assert priorities == sorted(priorities, reverse=True)
+        assert table2.entries[0].priority == 5
+
+    def test_entry_values_map_to_rules(self, table2):
+        assert [e.value for e in table2.entries] == [0, 1, 2, 3, 3, 4]
+
+
+class TestTable2Semantics:
+    """The prose semantics of the paper's Table 2 example ACL."""
+
+    def _action(self, table2, header):
+        return table2.action_for(header.to_query())
+
+    def test_outgoing_permitted(self, table2):
+        header = PacketHeader(src_ip=INSIDE, dst_ip=OUTSIDE, proto=PROTO_TCP, tcp_flags=TCP_SYN)
+        assert self._action(table2, header) is Action.PERMIT
+
+    def test_incoming_icmp_permitted(self, table2):
+        header = PacketHeader(src_ip=OUTSIDE, dst_ip=INSIDE, proto=PROTO_ICMP)
+        assert self._action(table2, header) is Action.PERMIT
+
+    def test_incoming_dns_response_permitted(self, table2):
+        header = PacketHeader(
+            src_ip=OUTSIDE, dst_ip=INSIDE, proto=PROTO_UDP, src_port=53, dst_port=5353
+        )
+        assert self._action(table2, header) is Action.PERMIT
+
+    def test_incoming_udp_other_port_denied(self, table2):
+        header = PacketHeader(
+            src_ip=OUTSIDE, dst_ip=INSIDE, proto=PROTO_UDP, src_port=54, dst_port=5353
+        )
+        assert self._action(table2, header) is Action.DENY
+
+    def test_established_tcp_permitted(self, table2):
+        for flags in (TCP_ACK, TCP_RST, TCP_ACK | TCP_SYN):
+            header = PacketHeader(
+                src_ip=OUTSIDE, dst_ip=INSIDE, proto=PROTO_TCP, tcp_flags=flags
+            )
+            assert self._action(table2, header) is Action.PERMIT
+
+    def test_incoming_syn_denied(self, table2):
+        header = PacketHeader(src_ip=OUTSIDE, dst_ip=INSIDE, proto=PROTO_TCP, tcp_flags=TCP_SYN)
+        assert self._action(table2, header) is Action.DENY
+
+    def test_unrelated_traffic_implicit_default(self, table2):
+        header = PacketHeader(src_ip=OUTSIDE, dst_ip=OUTSIDE, proto=PROTO_TCP)
+        # No rule matches; action_for falls back to its default.
+        assert table2.action_for(header.to_query()) is Action.DENY
+        assert table2.action_for(header.to_query(), default=Action.PERMIT) is Action.PERMIT
+
+    def test_len(self, table2):
+        assert len(table2) == 6

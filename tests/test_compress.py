@@ -1,0 +1,108 @@
+"""Unit tests for ternary table compression (repro.acl.compress)."""
+
+import random
+
+import pytest
+
+from helpers import oracle_lookup
+from repro.acl.compress import compress_entries, compression_ratio
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+
+def _entry(text, value=0, priority=1):
+    return TernaryEntry(TernaryKey.from_string(text), value, priority)
+
+
+class TestAdjacencyMerge:
+    def test_single_bit_pair_merges(self):
+        compressed = compress_entries([_entry("0101"), _entry("0100")])
+        assert len(compressed) == 1
+        assert compressed[0].key.to_string() == "010*"
+
+    def test_four_way_merge_to_fixpoint(self):
+        compressed = compress_entries(
+            [_entry("0100"), _entry("0101"), _entry("0110"), _entry("0111")]
+        )
+        assert len(compressed) == 1
+        assert compressed[0].key.to_string() == "01**"
+
+    def test_different_values_do_not_merge(self):
+        compressed = compress_entries(
+            [_entry("0100", value="a"), _entry("0101", value="b")]
+        )
+        assert len(compressed) == 2
+
+    def test_different_priorities_do_not_merge(self):
+        compressed = compress_entries(
+            [_entry("0100", priority=1), _entry("0101", priority=2)]
+        )
+        assert len(compressed) == 2
+
+    def test_non_adjacent_keys_survive(self):
+        entries = [_entry("0000"), _entry("0011")]
+        compressed = compress_entries(entries)
+        assert len(compressed) == 2
+
+    def test_existing_wildcards_participate(self):
+        compressed = compress_entries([_entry("010*"), _entry("011*")])
+        assert len(compressed) == 1
+        assert compressed[0].key.to_string() == "01**"
+
+    def test_mixed_masks_do_not_merge_directly(self):
+        # 010* and 0110 differ in mask shape; no single-bit merge applies.
+        compressed = compress_entries([_entry("010*"), _entry("0110")])
+        assert len(compressed) == 2
+
+    def test_empty(self):
+        assert compress_entries([]) == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="key length"):
+            compress_entries([_entry("01"), _entry("011")])
+
+
+class TestSemanticsPreserved:
+    def test_port_range_cover_compresses_and_agrees(self):
+        from repro.acl.compiler import compile_acl
+        from repro.acl.parser import parse_acl
+
+        acl = compile_acl(parse_acl(
+            "permit tcp any any range 1024 2047\n"
+            "permit tcp any any range 8 15\n"
+            "deny ip any any\n"
+        ))
+        # Each aligned range is already one prefix; expand one rule into
+        # adjacent exact ports instead.
+        extra = compile_acl(parse_acl(
+            "permit tcp any any eq 80\npermit tcp any any eq 81\n"
+        ))
+        entries = list(acl.entries)
+        # Re-tag the two eq entries to one class so they can merge.
+        entries += [
+            TernaryEntry(e.key, "web", 50) for e in extra.entries
+        ]
+        compressed = compress_entries(entries)
+        assert len(compressed) < len(entries)
+
+    def test_random_tables_equivalent(self):
+        rng = random.Random(301)
+        for _ in range(5):
+            entries = []
+            for value in range(4):
+                for _i in range(rng.randrange(3, 12)):
+                    key = TernaryKey(rng.getrandbits(8), rng.getrandbits(8) & 0b11, 8)
+                    entries.append(TernaryEntry(key, value, value))
+            compressed = compress_entries(entries)
+            assert len(compressed) <= len(entries)
+            for query in range(256):
+                before = oracle_lookup(entries, query)
+                after = oracle_lookup(compressed, query)
+                assert (before and before.priority) == (after and after.priority)
+
+    def test_ratio(self):
+        entries = [_entry(f"{i:04b}") for i in range(16)]
+        compressed = compress_entries(entries)
+        assert len(compressed) == 1  # collapses to ****
+        assert compression_ratio(entries, compressed) == pytest.approx(15 / 16)
+        assert compression_ratio([], []) == 0.0

@@ -1,0 +1,135 @@
+"""Unit tests for the stateful firewall (repro.apps.conntrack)."""
+
+import pytest
+
+from repro.acl.compiler import compile_acl
+from repro.acl.parser import parse_acl
+from repro.acl.rule import Action
+from repro.apps.conntrack import ConnState, StatefulFirewall
+from repro.packet.headers import PROTO_TCP, PROTO_UDP, PacketHeader
+
+# Outbound-only policy: no `established` rule needed — state handles returns.
+ACL = """\
+permit tcp 10.0.0.0/8 any
+permit udp 10.0.0.0/8 any eq 53
+deny ip any any
+"""
+
+INSIDE = 0x0A000005
+OUTSIDE = 0x08080808
+
+
+def _fw(**kwargs):
+    return StatefulFirewall(compile_acl(parse_acl(ACL)), **kwargs)
+
+
+def _syn(t=0.0):
+    return PacketHeader(INSIDE, OUTSIDE, PROTO_TCP, 40000, 443, 0x02)
+
+
+def _synack():
+    return PacketHeader(OUTSIDE, INSIDE, PROTO_TCP, 443, 40000, 0x12)
+
+
+def _ack():
+    return PacketHeader(INSIDE, OUTSIDE, PROTO_TCP, 40000, 443, 0x10)
+
+
+class TestHandshake:
+    def test_outbound_creates_state_return_fast_paths(self):
+        fw = _fw()
+        assert fw.check(_syn(), 0.0) is Action.PERMIT
+        assert fw.connection_count() == 1
+        # The return SYN-ACK would be DENIED by the stateless ACL (no
+        # inbound permit); state lets it through.
+        assert fw.check(_synack(), 0.1) is Action.PERMIT
+        assert fw.fast_path_hits == 1
+        assert fw.acl_evaluations == 1
+
+    def test_state_machine_progresses(self):
+        fw = _fw()
+        fw.check(_syn(), 0.0)
+        assert fw.connection_for(_syn()).state is ConnState.NEW
+        fw.check(_synack(), 0.1)
+        assert fw.connection_for(_syn()).state is ConnState.ESTABLISHED
+        fin = PacketHeader(INSIDE, OUTSIDE, PROTO_TCP, 40000, 443, 0x11)
+        fw.check(fin, 0.2)
+        assert fw.connection_for(_syn()).state is ConnState.CLOSING
+
+    def test_rst_moves_to_closing(self):
+        fw = _fw()
+        fw.check(_syn(), 0.0)
+        rst = PacketHeader(OUTSIDE, INSIDE, PROTO_TCP, 443, 40000, 0x04)
+        fw.check(rst, 0.1)
+        assert fw.connection_for(_syn()).state is ConnState.CLOSING
+
+    def test_unsolicited_inbound_denied(self):
+        fw = _fw()
+        assert fw.check(_synack(), 0.0) is Action.DENY
+        assert fw.connection_count() == 0
+
+    def test_rule_index_recorded(self):
+        fw = _fw()
+        fw.check(_syn(), 0.0)
+        assert fw.connection_for(_syn()).rule_index == 0
+
+
+class TestNonTcp:
+    def test_udp_immediately_established(self):
+        fw = _fw()
+        dns = PacketHeader(INSIDE, OUTSIDE, PROTO_UDP, 5353, 53)
+        assert fw.check(dns, 0.0) is Action.PERMIT
+        assert fw.connection_for(dns).state is ConnState.ESTABLISHED
+        reply = PacketHeader(OUTSIDE, INSIDE, PROTO_UDP, 53, 5353)
+        assert fw.check(reply, 0.1) is Action.PERMIT
+
+    def test_denied_udp_creates_no_state(self):
+        fw = _fw()
+        probe = PacketHeader(OUTSIDE, INSIDE, PROTO_UDP, 1000, 2000)
+        assert fw.check(probe, 0.0) is Action.DENY
+        assert fw.connection_count() == 0
+
+
+class TestTimeouts:
+    def test_idle_flow_expires(self):
+        fw = _fw(idle_timeout=10.0)
+        fw.check(_syn(), 0.0)
+        # After the timeout, the return packet is a table miss -> ACL deny.
+        assert fw.check(_synack(), 20.0) is Action.DENY
+        assert fw.connection_count() == 0
+
+    def test_closing_expires_faster(self):
+        fw = _fw(idle_timeout=100.0, closing_timeout=5.0)
+        fw.check(_syn(), 0.0)
+        fw.check(PacketHeader(OUTSIDE, INSIDE, PROTO_TCP, 443, 40000, 0x04), 1.0)
+        assert fw.expire(now=10.0) == 1
+        assert fw.connection_count() == 0
+
+    def test_expire_keeps_fresh_flows(self):
+        fw = _fw(idle_timeout=10.0)
+        fw.check(_syn(), 0.0)
+        assert fw.expire(now=5.0) == 0
+        assert fw.connection_count() == 1
+
+
+class TestTablePressure:
+    def test_full_table_fails_closed(self):
+        fw = _fw(max_connections=2, idle_timeout=1000.0)
+        for i in range(2):
+            packet = PacketHeader(INSIDE, OUTSIDE, PROTO_TCP, 40000 + i, 443, 0x02)
+            assert fw.check(packet, 0.0) is Action.PERMIT
+        extra = PacketHeader(INSIDE, OUTSIDE, PROTO_TCP, 40005, 443, 0x02)
+        assert fw.check(extra, 0.1) is Action.DENY
+        assert fw.table_full_drops == 1
+
+    def test_full_table_recovers_after_expiry(self):
+        fw = _fw(max_connections=1, idle_timeout=5.0)
+        fw.check(_syn(), 0.0)
+        late = PacketHeader(INSIDE, OUTSIDE, PROTO_TCP, 40001, 443, 0x02)
+        assert fw.check(late, 100.0) is Action.PERMIT  # old flow expired
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeouts"):
+            _fw(idle_timeout=0)
+        with pytest.raises(ValueError, match="max_connections"):
+            _fw(max_connections=0)

@@ -1,0 +1,94 @@
+"""Unit tests for ACL diffing (repro.acl.diff)."""
+
+import pytest
+
+from repro.acl.diff import diff_acls
+from repro.acl.parser import parse_acl
+
+
+def _rules(text):
+    return parse_acl(text)
+
+
+BASE = """\
+permit tcp any 10.0.0.0/8 eq 80
+permit udp any eq 53 10.0.0.0/8
+deny ip any 10.0.0.0/8
+permit ip 10.0.0.0/8 any
+"""
+
+
+class TestTextualDiff:
+    def test_identical(self):
+        rules = _rules(BASE)
+        diff = diff_acls(rules, list(rules))
+        assert diff.textually_identical
+        assert diff.semantically_equivalent
+        assert diff.summary() == "identical"
+
+    def test_added_rule(self):
+        old = _rules(BASE)
+        new = _rules(BASE + "permit icmp any 10.0.0.0/8\n")
+        diff = diff_acls(old, new)
+        assert len(diff.added) == 1
+        assert diff.added[0][0] == 4
+        assert not diff.removed and not diff.moved
+
+    def test_removed_rule(self):
+        old = _rules(BASE)
+        new = old[:1] + old[2:]
+        diff = diff_acls(old, new)
+        assert len(diff.removed) == 1
+        assert diff.removed[0][0] == 1
+
+    def test_moved_rule_detected(self):
+        old = _rules(BASE)
+        new = [old[1], old[0]] + old[2:]
+        diff = diff_acls(old, new)
+        assert len(diff.moved) == 1
+        assert not diff.added and not diff.removed
+
+    def test_duplicate_rules_matched_pairwise(self):
+        old = _rules("permit ip any any\npermit ip any any\n")
+        new = _rules("permit ip any any\n")
+        diff = diff_acls(old, new)
+        assert len(diff.removed) == 1
+        assert not diff.added
+
+
+class TestSemanticCheck:
+    def test_swapping_disjoint_rules_is_equivalent(self):
+        old = _rules("permit tcp any 10.0.0.0/8\ndeny udp any 11.0.0.0/8\n")
+        new = list(reversed(old))
+        diff = diff_acls(old, new)
+        assert diff.moved
+        assert diff.semantically_equivalent
+
+    def test_swapping_overlapping_rules_changes_semantics(self):
+        old = _rules("deny tcp any 10.0.0.0/8 eq 80\npermit tcp any 10.0.0.0/8\n")
+        new = list(reversed(old))
+        diff = diff_acls(old, new, samples=2500)
+        assert not diff.semantically_equivalent
+        assert "SEMANTICS CHANGED" in diff.summary()
+
+    def test_removing_redundant_rule_is_equivalent(self):
+        old = _rules("permit ip 10.0.0.0/8 any\npermit ip 10.1.0.0/16 any\n")
+        new = old[:1]
+        diff = diff_acls(old, new)
+        assert diff.removed
+        assert diff.semantically_equivalent
+
+    def test_removing_live_rule_changes_semantics(self):
+        old = _rules(BASE)
+        new = old[1:]  # drop the web permit; those packets now hit deny
+        diff = diff_acls(old, new, samples=2000)
+        assert not diff.semantically_equivalent
+
+    def test_summary_counts(self):
+        old = _rules(BASE)
+        new = [old[1], old[0], old[2]] + _rules("permit icmp any any\n")
+        diff = diff_acls(old, new)
+        text = diff.summary()
+        assert "+1 added" in text
+        assert "-1 removed" in text
+        assert "~1 moved" in text

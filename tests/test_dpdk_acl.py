@@ -1,0 +1,123 @@
+"""Unit tests for the DPDK-ACL-style baseline (repro.baselines.dpdk_acl)."""
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
+from repro.baselines.dpdk_acl import BuildExplosionError, DpdkStyleAcl
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+
+class TestCorrectness:
+    def test_table1(self):
+        entries = table1_entries()
+        matcher = DpdkStyleAcl.build(entries, 8)
+        for query in range(256):
+            assert_same_result(oracle_lookup(entries, query), matcher.lookup(query))
+
+    def test_random_tables(self):
+        entries = random_entries(60, 16, seed=31)
+        matcher = DpdkStyleAcl.build(entries, 16)
+        for query in range(0, 1 << 16, 173):
+            assert_same_result(oracle_lookup(entries, query), matcher.lookup(query))
+
+    def test_counted_agrees(self):
+        entries = table1_entries()
+        matcher = DpdkStyleAcl.build(entries, 8)
+        for query in range(0, 256, 7):
+            a = matcher.lookup(query)
+            b = matcher.lookup_counted(query)
+            assert (a is None) == (b is None)
+
+    def test_empty_table(self):
+        matcher = DpdkStyleAcl.build([], 8)
+        assert matcher.lookup(0) is None
+
+
+class TestStructure:
+    def test_lookup_depth_bounded_by_key_bytes(self):
+        entries = random_entries(40, 16, seed=32)
+        matcher = DpdkStyleAcl.build(entries, 16)
+        matcher.stats.reset()
+        for query in range(0, 1 << 16, 509):
+            matcher.lookup_counted(query)
+        assert matcher.stats.per_lookup()["node_visits"] <= 2  # 16-bit key = 2 bytes
+
+    def test_early_resolution_on_wildcard_tail(self):
+        # A single all-wildcard top-priority rule resolves at the root.
+        entries = [TernaryEntry(TernaryKey.wildcard(16), "any", 9)]
+        matcher = DpdkStyleAcl.build(entries, 16)
+        assert matcher.state_count == 0
+        assert matcher.lookup(1234).value == "any"
+
+    def test_state_explosion_guard(self):
+        entries = random_entries(120, 32, seed=33)
+        with pytest.raises(BuildExplosionError):
+            DpdkStyleAcl.build(entries, 32, state_limit=10)
+
+    def test_key_length_must_be_byte_aligned(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            DpdkStyleAcl(12)
+
+    def test_no_incremental_updates(self):
+        matcher = DpdkStyleAcl.build(table1_entries(), 8)
+        with pytest.raises(NotImplementedError):
+            matcher.insert(TernaryEntry(TernaryKey.wildcard(8), 0, 0))
+
+    def test_memory_scales_with_states(self):
+        small = DpdkStyleAcl.build(random_entries(20, 16, seed=34), 16)
+        large = DpdkStyleAcl.build(random_entries(80, 16, seed=35), 16)
+        assert large.state_count > small.state_count
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_entry_length_mismatch(self):
+        with pytest.raises(ValueError, match="key length"):
+            DpdkStyleAcl.build([TernaryEntry(TernaryKey.wildcard(8), 0, 1)], 16)
+
+
+class TestTrieSplitting:
+    """librte_acl-style multi-trie builds (max_tries > 1)."""
+
+    @pytest.mark.parametrize("tries", [1, 2, 4])
+    def test_correctness_with_splitting(self, tries):
+        entries = random_entries(70, 16, seed=36)
+        matcher = DpdkStyleAcl.build(entries, 16, max_tries=tries)
+        for query in range(0, 1 << 16, 211):
+            assert_same_result(oracle_lookup(entries, query), matcher.lookup(query))
+
+    def test_split_reduces_states(self):
+        from repro.workloads.campus import campus_acl
+
+        entries = list(campus_acl(4).entries)
+        single = DpdkStyleAcl.build(entries, 128, max_tries=1)
+        split = DpdkStyleAcl.build(entries, 128, max_tries=8)
+        assert split.state_count < single.state_count
+        assert split.trie_count > 1
+
+    def test_group_budget_respected(self):
+        entries = random_entries(60, 16, seed=37)
+        matcher = DpdkStyleAcl.build(entries, 16, max_tries=3)
+        assert matcher.trie_count <= 3
+
+    def test_lookup_depth_scales_with_tries(self):
+        entries = random_entries(60, 16, seed=38)
+        single = DpdkStyleAcl.build(entries, 16, max_tries=1)
+        split = DpdkStyleAcl.build(entries, 16, max_tries=4)
+        single.stats.reset()
+        split.stats.reset()
+        for query in range(0, 1 << 16, 509):
+            single.lookup_counted(query)
+            split.lookup_counted(query)
+        assert (
+            split.stats.per_lookup()["node_visits"]
+            >= single.stats.per_lookup()["node_visits"]
+        )
+
+    def test_invalid_max_tries(self):
+        with pytest.raises(ValueError, match="max_tries"):
+            DpdkStyleAcl(16, max_tries=0)
+
+    def test_empty_with_splitting(self):
+        matcher = DpdkStyleAcl.build([], 16, max_tries=4)
+        assert matcher.lookup(0) is None
+        assert matcher.trie_count == 0

@@ -1,0 +1,105 @@
+"""Unit tests for the EffiCuts-style baseline (repro.baselines.efficuts)."""
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
+from repro.baselines.efficuts import EffiCutsClassifier, _field_range
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+
+class TestFieldRange:
+    def _entry(self, text):
+        return TernaryEntry(TernaryKey.from_string(text), 0, 1)
+
+    def test_prefix_field(self):
+        assert _field_range(self._entry("10**"), 0, 4) == (0b1000, 0b1011)
+
+    def test_exact_field(self):
+        assert _field_range(self._entry("1010"), 0, 4) == (0b1010, 0b1010)
+
+    def test_wildcard_field(self):
+        assert _field_range(self._entry("****"), 0, 4) == (0, 15)
+
+    def test_non_prefix_ternary_widens(self):
+        # 1*1* is not prefix-shaped: widened to the whole dimension.
+        assert _field_range(self._entry("1*1*"), 0, 4) == (0, 15)
+
+    def test_subfield(self):
+        assert _field_range(self._entry("10**0011"), 4, 4) == (0b1000, 0b1011)
+
+
+class TestCorrectness:
+    def test_table1(self):
+        entries = table1_entries()
+        matcher = EffiCutsClassifier.build(entries, 8)
+        for query in range(256):
+            assert_same_result(oracle_lookup(entries, query), matcher.lookup(query))
+
+    def test_random_tables(self):
+        entries = random_entries(80, 16, seed=41)
+        matcher = EffiCutsClassifier.build(entries, 16)
+        for query in range(0, 1 << 16, 151):
+            assert_same_result(oracle_lookup(entries, query), matcher.lookup(query))
+
+    def test_counted_agrees(self):
+        entries = random_entries(50, 16, seed=42)
+        matcher = EffiCutsClassifier.build(entries, 16)
+        for query in range(0, 1 << 16, 997):
+            a = matcher.lookup(query)
+            b = matcher.lookup_counted(query)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.priority == b.priority
+
+    def test_empty(self):
+        matcher = EffiCutsClassifier.build([], 16)
+        assert matcher.lookup(0) is None
+        assert len(matcher) == 0
+
+
+class TestTreeSeparation:
+    def test_mixed_largeness_builds_multiple_trees(self):
+        entries = [
+            TernaryEntry(TernaryKey.from_string("00000000" + "*" * 8), "specific", 3),
+            TernaryEntry(TernaryKey.from_string("*" * 16), "wild", 1),
+        ]
+        matcher = EffiCutsClassifier.build(entries, 16, dimensions=((8, 8), (0, 8)))
+        assert matcher.tree_count == 2
+
+    def test_binth_limits_leaf_size(self):
+        # Cutting needs prefix/range-shaped fields (EffiCuts' assumption);
+        # fully random ternary keys all widen to the whole dimension.
+        import random
+
+        rng = random.Random(43)
+        entries = []
+        for i in range(200):
+            prefix_len = rng.randrange(4, 17)
+            entries.append(
+                TernaryEntry(
+                    TernaryKey.from_prefix(rng.getrandbits(prefix_len), prefix_len, 16),
+                    i,
+                    rng.randrange(1000),
+                )
+            )
+        matcher = EffiCutsClassifier.build(entries, 16, binth=4)
+        internal, leaves = matcher.node_count()
+        assert internal > 0 and leaves > 1
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            EffiCutsClassifier(16, dimensions=((8, 16),))
+
+    def test_no_incremental_updates(self):
+        matcher = EffiCutsClassifier.build(table1_entries(), 8)
+        with pytest.raises(NotImplementedError):
+            matcher.insert(TernaryEntry(TernaryKey.wildcard(8), 0, 0))
+
+    def test_default_v4_dimensions(self):
+        matcher = EffiCutsClassifier(128)
+        assert len(matcher.dimensions) == 5  # TCP flags excluded (§4.3)
+
+    def test_memory_model_positive(self):
+        matcher = EffiCutsClassifier.build(random_entries(100, 16, seed=44), 16)
+        assert matcher.memory_bytes() > 0

@@ -1,0 +1,66 @@
+"""Examples must keep running: each script executes end to end.
+
+Fast examples always run; the heavier ones (multi-second builds) run
+only when REPRO_RUN_SLOW_EXAMPLES=1 so the default suite stays quick.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST = [
+    "quickstart.py",
+    "paper_walkthrough.py",
+    "flow_monitoring.py",
+    "l2_filtering.py",
+    "router.py",
+]
+SLOW = [
+    "firewall.py",
+    "flowspec_updates.py",
+    "stateful_firewall.py",
+    "structure_shootout.py",
+    "trie_anatomy.py",
+]
+
+
+def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW_EXAMPLES"),
+    reason="set REPRO_RUN_SLOW_EXAMPLES=1 to run the heavy examples",
+)
+def test_slow_example_runs(name):
+    result = _run(name, timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_verdicts():
+    result = _run("quickstart.py")
+    assert "PERMIT" in result.stdout and "DENY" in result.stdout
+
+
+def test_walkthrough_reproduces_winner():
+    result = _run("paper_walkthrough.py")
+    assert "selects entry 5" in result.stdout

@@ -1,0 +1,94 @@
+"""Unit tests for the firewall engine (repro.apps.firewall)."""
+
+import pytest
+
+from repro.acl.parser import parse_acl
+from repro.acl.rule import Action
+from repro.apps.firewall import Firewall
+from repro.packet.codec import encode_packet
+from repro.packet.headers import PROTO_ICMP, PROTO_TCP, PROTO_UDP, PacketHeader
+
+ACL = """\
+permit tcp any 10.0.0.0/8 eq 80
+permit udp any eq 53 10.0.0.0/8
+deny icmp any 10.0.0.0/8
+permit ip 10.0.0.0/8 any
+"""
+
+
+@pytest.fixture()
+def firewall():
+    return Firewall.from_text(ACL)
+
+
+def _web():
+    return PacketHeader(0x01020304, 0x0A000001, PROTO_TCP, 40000, 80)
+
+
+class TestVerdicts:
+    def test_permit(self, firewall):
+        assert firewall.check(_web()) is Action.PERMIT
+        assert firewall.permits(_web())
+
+    def test_deny_rule(self, firewall):
+        ping = PacketHeader(0x01020304, 0x0A000001, PROTO_ICMP)
+        assert firewall.check(ping) is Action.DENY
+
+    def test_implicit_default(self, firewall):
+        stray = PacketHeader(0x01020304, 0x0B000001, PROTO_UDP, 1, 2)
+        assert firewall.check(stray) is Action.DENY
+        assert firewall.default_hits == 1
+
+    def test_default_action_override(self):
+        permissive = Firewall.from_text(ACL, default_action=Action.PERMIT)
+        stray = PacketHeader(0x01020304, 0x0B000001, PROTO_UDP, 1, 2)
+        assert permissive.check(stray) is Action.PERMIT
+
+
+class TestCounters:
+    def test_hits_attributed_to_rule(self, firewall):
+        for _ in range(3):
+            firewall.check(_web(), length=100)
+        counters = firewall.counters()
+        assert counters[0].packets == 3
+        assert counters[0].octets == 300
+        assert firewall.rule_hits(0) == 3
+        assert firewall.rule_hits(1) == 0
+
+    def test_unused_rules(self, firewall):
+        firewall.check(_web())
+        assert firewall.unused_rules() == [1, 2, 3]
+
+    def test_clear(self, firewall):
+        firewall.check(_web())
+        firewall.clear_counters()
+        assert firewall.rule_hits(0) == 0
+        assert firewall.unused_rules() == [0, 1, 2, 3]
+
+    def test_show_listing(self, firewall):
+        firewall.check(_web())
+        text = firewall.show()
+        assert "permit tcp 0.0.0.0/0 10.0.0.0/8 eq 80" in text
+        assert "(1 matches" in text
+        assert "implicit deny" in text
+
+
+class TestBytesPath:
+    def test_check_bytes(self, firewall):
+        assert firewall.check_bytes(encode_packet(_web())) is Action.PERMIT
+        counter = firewall.counters()[0]
+        assert counter.octets > 0  # frame length accounted
+
+    def test_garbage_fails_closed(self, firewall):
+        assert firewall.check_bytes(b"\xff\xff") is Action.DENY
+        assert firewall.decode_errors == 1
+
+
+class TestPolicySwap:
+    def test_replace_policy(self, firewall):
+        firewall.check(_web())
+        new_rules = parse_acl("deny tcp any 10.0.0.0/8 eq 80\npermit ip any any\n")
+        firewall.replace_policy(new_rules)
+        assert firewall.check(_web()) is Action.DENY
+        assert firewall.rule_hits(0) == 1  # fresh counters for fresh rules
+        assert len(firewall.counters()) == 2

@@ -1,0 +1,164 @@
+"""Fuzz and failure-injection tests.
+
+Every external input surface must fail *closed*: malformed ACL text,
+packet bytes, serialized tables and trace files must raise their
+documented exception types — never crash with something else, never
+silently mis-decode.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acl.parser import AclParseError, parse_acl, parse_rule
+from repro.core.plus import PalmtriePlus
+from repro.core.serialize import FormatError, deserialize_plus, serialize_plus
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+from repro.packet.codec import PacketDecodeError, decode_packet, encode_packet
+from repro.packet.headers import PacketHeader
+from repro.workloads.io import TraceFormatError, load_trace, save_trace
+
+
+# ----------------------------------------------------------------------
+# ACL parser
+# ----------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(max_size=120))
+def test_parse_rule_never_crashes(text):
+    try:
+        rule = parse_rule(text)
+    except AclParseError:
+        return
+    # Anything accepted must render back and re-parse identically.
+    assert parse_rule(rule.to_line()) == rule
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lines=st.lists(
+        st.text(alphabet="permitdny icpu0123456789./aeqrg*#\n", max_size=60),
+        max_size=6,
+    )
+)
+def test_parse_acl_never_crashes(lines):
+    try:
+        parse_acl("\n".join(lines))
+    except AclParseError:
+        pass
+
+
+def test_parser_rejects_garbage_corpus():
+    corpus = [
+        "permit",
+        "permit tcp",
+        "permit tcp 10.0.0.0/8",
+        "permit tcp 999.0.0.0/8 any",
+        "permit tcp 10.0.0.0/99 any",
+        "permit tcp any any eq",
+        "permit tcp any any range 1",
+        "deny ip any any established",  # established needs tcp
+        "\x00\x01\x02",
+        "permit tcp any any " + "x" * 1000,
+    ]
+    for text in corpus:
+        with pytest.raises(AclParseError):
+            parse_rule(text)
+
+
+# ----------------------------------------------------------------------
+# Packet codec
+# ----------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=80))
+def test_decode_packet_never_crashes(data):
+    try:
+        header = decode_packet(data)
+    except PacketDecodeError:
+        return
+    assert isinstance(header, PacketHeader)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    header=st.builds(
+        PacketHeader,
+        src_ip=st.integers(0, 2**32 - 1),
+        dst_ip=st.integers(0, 2**32 - 1),
+        proto=st.sampled_from([1, 6, 17, 47]),
+        src_port=st.integers(0, 2**16 - 1),
+        dst_port=st.integers(0, 2**16 - 1),
+        tcp_flags=st.integers(0, 255),
+    ),
+    flip=st.integers(0, 10_000),
+)
+def test_codec_bit_flips_fail_closed(header, flip):
+    wire = bytearray(encode_packet(header))
+    position = flip % (len(wire) * 8)
+    wire[position // 8] ^= 1 << (position % 8)
+    try:
+        decoded = decode_packet(bytes(wire))
+    except PacketDecodeError:
+        return
+    # A surviving decode must still be a structurally valid header.
+    assert 0 <= decoded.proto < 256
+
+
+# ----------------------------------------------------------------------
+# Serialized tables
+# ----------------------------------------------------------------------
+
+def _sample_blob():
+    entries = [
+        TernaryEntry(TernaryKey.from_string("01**10**"), i, i) for i in range(6)
+    ]
+    return serialize_plus(PalmtriePlus.build(entries[:1], 8, stride=3))
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_deserialize_random_bytes_fails_closed(data):
+    try:
+        deserialize_plus(data)
+    except FormatError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(flip=st.integers(0, 10_000), data=st.data())
+def test_deserialize_bit_flips_fail_closed(flip, data):
+    blob = bytearray(_sample_blob())
+    position = flip % (len(blob) * 8)
+    blob[position // 8] ^= 1 << (position % 8)
+    try:
+        matcher = deserialize_plus(bytes(blob))
+    except (FormatError, UnicodeDecodeError):
+        return
+    # A blob that still parses must at least answer lookups sanely.
+    matcher.lookup(data.draw(st.integers(0, 255)))
+
+
+# ----------------------------------------------------------------------
+# Trace files
+# ----------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(max_size=100))
+def test_load_trace_random_bytes_fail_closed(tmp_path_factory, data):
+    path = tmp_path_factory.mktemp("fuzz") / "t.trace"
+    path.write_bytes(data)
+    try:
+        load_trace(str(path))
+    except TraceFormatError:
+        pass
+
+
+def test_trace_roundtrip_random(tmp_path):
+    rng = random.Random(99)
+    queries = [rng.getrandbits(128) for _ in range(200)]
+    path = str(tmp_path / "t.trace")
+    save_trace(queries, 128, path)
+    assert load_trace(path) == (queries, 128)

@@ -1,0 +1,83 @@
+"""Unit tests for trie introspection (repro.core.introspect)."""
+
+import pytest
+
+from helpers import random_entries, table1_entries
+from repro.core.basic import BasicPalmtrie
+from repro.core.introspect import to_dot, trie_shape
+from repro.core.multibit import MultibitPalmtrie
+
+
+class TestTrieShape:
+    def test_empty_basic(self):
+        shape = trie_shape(BasicPalmtrie(8))
+        assert shape.internal_nodes == shape.leaves == shape.entries == 0
+        assert shape.average_leaf_depth == 0.0
+        assert shape.average_branching == 0.0
+        assert shape.dont_care_fraction == 0.0
+
+    def test_table1_basic(self):
+        trie = BasicPalmtrie.build(table1_entries(), 8)
+        shape = trie_shape(trie)
+        assert shape.leaves == 9
+        assert shape.entries == 9
+        internal, leaves = trie.node_count()
+        assert (shape.internal_nodes, shape.leaves) == (internal, leaves)
+        assert shape.height == trie.depth()
+        assert sum(shape.leaf_depths.values()) == 9
+        assert shape.dont_care_children > 0  # Table 1 keys carry wildcards
+
+    def test_table1_multibit(self):
+        trie = MultibitPalmtrie.build(table1_entries(), 8, stride=3)
+        shape = trie_shape(trie)
+        assert shape.entries == 9
+        assert shape.internal_nodes >= 1
+        assert 0 < shape.dont_care_fraction <= 1.0
+
+    def test_higher_stride_is_shallower(self):
+        entries = random_entries(200, 32, seed=91)
+        shallow = trie_shape(MultibitPalmtrie.build(entries, 32, stride=8))
+        deep = trie_shape(MultibitPalmtrie.build(entries, 32, stride=1))
+        assert shallow.average_leaf_depth < deep.average_leaf_depth
+        assert shallow.height <= deep.height
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            trie_shape(object())
+
+
+class TestDot:
+    def test_basic_dot_structure(self):
+        trie = BasicPalmtrie.build(table1_entries(), 8)
+        dot = to_dot(trie, title="table1")
+        assert dot.startswith('digraph "table1"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("shape=box") == 9  # one box per leaf
+        assert "color=red" in dot  # don't care edges highlighted
+        # Every key appears in some label.
+        for key, _value, _priority in [("011*1000", 1, 6)]:
+            assert key in dot
+
+    def test_multibit_dot(self):
+        trie = MultibitPalmtrie.build(table1_entries(), 8, stride=3)
+        dot = to_dot(trie)
+        assert "bit=5" in dot  # the Figure 4 root
+        assert dot.count("->") >= 9
+
+    def test_empty_trie_renders(self):
+        dot = to_dot(BasicPalmtrie(8))
+        assert dot.startswith("digraph")
+
+    def test_size_guard(self):
+        entries = random_entries(400, 16, seed=92)
+        trie = BasicPalmtrie.build(entries, 16)
+        with pytest.raises(ValueError, match="exceeds"):
+            to_dot(trie, max_nodes=50)
+
+    def test_escaping(self):
+        dot = to_dot(BasicPalmtrie(8), title='a"b\\c')
+        assert '\\"' in dot
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            to_dot(42)

@@ -1,0 +1,77 @@
+"""Unit tests for dataset/trace file I/O (repro.workloads.io)."""
+
+import pytest
+
+from repro.workloads.campus import campus_rules
+from repro.workloads.io import TraceFormatError, load_acl, load_trace, save_acl, save_trace
+
+
+class TestAclFiles:
+    def test_roundtrip(self, tmp_path):
+        rules = campus_rules(1)
+        path = str(tmp_path / "campus.acl")
+        save_acl(rules, path, comment="campus D_1\nsecond line")
+        assert load_acl(path) == rules
+
+    def test_comment_written(self, tmp_path):
+        path = str(tmp_path / "x.acl")
+        save_acl(campus_rules(0), path, comment="hello")
+        assert open(path).readline() == "# hello\n"
+
+    def test_empty_acl(self, tmp_path):
+        path = str(tmp_path / "empty.acl")
+        save_acl([], path)
+        assert load_acl(path) == []
+
+
+class TestTraceFiles:
+    def test_roundtrip(self, tmp_path):
+        queries = [0, 1, (1 << 128) - 1, 0xDEADBEEF << 64]
+        path = str(tmp_path / "t.trace")
+        written = save_trace(queries, 128, path)
+        assert written == 20 + len(queries) * 16
+        loaded, key_length = load_trace(path)
+        assert loaded == queries
+        assert key_length == 128
+
+    def test_odd_key_length_rounds_up(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace([0b101], 3, path)
+        loaded, key_length = load_trace(path)
+        assert loaded == [0b101]
+        assert key_length == 3
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace([], 128, path)
+        assert load_trace(path) == ([], 128)
+
+    def test_query_out_of_range(self, tmp_path):
+        with pytest.raises(ValueError, match="does not fit"):
+            save_trace([1 << 128], 128, str(tmp_path / "t.trace"))
+
+    def test_bad_key_length(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            save_trace([], 0, str(tmp_path / "t.trace"))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_bytes(b"PTRC")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(str(path))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace([1], 8, str(path))
+        data = bytearray(path.read_bytes())
+        data[0] = ord("X")
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace(str(path))
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace([1, 2, 3], 32, str(path))
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(TraceFormatError, match="body"):
+            load_trace(str(path))

@@ -1,0 +1,93 @@
+"""Unit tests for IPv4 utilities (repro.acl.ip)."""
+
+import pytest
+
+from repro.acl.ip import (
+    format_ipv4,
+    format_prefix,
+    parse_ipv4,
+    parse_prefix,
+    prefix_contains,
+    prefix_mask,
+    reverse_bytes,
+)
+
+
+class TestParseIpv4:
+    def test_basic(self):
+        assert parse_ipv4("192.0.2.1") == 0xC0000201
+
+    def test_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_broadcast(self):
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    @pytest.mark.parametrize(
+        "text", ["192.0.2", "192.0.2.1.5", "256.0.0.1", "a.b.c.d", "01.2.3.4", "-1.0.0.0"]
+    )
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_ipv4(text)
+
+    def test_roundtrip(self):
+        for value in (0, 1, 0x0A000000, 0xC0A80101, 0xFFFFFFFF):
+            assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestFormatIpv4:
+    def test_basic(self):
+        assert format_ipv4(0x0A000001) == "10.0.0.1"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+
+
+class TestPrefix:
+    def test_parse(self):
+        assert parse_prefix("10.0.0.0/8") == (0x0A000000, 8)
+
+    def test_bare_address_is_host_route(self):
+        assert parse_prefix("10.1.2.3") == (0x0A010203, 32)
+
+    def test_zero_prefix(self):
+        assert parse_prefix("0.0.0.0/0") == (0, 0)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError, match="host bits"):
+            parse_prefix("10.0.0.1/8")
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/33")
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/x")
+
+    def test_format(self):
+        assert format_prefix(0x0A000000, 8) == "10.0.0.0/8"
+
+    def test_mask(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+
+    def test_contains(self):
+        addr, plen = parse_prefix("10.0.0.0/8")
+        assert prefix_contains(addr, plen, parse_ipv4("10.255.1.2"))
+        assert not prefix_contains(addr, plen, parse_ipv4("11.0.0.0"))
+
+
+class TestReverseBytes:
+    def test_paper_scan_order(self):
+        # 10.255.0.0 reversed is 0.0.255.10.
+        assert reverse_bytes(parse_ipv4("10.255.0.0")) == parse_ipv4("0.0.255.10")
+
+    def test_involution(self):
+        for value in (0, 0x0A010203, 0xFFFFFFFF, 0x12345678):
+            assert reverse_bytes(reverse_bytes(value)) == value

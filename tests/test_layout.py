@@ -1,0 +1,113 @@
+"""Unit tests for key layouts (repro.acl.layout)."""
+
+import pytest
+
+from repro.acl.layout import (
+    LAYOUT_V4,
+    LAYOUT_V6,
+    TCP_ACK,
+    TCP_RST,
+    TCP_SYN,
+    Field,
+    KeyLayout,
+)
+from repro.core.ternary import TernaryKey
+
+
+class TestLayoutDefinition:
+    def test_v4_is_128_bits(self):
+        assert LAYOUT_V4.length == 128
+
+    def test_v6_is_512_bits(self):
+        assert LAYOUT_V6.length == 512
+
+    def test_v4_field_offsets(self):
+        # DESIGN.md §4 layout, msb first.
+        assert LAYOUT_V4.offset("src_ip") == 96
+        assert LAYOUT_V4.offset("dst_ip") == 64
+        assert LAYOUT_V4.offset("proto") == 56
+        assert LAYOUT_V4.offset("src_port") == 40
+        assert LAYOUT_V4.offset("dst_port") == 24
+        assert LAYOUT_V4.offset("tcp_flags") == 16
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            KeyLayout([Field("a", 4), Field("a", 4)])
+
+    def test_overflowing_fields_rejected(self):
+        with pytest.raises(ValueError, match="fields need"):
+            KeyLayout([Field("a", 8)], total_length=4)
+
+    def test_implicit_total_length(self):
+        layout = KeyLayout([Field("a", 3), Field("b", 5)])
+        assert layout.length == 8
+        assert layout.offset("a") == 5
+
+
+class TestPackQuery:
+    def test_pack_and_unpack(self):
+        query = LAYOUT_V4.pack_query(
+            src_ip=0x0A000001,
+            dst_ip=0xC0000201,
+            proto=6,
+            src_port=12345,
+            dst_port=443,
+            tcp_flags=TCP_ACK,
+        )
+        fields = LAYOUT_V4.unpack_query(query)
+        assert fields["src_ip"] == 0x0A000001
+        assert fields["dst_ip"] == 0xC0000201
+        assert fields["proto"] == 6
+        assert fields["src_port"] == 12345
+        assert fields["dst_port"] == 443
+        assert fields["tcp_flags"] == TCP_ACK
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            LAYOUT_V4.pack_query(bogus=1)
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            LAYOUT_V4.pack_query(proto=256)
+
+    def test_unmentioned_fields_zero(self):
+        assert LAYOUT_V4.pack_query() == 0
+
+
+class TestPackKey:
+    def test_unconstrained_fields_are_dont_care(self):
+        key = LAYOUT_V4.pack_key(proto=TernaryKey.exact(6, 8))
+        assert key.length == 128
+        # Every bit except the proto field is '*'.
+        assert key.wildcard_count == 120
+        assert LAYOUT_V4.field_key(key, "proto").to_string() == "00000110"
+
+    def test_field_width_mismatch(self):
+        with pytest.raises(ValueError, match="bits"):
+            LAYOUT_V4.pack_key(proto=TernaryKey.exact(6, 16))
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            LAYOUT_V4.pack_key(bogus=TernaryKey.exact(0, 8))
+
+    def test_matches_packed_query(self):
+        key = LAYOUT_V4.pack_key(
+            src_ip=TernaryKey.from_prefix(0x0A, 8, 32),
+            tcp_flags=TernaryKey.from_string("***1****"),
+        )
+        ack_query = LAYOUT_V4.pack_query(src_ip=0x0A123456, tcp_flags=TCP_ACK)
+        syn_query = LAYOUT_V4.pack_query(src_ip=0x0A123456, tcp_flags=TCP_SYN)
+        assert key.matches(ack_query)
+        assert not key.matches(syn_query)
+
+    def test_field_key_length_check(self):
+        with pytest.raises(ValueError, match="key length"):
+            LAYOUT_V4.field_key(TernaryKey.wildcard(8), "proto")
+
+
+class TestTcpFlagConstants:
+    def test_established_bits(self):
+        # §3.1: established = ACK (***1****) or RST (*****1**).
+        assert TernaryKey.from_string("***1****").matches(TCP_ACK)
+        assert TernaryKey.from_string("*****1**").matches(TCP_RST)
+        assert TCP_ACK == 0x10 and TCP_RST == 0x04

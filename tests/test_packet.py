@@ -1,0 +1,102 @@
+"""Unit tests for the packet substrate (repro.packet)."""
+
+import pytest
+
+from repro.acl.layout import LAYOUT_V4, TCP_ACK, TCP_SYN
+from repro.packet.codec import PacketDecodeError, decode_packet, encode_packet, ipv4_checksum
+from repro.packet.headers import PROTO_ICMP, PROTO_TCP, PROTO_UDP, PacketHeader
+
+
+class TestPacketHeader:
+    def test_to_query_roundtrip(self):
+        header = PacketHeader(
+            src_ip=0x0A000001,
+            dst_ip=0xC0000201,
+            proto=PROTO_TCP,
+            src_port=54321,
+            dst_port=443,
+            tcp_flags=TCP_ACK,
+        )
+        assert PacketHeader.from_query(header.to_query()) == header
+
+    def test_field_range_validation(self):
+        with pytest.raises(ValueError, match="proto"):
+            PacketHeader(src_ip=0, dst_ip=0, proto=256)
+        with pytest.raises(ValueError, match="src_port"):
+            PacketHeader(src_ip=0, dst_ip=0, proto=6, src_port=1 << 16)
+
+    def test_str_is_human_readable(self):
+        header = PacketHeader(src_ip=0x0A000001, dst_ip=0xC0000201, proto=6, dst_port=80)
+        text = str(header)
+        assert "10.0.0.1" in text and "192.0.2.1" in text
+
+    def test_query_uses_layout(self):
+        header = PacketHeader(src_ip=1, dst_ip=2, proto=6)
+        query = header.to_query(LAYOUT_V4)
+        assert (query >> 96) & 0xFFFFFFFF == 1
+        assert (query >> 64) & 0xFFFFFFFF == 2
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Known vector: checksum of 0x0001 0xf203 0xf4f5 0xf6f7.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert ipv4_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert ipv4_checksum(b"\xff") == ipv4_checksum(b"\xff\x00")
+
+    def test_header_with_checksum_sums_to_zero(self):
+        header = PacketHeader(src_ip=0x0A000001, dst_ip=0xC0000201, proto=PROTO_TCP)
+        wire = encode_packet(header)
+        assert ipv4_checksum(wire[:20]) == 0
+
+
+class TestCodecRoundtrip:
+    @pytest.mark.parametrize(
+        "header",
+        [
+            PacketHeader(0x0A000001, 0xC0000201, PROTO_TCP, 1234, 80, TCP_SYN),
+            PacketHeader(0x0A000001, 0xC0000201, PROTO_UDP, 53, 5353),
+            PacketHeader(0x0A000001, 0xC0000201, PROTO_ICMP),
+            PacketHeader(0x0A000001, 0xC0000201, 47),  # GRE: no L4 ports
+        ],
+    )
+    def test_roundtrip(self, header):
+        assert decode_packet(encode_packet(header)) == header
+
+    def test_roundtrip_with_payload(self):
+        header = PacketHeader(0x0A000001, 0xC0000201, PROTO_UDP, 53, 53)
+        wire = encode_packet(header, payload=b"hello dns")
+        assert decode_packet(wire) == header
+
+
+class TestDecodeErrors:
+    def test_truncated(self):
+        with pytest.raises(PacketDecodeError, match="truncated IPv4"):
+            decode_packet(b"\x45\x00")
+
+    def test_wrong_version(self):
+        header = bytearray(encode_packet(PacketHeader(1, 2, PROTO_ICMP)))
+        header[0] = (6 << 4) | 5
+        with pytest.raises(PacketDecodeError, match="not IPv4"):
+            decode_packet(bytes(header))
+
+    def test_bad_ihl(self):
+        header = bytearray(encode_packet(PacketHeader(1, 2, PROTO_ICMP)))
+        header[0] = (4 << 4) | 2
+        with pytest.raises(PacketDecodeError, match="header length"):
+            decode_packet(bytes(header))
+
+    def test_total_length_exceeds_capture(self):
+        wire = encode_packet(PacketHeader(1, 2, PROTO_UDP, 1, 2))
+        with pytest.raises(PacketDecodeError, match="exceeds capture"):
+            decode_packet(wire[:-4])
+
+    def test_truncated_tcp(self):
+        wire = encode_packet(PacketHeader(1, 2, PROTO_TCP, 1, 2))
+        # Keep the IPv4 header but cut into the TCP header, fixing total length.
+        cut = bytearray(wire[:24])
+        cut[2:4] = (24).to_bytes(2, "big")
+        with pytest.raises(PacketDecodeError, match="truncated TCP"):
+            decode_packet(bytes(cut))

@@ -1,0 +1,137 @@
+"""Unit and property tests for the Patricia trie (repro.core.patricia)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patricia import PatriciaTrie
+
+
+class TestFigure1:
+    """Figure 1 right: the Patricia trie for keys 100, 001, 010."""
+
+    @pytest.fixture()
+    def trie(self):
+        trie = PatriciaTrie(3)
+        trie.insert(0b100, 1)
+        trie.insert(0b001, 2)
+        trie.insert(0b010, 3)
+        return trie
+
+    def test_lookups(self, trie):
+        assert trie.lookup(0b100) == 1
+        assert trie.lookup(0b001) == 2
+        assert trie.lookup(0b010) == 3
+        assert trie.lookup(0b111) is None
+
+    def test_node_count_is_linear(self, trie):
+        # n leaves + (n - 1) branching nodes: the compression Figure 1
+        # illustrates against the radix tree's 8 nodes.
+        assert trie.node_count() == 5
+
+
+class TestBasicOps:
+    def test_empty(self):
+        trie = PatriciaTrie(8)
+        assert trie.lookup(0) is None
+        assert len(trie) == 0
+        assert not trie.delete(0)
+
+    def test_single_key(self):
+        trie = PatriciaTrie(8)
+        trie.insert(0x42, "x")
+        assert trie.lookup(0x42) == "x"
+        assert trie.lookup(0x43) is None
+        assert 0x42 in trie
+
+    def test_overwrite(self):
+        trie = PatriciaTrie(8)
+        trie.insert(7, "a")
+        trie.insert(7, "b")
+        assert len(trie) == 1
+        assert trie.lookup(7) == "b"
+
+    def test_delete_to_empty(self):
+        trie = PatriciaTrie(8)
+        trie.insert(7, "a")
+        assert trie.delete(7)
+        assert len(trie) == 0
+        assert trie.lookup(7) is None
+
+    def test_delete_splices_sibling(self):
+        trie = PatriciaTrie(8)
+        trie.insert(0b0000_0001, "a")
+        trie.insert(0b1000_0001, "b")
+        assert trie.delete(0b0000_0001)
+        assert trie.lookup(0b1000_0001) == "b"
+        assert trie.node_count() == 1
+
+    def test_key_out_of_range(self):
+        trie = PatriciaTrie(4)
+        with pytest.raises(ValueError):
+            trie.insert(16, "x")
+        with pytest.raises(ValueError):
+            trie.lookup(-1)
+
+    def test_items(self):
+        trie = PatriciaTrie(8)
+        data = {3: "a", 200: "b", 77: "c"}
+        for k, v in data.items():
+            trie.insert(k, v)
+        assert dict(trie.items()) == data
+
+
+class TestRandomizedAgainstDict:
+    def test_bulk(self):
+        rng = random.Random(5)
+        trie = PatriciaTrie(16)
+        reference: dict[int, int] = {}
+        for i in range(500):
+            key = rng.getrandbits(16)
+            trie.insert(key, i)
+            reference[key] = i
+        for key in range(0, 1 << 16, 97):
+            assert trie.lookup(key) == reference.get(key)
+        assert len(trie) == len(reference)
+        # Delete half and re-check.
+        for key in list(reference)[::2]:
+            assert trie.delete(key)
+            del reference[key]
+        for key in range(0, 1 << 16, 131):
+            assert trie.lookup(key) == reference.get(key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(0, 2**12 - 1), min_size=1, max_size=60))
+def test_property_matches_dict(keys):
+    trie = PatriciaTrie(12)
+    reference = {}
+    for i, key in enumerate(keys):
+        trie.insert(key, i)
+        reference[key] = i
+    assert len(trie) == len(reference)
+    for key in reference:
+        assert trie.lookup(key) == reference[key]
+    assert dict(trie.items()) == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 2**10 - 1), min_size=1, max_size=40, unique=True),
+    data=st.data(),
+)
+def test_property_delete_roundtrip(keys, data):
+    trie = PatriciaTrie(10)
+    for key in keys:
+        trie.insert(key, key)
+    to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for key in to_delete:
+        assert trie.delete(key)
+    remaining = set(keys) - set(to_delete)
+    for key in keys:
+        expected = key if key in remaining else None
+        assert trie.lookup(key) == expected
+    # Patricia invariant: node count stays linear in the key count.
+    if remaining:
+        assert trie.node_count() == 2 * len(remaining) - 1

@@ -1,0 +1,124 @@
+"""Unit tests for the pcap codec (repro.packet.pcap)."""
+
+import struct
+
+import pytest
+
+from repro.packet.codec import decode_packet, encode_packet
+from repro.packet.headers import PROTO_TCP, PROTO_UDP, PacketHeader
+from repro.packet.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PcapFormatError,
+    PcapPacket,
+    read_pcap,
+    write_pcap,
+)
+
+
+def _packets():
+    return [
+        PcapPacket(1.5, encode_packet(PacketHeader(1, 2, PROTO_TCP, 3, 4, 0x02))),
+        PcapPacket(2.000001, encode_packet(PacketHeader(5, 6, PROTO_UDP, 7, 8))),
+    ]
+
+
+class TestRoundtrip:
+    def test_raw_linktype(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        originals = _packets()
+        write_pcap(path, originals, linktype=LINKTYPE_RAW)
+        loaded = list(read_pcap(path))
+        assert [p.data for p in loaded] == [p.data for p in originals]
+        assert loaded[0].timestamp == pytest.approx(1.5)
+        assert loaded[1].timestamp == pytest.approx(2.000001)
+
+    def test_ethernet_linktype_strips_header(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        originals = _packets()
+        write_pcap(path, originals, linktype=LINKTYPE_ETHERNET)
+        loaded = list(read_pcap(path))
+        assert [p.data for p in loaded] == [p.data for p in originals]
+
+    def test_ethernet_without_strip(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, _packets(), linktype=LINKTYPE_ETHERNET,
+                   dst_mac=0x001122334455, src_mac=0x665544332211)
+        (first, _second) = list(read_pcap(path, strip_ethernet=False))
+        assert first.data[:6] == bytes.fromhex("001122334455")
+        assert first.data[12:14] == b"\x08\x00"
+
+    def test_decodes_back_to_headers(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        header = PacketHeader(0x0A000001, 0xC0000201, PROTO_TCP, 1234, 80, 0x10)
+        write_pcap(path, [PcapPacket(0.0, encode_packet(header))],
+                   linktype=LINKTYPE_ETHERNET)
+        (packet,) = list(read_pcap(path))
+        assert decode_packet(packet.data) == header
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, [])
+        assert list(read_pcap(path)) == []
+
+    def test_big_endian_read(self, tmp_path):
+        # Hand-build a big-endian capture with one raw packet.
+        path = tmp_path / "be.pcap"
+        payload = encode_packet(PacketHeader(1, 2, PROTO_UDP, 3, 4))
+        blob = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_RAW)
+        blob += struct.pack(">IIII", 10, 0, len(payload), len(payload)) + payload
+        path.write_bytes(blob)
+        (packet,) = list(read_pcap(str(path)))
+        assert packet.data == payload
+
+    def test_non_ipv4_ethernet_frames_skipped(self, tmp_path):
+        path = tmp_path / "mixed.pcap"
+        ip_payload = encode_packet(PacketHeader(1, 2, PROTO_UDP, 3, 4))
+        arp_frame = bytes(12) + b"\x08\x06" + bytes(28)
+        ip_frame = bytes(12) + b"\x08\x00" + ip_payload
+        blob = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET)
+        for frame in (arp_frame, ip_frame):
+            blob += struct.pack("<IIII", 0, 0, len(frame), len(frame)) + frame
+        path.write_bytes(blob)
+        packets = list(read_pcap(str(path)))
+        assert len(packets) == 1
+        assert packets[0].data == ip_payload
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapFormatError, match="magic"):
+            list(read_pcap(str(path)))
+
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(PcapFormatError, match="truncated pcap"):
+            list(read_pcap(str(path)))
+
+    def test_truncated_packet(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        good = str(tmp_path / "good.pcap")
+        write_pcap(good, _packets())
+        data = open(good, "rb").read()
+        path.write_bytes(data[:-5])
+        with pytest.raises(PcapFormatError, match="truncated packet"):
+            list(read_pcap(str(path)))
+
+    def test_unsupported_write_linktype(self, tmp_path):
+        with pytest.raises(ValueError, match="linktype"):
+            write_pcap(str(tmp_path / "x.pcap"), [], linktype=228)
+
+    def test_unsupported_read_linktype(self, tmp_path):
+        path = tmp_path / "x.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 228))
+        with pytest.raises(PcapFormatError, match="linktype"):
+            list(read_pcap(str(path)))
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = str(tmp_path / "snap.pcap")
+        write_pcap(path, _packets(), snaplen=10)
+        packets = list(read_pcap(path))
+        assert all(len(p.data) == 10 for p in packets)

@@ -1,0 +1,94 @@
+"""Unit tests for software-pipelined batch lookup (repro.core.pipeline)."""
+
+import random
+
+import pytest
+
+from helpers import random_entries, table1_entries
+from repro.core.pipeline import PipelinedLookup
+from repro.core.plus import PalmtriePlus
+
+
+@pytest.fixture(scope="module")
+def plus():
+    return PalmtriePlus.build(table1_entries(), 8, stride=3)
+
+
+class TestCorrectness:
+    def test_batch_matches_sequential(self, plus):
+        pipeline = PipelinedLookup(plus, batch_size=4)
+        queries = list(range(256))
+        batch = pipeline.lookup_batch(queries)
+        for query, got in zip(queries, batch):
+            expected = plus.lookup(query)
+            assert (expected is None) == (got is None)
+            if expected is not None:
+                assert expected.priority == got.priority
+
+    def test_results_in_query_order(self, plus):
+        pipeline = PipelinedLookup(plus, batch_size=3)
+        queries = [0b01110101, 0b11111111, 0b00100000]
+        results = pipeline.lookup_batch(queries)
+        assert results[0].value == 5
+        assert results[1].value == 9
+        assert results[2] is None
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 64])
+    def test_any_batch_size(self, plus, batch_size):
+        pipeline = PipelinedLookup(plus, batch_size=batch_size)
+        queries = list(range(0, 256, 5))
+        results = pipeline.lookup_batch(queries)
+        for query, got in zip(queries, results):
+            expected = plus.lookup(query)
+            assert (expected and expected.priority) == (got and got.priority)
+
+    def test_random_large_table(self):
+        entries = random_entries(120, 16, seed=61)
+        plus = PalmtriePlus.build(entries, 16, stride=4)
+        pipeline = PipelinedLookup(plus, batch_size=8)
+        rng = random.Random(61)
+        queries = [rng.getrandbits(16) for _ in range(300)]
+        for query, got in zip(queries, pipeline.lookup_batch(queries)):
+            expected = plus.lookup(query)
+            assert (expected and expected.priority) == (got and got.priority)
+
+    def test_empty_batch(self, plus):
+        assert PipelinedLookup(plus).lookup_batch([]) == []
+
+
+class TestStats:
+    def test_overlap_accounting(self, plus):
+        pipeline = PipelinedLookup(plus, batch_size=8)
+        pipeline.lookup_batch(list(range(64)))
+        stats = pipeline.stats
+        assert stats.lookups == 64
+        assert stats.visits > 0
+        assert 0 < stats.overlapped_visits <= stats.visits
+        assert 0 < stats.overlap_fraction <= 1.0
+
+    def test_batch_size_one_never_overlaps(self, plus):
+        pipeline = PipelinedLookup(plus, batch_size=1)
+        pipeline.lookup_batch(list(range(32)))
+        assert pipeline.stats.overlapped_visits == 0
+        assert pipeline.stats.overlap_fraction == 0.0
+
+    def test_bigger_batches_overlap_more(self, plus):
+        small = PipelinedLookup(plus, batch_size=2)
+        large = PipelinedLookup(plus, batch_size=16)
+        queries = list(range(128))
+        small.lookup_batch(queries)
+        large.lookup_batch(queries)
+        assert large.stats.overlap_fraction >= small.stats.overlap_fraction
+
+    def test_visits_match_counted_lookup(self, plus):
+        pipeline = PipelinedLookup(plus, batch_size=4)
+        queries = list(range(0, 256, 3))
+        pipeline.lookup_batch(queries)
+        plus.stats.reset()
+        for query in queries:
+            plus.lookup_counted(query)
+        assert pipeline.stats.visits == plus.stats.node_visits
+
+    def test_invalid_batch_size(self, plus):
+        with pytest.raises(ValueError, match="batch size"):
+            PipelinedLookup(plus, batch_size=0)

@@ -1,0 +1,141 @@
+"""Unit tests for the Poptrie LPM substrate (repro.core.poptrie)."""
+
+import random
+
+import pytest
+
+from repro.core.poptrie import Poptrie
+from repro.core.radix import RadixTree
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        trie = Poptrie(32)
+        assert trie.lookup(0x0A000001) is None
+        assert len(trie) == 0
+
+    def test_default_route(self):
+        trie = Poptrie.build([(0, 0, "default")], 32)
+        assert trie.lookup(0) == "default"
+        assert trie.lookup(0xFFFFFFFF) == "default"
+
+    def test_longest_prefix_wins(self):
+        trie = Poptrie.build(
+            [
+                (0x0A, 8, "ten-slash-8"),
+                (0x0A01, 16, "ten-one"),
+                (0x0A0101, 24, "ten-one-one"),
+            ],
+            32,
+        )
+        assert trie.lookup(0x0A010105) == "ten-one-one"
+        assert trie.lookup(0x0A01FF05) == "ten-one"
+        assert trie.lookup(0x0AFFFF05) == "ten-slash-8"
+        assert trie.lookup(0x0B000000) is None
+
+    def test_host_route(self):
+        trie = Poptrie.build([(0x0A000001, 32, "host")], 32)
+        assert trie.lookup(0x0A000001) == "host"
+        assert trie.lookup(0x0A000002) is None
+
+    def test_prefix_not_aligned_to_stride(self):
+        # /9, /13 etc. cross k=6 chunk boundaries.
+        trie = Poptrie.build([(0b101000100, 9, "v")], 32, stride=6)
+        base = 0b101000100 << 23
+        assert trie.lookup(base) == "v"
+        assert trie.lookup(base | 0x7FFFFF) == "v"
+        assert trie.lookup(base ^ (1 << 23)) is None
+
+    def test_replace_route(self):
+        trie = Poptrie(32)
+        trie.insert(0x0A, 8, "old")
+        trie.insert(0x0A, 8, "new")
+        assert len(trie) == 1
+        assert trie.lookup(0x0A000001) == "new"
+
+    def test_delete(self):
+        trie = Poptrie(32)
+        trie.insert(0x0A, 8, "a")
+        trie.insert(0x0A01, 16, "b")
+        assert trie.delete(0x0A01, 16)
+        assert trie.lookup(0x0A010000) == "a"
+        assert not trie.delete(0x0A01, 16)
+        assert len(trie) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Poptrie(0)
+        with pytest.raises(ValueError):
+            Poptrie(32, stride=0)
+        with pytest.raises(ValueError):
+            Poptrie(32, stride=9)
+        trie = Poptrie(32)
+        with pytest.raises(ValueError):
+            trie.insert(0, 33, "x")
+        with pytest.raises(ValueError):
+            trie.insert(0b111, 2, "x")
+
+
+class TestDifferentialAgainstRadix:
+    @pytest.mark.parametrize("stride", [1, 4, 6, 8])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_random_route_tables(self, stride, seed):
+        rng = random.Random(seed)
+        radix = RadixTree(32)
+        poptrie = Poptrie(32, stride=stride)
+        for i in range(300):
+            prefix_len = rng.choice((0, 8, 10, 16, 19, 24, 28, 32))
+            prefix_bits = rng.getrandbits(prefix_len) if prefix_len else 0
+            radix.insert(prefix_bits, prefix_len, i)
+            poptrie.insert(prefix_bits, prefix_len, i)
+        poptrie.compile()
+        for _ in range(1500):
+            key = rng.getrandbits(32)
+            assert poptrie.lookup(key) == radix.lookup_lpm(key)
+
+    def test_after_deletions(self):
+        rng = random.Random(3)
+        routes = []
+        radix = RadixTree(24)
+        poptrie = Poptrie(24, stride=6)
+        for i in range(150):
+            prefix_len = rng.randrange(0, 25)
+            prefix_bits = rng.getrandbits(prefix_len) if prefix_len else 0
+            routes.append((prefix_bits, prefix_len))
+            radix.insert(prefix_bits, prefix_len, i)
+            poptrie.insert(prefix_bits, prefix_len, i)
+        for prefix_bits, prefix_len in routes[::2]:
+            assert radix.delete(prefix_bits, prefix_len) == poptrie.delete(
+                prefix_bits, prefix_len
+            )
+        for _ in range(800):
+            key = rng.getrandbits(24)
+            assert poptrie.lookup(key) == radix.lookup_lpm(key)
+
+
+class TestCompression:
+    def test_leaf_runs_compressed(self):
+        # One /8 covers 2**24 addresses but the leaf array stays tiny.
+        trie = Poptrie.build([(0x0A, 8, "v")], 32, stride=6)
+        assert trie.leaf_count() < 200
+
+    def test_memory_much_smaller_than_radix_model(self):
+        rng = random.Random(4)
+        routes = [
+            (rng.getrandbits(24), 24, i) for i in range(500)
+        ]
+        poptrie = Poptrie.build(routes, 32, stride=6)
+        radix = RadixTree(32)
+        for bits, length, value in routes:
+            radix.insert(bits, length, value)
+        # Radix: ~24 nodes/route at 3 pointers each; Poptrie nodes are
+        # two vectors + two bases.
+        radix_model = radix.node_count() * (2 * 8 + 4)
+        assert poptrie.memory_bytes() < radix_model
+
+    def test_recompile_is_lazy(self):
+        trie = Poptrie(32)
+        trie.insert(0x0A, 8, "v")
+        assert trie.lookup(0x0A000001) == "v"  # compiles on demand
+        trie.insert(0x0B, 8, "w")
+        assert trie.lookup(0x0B000001) == "w"  # recompiles after update

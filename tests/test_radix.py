@@ -1,0 +1,91 @@
+"""Unit tests for the radix tree substrate (repro.core.radix)."""
+
+import pytest
+
+from repro.core.radix import RadixTree
+
+
+class TestFigure1:
+    """The paper's Figure 1 example: keys 100, 001, 010."""
+
+    @pytest.fixture()
+    def tree(self):
+        tree = RadixTree(3)
+        tree.insert(0b100, 3, 1)
+        tree.insert(0b001, 3, 2)
+        tree.insert(0b010, 3, 3)
+        return tree
+
+    def test_exact_lookups(self, tree):
+        assert tree.lookup_exact(0b100, 3) == 1
+        assert tree.lookup_exact(0b001, 3) == 2
+        assert tree.lookup_exact(0b010, 3) == 3
+        assert tree.lookup_exact(0b111, 3) is None
+
+    def test_node_count_includes_unary_chains(self, tree):
+        # The radix tree keeps unary branching nodes: root plus the 8
+        # path nodes of Figure 1 left.
+        assert tree.node_count() == 9
+
+    def test_len(self, tree):
+        assert len(tree) == 3
+
+
+class TestLpm:
+    def test_longest_prefix_wins(self):
+        tree = RadixTree(8)
+        tree.insert(0b1, 1, "short")
+        tree.insert(0b1010, 4, "long")
+        assert tree.lookup_lpm(0b10101111) == "long"
+        assert tree.lookup_lpm(0b10111111) == "short"
+        assert tree.lookup_lpm(0b00000000) is None
+
+    def test_default_route(self):
+        tree = RadixTree(8)
+        tree.insert(0, 0, "default")
+        assert tree.lookup_lpm(0xFF) == "default"
+
+
+class TestMutation:
+    def test_overwrite_keeps_size(self):
+        tree = RadixTree(4)
+        tree.insert(0b1010, 4, "a")
+        tree.insert(0b1010, 4, "b")
+        assert len(tree) == 1
+        assert tree.lookup_exact(0b1010, 4) == "b"
+
+    def test_delete_prunes(self):
+        tree = RadixTree(4)
+        tree.insert(0b1010, 4, "a")
+        tree.insert(0b10, 2, "b")
+        assert tree.delete(0b1010, 4)
+        assert tree.lookup_exact(0b1010, 4) is None
+        assert tree.lookup_exact(0b10, 2) == "b"
+        # The chain below 10 must be gone.
+        assert tree.node_count() == 3
+
+    def test_delete_missing(self):
+        tree = RadixTree(4)
+        assert not tree.delete(0b1010, 4)
+        tree.insert(0b1010, 4, "a")
+        assert not tree.delete(0b1011, 4)
+        assert not tree.delete(0b101, 3)
+
+    def test_items(self):
+        tree = RadixTree(4)
+        tree.insert(0b10, 2, "a")
+        tree.insert(0b1011, 4, "b")
+        assert sorted(tree.items()) == [(0b10, 2, "a"), (0b1011, 4, "b")]
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            RadixTree(0)
+
+    def test_bad_prefix(self):
+        tree = RadixTree(4)
+        with pytest.raises(ValueError):
+            tree.insert(0, 5, "x")
+        with pytest.raises(ValueError):
+            tree.insert(0b111, 2, "x")

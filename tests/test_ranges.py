@@ -1,0 +1,84 @@
+"""Unit and property tests for port-range expansion (repro.acl.ranges)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acl.ranges import range_to_keys, range_to_prefixes
+
+
+class TestRangeToPrefixes:
+    def test_single_value(self):
+        assert range_to_prefixes(53, 53) == [(53, 16)]
+
+    def test_full_range_is_one_wildcard(self):
+        assert range_to_prefixes(0, 0xFFFF) == [(0, 0)]
+
+    def test_aligned_block(self):
+        assert range_to_prefixes(1024, 2047) == [(1024, 6)]
+
+    def test_classic_ephemeral(self):
+        # [1024, 65535] needs the textbook 6-prefix cover.
+        prefixes = range_to_prefixes(1024, 65535)
+        assert prefixes == [
+            (1024, 6),
+            (2048, 5),
+            (4096, 4),
+            (8192, 3),
+            (16384, 2),
+            (32768, 1),
+        ]
+
+    def test_worst_case_bound(self):
+        # The minimal cover never exceeds 2W - 2 prefixes.
+        prefixes = range_to_prefixes(1, 0xFFFE)
+        assert len(prefixes) <= 2 * 16 - 2
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(10, 5)
+        with pytest.raises(ValueError):
+            range_to_prefixes(0, 1 << 16)
+        with pytest.raises(ValueError):
+            range_to_prefixes(0, 1, width=0)
+
+    def test_small_width(self):
+        assert range_to_prefixes(2, 3, width=4) == [(2, 3)]
+
+
+class TestRangeToKeys:
+    def test_keys_shape(self):
+        keys = range_to_keys(2, 3, width=4)
+        assert [k.to_string() for k in keys] == ["001*"]
+
+    def test_exact_port(self):
+        (key,) = range_to_keys(53, 53)
+        assert key.is_exact
+        assert key.data == 53
+
+
+@given(
+    bounds=st.tuples(st.integers(0, 255), st.integers(0, 255)).map(sorted),
+)
+def test_cover_is_exact_partition(bounds):
+    """Property: the union of the generated keys matches exactly [lo, hi],
+    with no value covered twice."""
+    lo, hi = bounds
+    keys = range_to_keys(lo, hi, width=8)
+    covered = sorted(value for key in keys for value in key.enumerate_matches())
+    assert covered == list(range(lo, hi + 1))
+
+
+@given(
+    lo=st.integers(0, 0xFFFF),
+    span=st.integers(0, 0xFFFF),
+)
+def test_cover_size_bound_16bit(lo, span):
+    hi = min(lo + span, 0xFFFF)
+    prefixes = range_to_prefixes(lo, hi)
+    assert 1 <= len(prefixes) <= 30
+    # Blocks are disjoint, sorted and contiguous.
+    position = lo
+    for value, prefix_len in prefixes:
+        assert value == position
+        position += 1 << (16 - prefix_len)
+    assert position == hi + 1

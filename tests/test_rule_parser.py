@@ -1,0 +1,140 @@
+"""Unit tests for the ACL rule model and parser (repro.acl.rule/parser)."""
+
+import pytest
+
+from repro.acl.parser import AclParseError, parse_acl, parse_rule
+from repro.acl.rule import AclRule, Action, Protocol
+
+TABLE2_ACL = """\
+permit ip 192.0.2.0/24 0.0.0.0/0
+permit icmp 0.0.0.0/0 192.0.2.0/24
+permit udp 0.0.0.0/0 eq 53 192.0.2.0/24
+permit tcp 0.0.0.0/0 192.0.2.0/24 established
+deny ip 0.0.0.0/0 192.0.2.0/24
+"""
+
+
+class TestParseRule:
+    def test_table2_first_rule(self):
+        rule = parse_rule("permit ip 192.0.2.0/24 0.0.0.0/0")
+        assert rule.action is Action.PERMIT
+        assert rule.protocol is Protocol.IP
+        assert rule.src_prefix == (0xC0000200, 24)
+        assert rule.dst_prefix == (0, 0)
+
+    def test_source_port(self):
+        rule = parse_rule("permit udp 0.0.0.0/0 eq 53 192.0.2.0/24")
+        assert rule.src_ports == (53, 53)
+        assert rule.dst_ports == (0, 0xFFFF)
+
+    def test_established(self):
+        rule = parse_rule("permit tcp any 192.0.2.0/24 established")
+        assert rule.established
+
+    def test_any_keyword(self):
+        rule = parse_rule("deny ip any any")
+        assert rule.src_prefix == (0, 0)
+        assert rule.dst_prefix == (0, 0)
+
+    def test_range(self):
+        rule = parse_rule("permit tcp any range 1000 2000 any")
+        assert rule.src_ports == (1000, 2000)
+
+    def test_gt(self):
+        rule = parse_rule("permit tcp any any gt 1023")
+        assert rule.dst_ports == (1024, 65535)
+
+    def test_lt(self):
+        rule = parse_rule("permit tcp any any lt 1024")
+        assert rule.dst_ports == (0, 1023)
+
+    def test_flags_keyword(self):
+        rule = parse_rule("permit tcp any any flags **0000*1")
+        assert rule.tcp_flags == "**0000*1"
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ("permit ip any", "at least"),
+            ("allow ip any any", "unknown action"),
+            ("permit gre any any", "unknown protocol"),
+            ("permit icmp any eq 53 any", "only valid for tcp/udp"),
+            ("permit tcp any range 5 1 any", "empty range"),
+            ("permit tcp any eq 70000 any", "out of range"),
+            ("permit tcp any gt 65535 any", "matches nothing"),
+            ("permit tcp any lt 0 any", "matches nothing"),
+            ("permit tcp any any bogus", "unexpected token"),
+            ("permit tcp any any flags", "needs a ternary string"),
+            ("permit tcp any any flags 01", "ternary digits"),
+        ],
+    )
+    def test_malformed(self, line, match):
+        with pytest.raises(AclParseError, match=match):
+            parse_rule(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AclParseError, match="line 3"):
+            parse_rule("nonsense", line_no=3)
+
+
+class TestParseAcl:
+    def test_table2(self):
+        rules = parse_acl(TABLE2_ACL)
+        assert len(rules) == 5
+        assert rules[0].action is Action.PERMIT
+        assert rules[-1].action is Action.DENY
+
+    def test_comments_and_blanks(self):
+        rules = parse_acl("# comment\n\n! another\npermit ip any any\n")
+        assert len(rules) == 1
+
+    def test_trailing_comments(self):
+        rules = parse_acl("permit ip any any  # allow everything\n")
+        assert len(rules) == 1
+        assert rules[0].action is Action.PERMIT
+
+    def test_error_line_number(self):
+        with pytest.raises(AclParseError, match="line 2"):
+            parse_acl("permit ip any any\nbroken line here\n")
+
+
+class TestAclRuleValidation:
+    def test_ports_require_tcp_udp(self):
+        with pytest.raises(ValueError, match="require tcp or udp"):
+            AclRule(Action.PERMIT, Protocol.ICMP, (0, 0), (0, 0), src_ports=(53, 53))
+
+    def test_established_requires_tcp(self):
+        with pytest.raises(ValueError, match="require protocol tcp"):
+            AclRule(Action.PERMIT, Protocol.UDP, (0, 0), (0, 0), established=True)
+
+    def test_established_and_flags_conflict(self):
+        with pytest.raises(ValueError, match="either established"):
+            AclRule(
+                Action.PERMIT,
+                Protocol.TCP,
+                (0, 0),
+                (0, 0),
+                established=True,
+                tcp_flags="***1****",
+            )
+
+    def test_bad_port_range(self):
+        with pytest.raises(ValueError, match="invalid src port range"):
+            AclRule(Action.PERMIT, Protocol.TCP, (0, 0), (0, 0), src_ports=(5, 1))
+
+    def test_to_line_roundtrip(self):
+        lines = [
+            "permit ip 192.0.2.0/24 0.0.0.0/0",
+            "permit udp 0.0.0.0/0 eq 53 192.0.2.0/24",
+            "permit tcp 0.0.0.0/0 192.0.2.0/24 established",
+            "permit tcp 0.0.0.0/0 range 1000 2000 10.0.0.0/8 eq 80",
+            "deny ip 0.0.0.0/0 192.0.2.0/24",
+        ]
+        for line in lines:
+            assert parse_rule(line).to_line() == line
+
+    def test_protocol_numbers(self):
+        assert Protocol.IP.number is None
+        assert Protocol.ICMP.number == 1
+        assert Protocol.TCP.number == 6
+        assert Protocol.UDP.number == 17

@@ -1,0 +1,70 @@
+"""Unit tests for the sorted-list baseline (repro.baselines.sorted_list)."""
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, table1_entries
+from repro.baselines.sorted_list import SortedListMatcher
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+
+class TestLookup:
+    def test_table1(self):
+        entries = table1_entries()
+        matcher = SortedListMatcher.build(entries, 8)
+        for query in range(256):
+            assert_same_result(oracle_lookup(entries, query), matcher.lookup(query))
+
+    def test_first_match_is_highest_priority(self):
+        matcher = SortedListMatcher(4)
+        matcher.insert(TernaryEntry(TernaryKey.from_string("0***"), "low", 1))
+        matcher.insert(TernaryEntry(TernaryKey.from_string("01**"), "high", 9))
+        assert matcher.lookup(0b0101).value == "high"
+
+    def test_insertion_order_does_not_matter(self):
+        entries = table1_entries()
+        forward = SortedListMatcher.build(entries, 8)
+        backward = SortedListMatcher.build(list(reversed(entries)), 8)
+        assert [e.value for e in forward] == [e.value for e in backward]
+
+    def test_empty(self):
+        matcher = SortedListMatcher(8)
+        assert matcher.lookup(0) is None
+        assert len(matcher) == 0
+
+
+class TestMaintenance:
+    def test_iter_is_priority_descending(self):
+        matcher = SortedListMatcher.build(table1_entries(), 8)
+        priorities = [e.priority for e in matcher]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_delete(self):
+        matcher = SortedListMatcher.build(table1_entries(), 8)
+        assert matcher.delete(TernaryKey.from_string("0*1101**"))
+        assert len(matcher) == 8
+        assert matcher.lookup(0b01110101).value == 8
+
+    def test_delete_missing(self):
+        matcher = SortedListMatcher.build(table1_entries(), 8)
+        assert not matcher.delete(TernaryKey.from_string("00000000"))
+
+    def test_key_length_check(self):
+        matcher = SortedListMatcher(8)
+        with pytest.raises(ValueError, match="key length"):
+            matcher.insert(TernaryEntry(TernaryKey.wildcard(4), 0, 1))
+
+    def test_memory_is_linear(self):
+        matcher = SortedListMatcher.build(table1_entries(), 8)
+        assert matcher.memory_bytes() == 9 * (2 * 1 + 8 + 4)
+
+
+class TestCounted:
+    def test_counted_work_is_scan_position(self):
+        matcher = SortedListMatcher.build(table1_entries(), 8)
+        matcher.stats.reset()
+        matcher.lookup_counted(0b00010101)  # entry 3, priority 9: first in list
+        assert matcher.stats.key_comparisons == 1
+        matcher.stats.reset()
+        matcher.lookup_counted(0b11111111)  # only the 1******* floor matches
+        assert matcher.stats.key_comparisons == len(matcher)

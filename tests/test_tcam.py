@@ -1,0 +1,80 @@
+"""Unit tests for the TCAM reference model (repro.baselines.tcam)."""
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
+from repro.baselines.tcam import TcamModel
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+
+class TestSemantics:
+    def test_table1_oracle(self):
+        entries = table1_entries()
+        tcam = TcamModel.build(entries, 8)
+        for query in range(256):
+            assert_same_result(oracle_lookup(entries, query), tcam.lookup(query))
+
+    def test_random_oracle(self):
+        entries = random_entries(120, 16, seed=101)
+        tcam = TcamModel.build(entries, 16)
+        for query in range(0, 1 << 16, 149):
+            assert_same_result(oracle_lookup(entries, query), tcam.lookup(query))
+
+    def test_slot_order_is_priority_order(self):
+        tcam = TcamModel(8)
+        tcam.insert(TernaryEntry(TernaryKey.wildcard(8), "low", 1))
+        tcam.insert(TernaryEntry(TernaryKey.wildcard(8), "high", 9))
+        assert tcam.lookup(0).value == "high"
+
+    def test_lookup_all(self):
+        tcam = TcamModel.build(table1_entries(), 8)
+        assert [e.value for e in tcam.lookup_all(0b01110101)] == [5, 8]
+
+    def test_delete(self):
+        tcam = TcamModel.build(table1_entries(), 8)
+        assert tcam.delete(TernaryKey.from_string("0*1101**"))
+        assert tcam.lookup(0b01110101).value == 8
+        assert not tcam.delete(TernaryKey.from_string("00000000"))
+
+    def test_single_cycle_work_model(self):
+        tcam = TcamModel.build(table1_entries(), 8)
+        tcam.stats.reset()
+        for query in range(64):
+            tcam.lookup_counted(query)
+        assert tcam.stats.per_lookup()["node_visits"] == 1.0
+
+
+class TestCapacityAndCost:
+    def test_capacity_exhaustion(self):
+        tcam = TcamModel(8, capacity=2)
+        tcam.insert(TernaryEntry(TernaryKey.exact(1, 8), 1, 1))
+        tcam.insert(TernaryEntry(TernaryKey.exact(2, 8), 2, 2))
+        with pytest.raises(OverflowError, match="capacity"):
+            tcam.insert(TernaryEntry(TernaryKey.exact(3, 8), 3, 3))
+
+    def test_build_sizes_capacity(self):
+        entries = random_entries(5000, 16, seed=102)
+        tcam = TcamModel.build(entries, 16)
+        assert tcam.capacity >= 5000
+
+    def test_cost_scales_with_capacity_and_width(self):
+        small = TcamModel(128, capacity=1024).cost()
+        wide = TcamModel(512, capacity=1024).cost()
+        deep = TcamModel(128, capacity=4096).cost()
+        assert wide.search_energy_nj == pytest.approx(4 * small.search_energy_nj)
+        assert deep.area_mm2 == pytest.approx(4 * small.area_mm2)
+        assert small.watts_at_100mlps > 0
+
+    def test_memory_is_provisioned_not_occupied(self):
+        tcam = TcamModel(128, capacity=1024)
+        empty_bytes = tcam.memory_bytes()
+        tcam.insert(TernaryEntry(TernaryKey.wildcard(128), 0, 1))
+        assert tcam.memory_bytes() == empty_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TcamModel(8, capacity=0)
+        tcam = TcamModel(8)
+        with pytest.raises(ValueError, match="key length"):
+            tcam.insert(TernaryEntry(TernaryKey.wildcard(4), 0, 1))

@@ -1,0 +1,178 @@
+"""Unit tests for the ternary key algebra (repro.core.ternary)."""
+
+import pytest
+
+from repro.core.ternary import TernaryKey, extract_chunk
+
+
+class TestExtractChunk:
+    def test_positive_offset(self):
+        assert extract_chunk(0b10110100, 2, 3) == 0b101
+
+    def test_zero_offset(self):
+        assert extract_chunk(0b10110100, 0, 4) == 0b0100
+
+    def test_negative_offset_pads_with_zero(self):
+        # Paper §3.4: bits below position 0 read as 0.
+        assert extract_chunk(0b101, -2, 3) == 0b100
+
+    def test_negative_offset_fully_below(self):
+        assert extract_chunk(0b1, -1, 3) == 0b010
+
+
+class TestParsing:
+    def test_from_string_paper_example(self):
+        key = TernaryKey.from_string("011*1000")
+        assert key.length == 8
+        assert key.data == 0b01101000
+        assert key.mask == 0b00010000
+
+    def test_roundtrip(self):
+        for text in ("011*1000", "1*0***10", "0001****", "********", "00000000"):
+            assert TernaryKey.from_string(text).to_string() == text
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError, match="invalid ternary digit"):
+            TernaryKey.from_string("01x1")
+
+    def test_empty_string_is_zero_length(self):
+        key = TernaryKey.from_string("")
+        assert key.length == 0
+        assert key.matches(0)
+
+    def test_repr_shows_digits(self):
+        assert repr(TernaryKey.from_string("01*")) == "TernaryKey('01*')"
+
+
+class TestConstruction:
+    def test_exact(self):
+        key = TernaryKey.exact(0b101, 3)
+        assert key.is_exact
+        assert key.to_string() == "101"
+
+    def test_wildcard(self):
+        key = TernaryKey.wildcard(4)
+        assert key.to_string() == "****"
+        assert key.wildcard_count == 4
+
+    def test_from_prefix(self):
+        key = TernaryKey.from_prefix(0b101, 3, 8)
+        assert key.to_string() == "101*****"
+
+    def test_from_prefix_zero_length(self):
+        assert TernaryKey.from_prefix(0, 0, 4).to_string() == "****"
+
+    def test_from_prefix_full_length(self):
+        assert TernaryKey.from_prefix(0b1111, 4, 4).to_string() == "1111"
+
+    def test_from_prefix_out_of_range(self):
+        with pytest.raises(ValueError, match="prefix length"):
+            TernaryKey.from_prefix(0, 9, 8)
+
+    def test_data_under_mask_is_normalized(self):
+        # A '1' under a don't care position carries no information.
+        key = TernaryKey(0b1111, 0b0101, 4)
+        assert key.data == 0b1010
+
+    def test_oversized_data_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            TernaryKey(0b10000, 0, 4)
+
+    def test_oversized_mask_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            TernaryKey(0, 0b10000, 4)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TernaryKey(0, 0, -1)
+
+
+class TestMatching:
+    def test_paper_table1_example(self):
+        # §3.1: 011*1000 matches 01101000 and 01111000.
+        key = TernaryKey.from_string("011*1000")
+        assert key.matches(0b01101000)
+        assert key.matches(0b01111000)
+        assert not key.matches(0b01101001)
+
+    def test_wildcard_matches_everything(self):
+        key = TernaryKey.wildcard(8)
+        assert all(key.matches(q) for q in range(256))
+
+    def test_exact_matches_only_itself(self):
+        key = TernaryKey.exact(0b1010, 4)
+        assert [q for q in range(16) if key.matches(q)] == [0b1010]
+
+    def test_enumerate_matches(self):
+        key = TernaryKey.from_string("0*1*")
+        assert sorted(key.enumerate_matches()) == [0b0010, 0b0011, 0b0110, 0b0111]
+
+    def test_enumerate_matches_refuses_blowup(self):
+        with pytest.raises(ValueError, match="refusing"):
+            list(TernaryKey.wildcard(30).enumerate_matches())
+
+
+class TestCoversOverlaps:
+    def test_covers(self):
+        assert TernaryKey.from_string("01**").covers(TernaryKey.from_string("011*"))
+        assert not TernaryKey.from_string("011*").covers(TernaryKey.from_string("01**"))
+
+    def test_covers_self(self):
+        key = TernaryKey.from_string("0*1")
+        assert key.covers(key)
+
+    def test_overlaps_symmetric(self):
+        a = TernaryKey.from_string("01**")
+        b = TernaryKey.from_string("0**1")
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint(self):
+        a = TernaryKey.from_string("00**")
+        b = TernaryKey.from_string("01**")
+        assert not a.overlaps(b)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different lengths"):
+            TernaryKey.from_string("01").covers(TernaryKey.from_string("011"))
+
+
+class TestBitAccess:
+    def test_bit_indexing_msb_is_length_minus_one(self):
+        key = TernaryKey.from_string("10*")
+        assert key.bit(2) == "1"
+        assert key.bit(1) == "0"
+        assert key.bit(0) == "*"
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            TernaryKey.from_string("10*").bit(3)
+
+    def test_chunk(self):
+        key = TernaryKey.from_string("10*01")
+        assert key.chunk(2, 3).to_string() == "10*"
+        assert key.chunk(0, 2).to_string() == "01"
+
+    def test_chunk_negative_offset(self):
+        key = TernaryKey.from_string("1*")
+        assert key.chunk(-1, 3).to_string() == "1*0"
+
+    def test_msb_wildcard(self):
+        assert TernaryKey.from_string("0*1*").msb_wildcard() == 2
+        assert TernaryKey.from_string("0011").msb_wildcard() == -1
+
+    def test_first_diff_bit(self):
+        a = TernaryKey.from_string("0110")
+        b = TernaryKey.from_string("0*10")
+        assert a.first_diff_bit(b) == 2
+        assert a.first_diff_bit(a) == -1
+
+    def test_first_diff_star_vs_digit(self):
+        # '*' is a distinct third digit for structural comparison.
+        a = TernaryKey.from_string("1*")
+        b = TernaryKey.from_string("10")
+        assert a.first_diff_bit(b) == 0
+
+    def test_concat(self):
+        a = TernaryKey.from_string("01")
+        b = TernaryKey.from_string("*1")
+        assert a.concat(b).to_string() == "01*1"

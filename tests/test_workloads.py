@@ -1,0 +1,231 @@
+"""Unit tests for workload generators (repro.workloads)."""
+
+import pytest
+
+from repro.acl.layout import LAYOUT_V4, TCP_SYN
+from repro.acl.rule import Action, Protocol
+from repro.workloads.campus import (
+    ENTRIES_PER_PREFIX,
+    RULES_PER_PREFIX,
+    campus_acl,
+    campus_rules,
+)
+from repro.workloads.classbench import (
+    ACL_SEED,
+    FW_SEED,
+    IPC_SEED,
+    PROFILES,
+    classbench_acl,
+    classbench_rules,
+)
+from repro.workloads.traffic import (
+    pareto_trace,
+    query_matching_entry,
+    reverse_byte_scan,
+    uniform_traffic,
+)
+
+
+class TestCampus:
+    def test_rule_count_formula(self):
+        # §4.1: the ACL of D_q has 17 * 2**q rules.
+        for q in (0, 1, 3):
+            assert len(campus_rules(q)) == RULES_PER_PREFIX << q
+
+    def test_entry_count_formula(self):
+        # ... and 18 * 2**q ternary entries (established doubles).
+        for q in (0, 2):
+            assert len(campus_acl(q).entries) == ENTRIES_PER_PREFIX << q
+
+    def test_rules_cover_10_slash_8(self):
+        rules = campus_rules(1)
+        dst_prefixes = {r.dst_prefix for r in rules if r.dst_prefix[1] == 9}
+        assert dst_prefixes == {(0x0A000000, 9), (0x0A800000, 9)}
+
+    def test_outbound_rule_first_per_prefix(self):
+        rules = campus_rules(0)
+        assert rules[0].protocol is Protocol.IP
+        assert rules[0].src_prefix == (0x0A000000, 8)
+        assert rules[0].dst_prefix == (0, 0)
+
+    def test_final_rule_is_deny(self):
+        rules = campus_rules(0)
+        assert rules[-1].action is Action.DENY
+
+    def test_established_rule_present(self):
+        rules = campus_rules(0)
+        assert sum(1 for r in rules if r.established) == 1
+
+    def test_dmz_and_services_slash_27(self):
+        rules = campus_rules(0)
+        dmz = [r for r in rules if r.dst_prefix[1] == 27]
+        assert len(dmz) == 11  # 1 DMZ rule + 10 service rules
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ValueError):
+            campus_rules(-1)
+        with pytest.raises(ValueError):
+            campus_rules(17)
+
+    def test_deterministic(self):
+        assert campus_rules(2) == campus_rules(2)
+
+
+class TestClassBench:
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {"acl", "fw", "ipc"}
+        assert PROFILES["fw"] is FW_SEED
+
+    def test_rule_count(self):
+        assert len(classbench_rules(ACL_SEED, 150)) == 150
+
+    def test_deterministic_per_seed(self):
+        a = classbench_rules(IPC_SEED, 50, seed=1)
+        b = classbench_rules(IPC_SEED, 50, seed=1)
+        c = classbench_rules(IPC_SEED, 50, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_profiles_differ(self):
+        assert classbench_rules(ACL_SEED, 50) != classbench_rules(FW_SEED, 50)
+
+    def test_fw_has_more_wildcards_than_acl(self):
+        # The published structural contrast: firewall sets are wilder.
+        acl = classbench_rules(ACL_SEED, 400)
+        fw = classbench_rules(FW_SEED, 400)
+
+        def wildcard_fraction(rules):
+            return sum(1 for r in rules if r.src_prefix == (0, 0)) / len(rules)
+
+        assert wildcard_fraction(fw) > wildcard_fraction(acl)
+
+    def test_acl_dst_prefixes_are_specific(self):
+        rules = classbench_rules(ACL_SEED, 400)
+        specific = sum(1 for r in rules if r.dst_prefix[1] >= 24)
+        assert specific > len(rules) * 0.6
+
+    def test_compiles_to_valid_entries(self):
+        acl = classbench_acl("ipc", 100)
+        assert len(acl.entries) >= 100
+        assert all(e.key.length == 128 for e in acl.entries)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            classbench_acl("wan", 10)
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            classbench_rules(ACL_SEED, 0)
+
+
+class TestSeedProfiles:
+    def test_roundtrip(self, tmp_path):
+        from repro.workloads.classbench import load_profile, save_profile
+
+        path = str(tmp_path / "fw.seed")
+        save_profile(FW_SEED, path)
+        assert load_profile(path) == FW_SEED
+
+    def test_loaded_profile_generates(self, tmp_path):
+        from repro.workloads.classbench import load_profile, save_profile
+
+        path = str(tmp_path / "acl.seed")
+        save_profile(ACL_SEED, path)
+        loaded = load_profile(path)
+        assert classbench_rules(loaded, 30) == classbench_rules(ACL_SEED, 30)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.seed"
+        path.write_text("name x\n")
+        from repro.workloads.classbench import load_profile
+
+        with pytest.raises(ValueError, match="missing fields"):
+            load_profile(str(path))
+
+    def test_unknown_key(self, tmp_path):
+        path = tmp_path / "bad.seed"
+        path.write_text("bogus 1\n")
+        from repro.workloads.classbench import load_profile
+
+        with pytest.raises(ValueError, match="unknown key"):
+            load_profile(str(path))
+
+    def test_malformed_pair(self, tmp_path):
+        path = tmp_path / "bad.seed"
+        path.write_text("protocols tcp-0.5\n")
+        from repro.workloads.classbench import load_profile
+
+        with pytest.raises(ValueError, match="bad.seed:1"):
+            load_profile(str(path))
+
+
+class TestTraffic:
+    def test_query_matching_entry(self):
+        import random
+
+        acl = campus_acl(0)
+        rng = random.Random(0)
+        for entry in acl.entries:
+            for _ in range(5):
+                assert entry.matches(query_matching_entry(entry, rng))
+
+    def test_uniform_queries_match_table(self):
+        acl = campus_acl(0)
+        queries = uniform_traffic(acl.entries, 200)
+        assert len(queries) == 200
+        from repro.baselines.sorted_list import SortedListMatcher
+
+        oracle = SortedListMatcher.build(acl.entries, 128)
+        assert all(oracle.lookup(q) is not None for q in queries)
+
+    def test_uniform_empty_table(self):
+        with pytest.raises(ValueError, match="empty"):
+            uniform_traffic([], 10)
+
+    def test_uniform_deterministic(self):
+        acl = campus_acl(0)
+        assert uniform_traffic(acl.entries, 50, seed=3) == uniform_traffic(
+            acl.entries, 50, seed=3
+        )
+
+    def test_scan_pattern_fields(self):
+        queries = reverse_byte_scan(10, seed=1)
+        for query in queries:
+            fields = LAYOUT_V4.unpack_query(query)
+            assert fields["proto"] == 6
+            assert fields["dst_port"] == 5060
+            assert fields["tcp_flags"] == TCP_SYN
+            assert fields["dst_ip"] >> 24 == 10
+
+    def test_scan_reverse_byte_sequence(self):
+        # The paper's example: ..., 10.255.0.0, 10.0.1.0, 10.1.1.0, ...
+        queries = reverse_byte_scan(3, start=255)
+        dsts = [LAYOUT_V4.unpack_query(q)["dst_ip"] for q in queries]
+        assert dsts[0] == 0x0AFF0000  # 10.255.0.0
+        assert dsts[1] == 0x0A000100  # 10.0.1.0
+        assert dsts[2] == 0x0A010100  # 10.1.1.0
+
+    def test_scan_wraps_24_bits(self):
+        (query,) = reverse_byte_scan(1, start=1 << 24)
+        assert LAYOUT_V4.unpack_query(query)["dst_ip"] == 0x0A000000
+
+    def test_pareto_trace_length_and_membership(self):
+        acl = campus_acl(0)
+        trace = pareto_trace(acl.entries, 300)
+        assert len(trace) == 300
+        from repro.baselines.sorted_list import SortedListMatcher
+
+        oracle = SortedListMatcher.build(acl.entries, 128)
+        assert all(oracle.lookup(q) is not None for q in trace)
+
+    def test_pareto_trace_has_repeats(self):
+        acl = campus_acl(0)
+        trace = pareto_trace(acl.entries, 300, alpha=0.5)
+        assert len(set(trace)) < len(trace)
+
+    def test_pareto_validation(self):
+        acl = campus_acl(0)
+        with pytest.raises(ValueError, match="alpha"):
+            pareto_trace(acl.entries, 10, alpha=0)
+        with pytest.raises(ValueError, match="empty"):
+            pareto_trace([], 10)
