@@ -48,7 +48,7 @@ def test_splitting_trades_states_for_visits(split_matchers, campus_uniform):
     for matcher in (single, split):
         matcher.stats.reset()
         for query in campus_uniform:
-            matcher.lookup_counted(query)
+            matcher.profile_lookup(query)
     assert (
         split.stats.per_lookup()["node_visits"]
         > single.stats.per_lookup()["node_visits"]
@@ -93,7 +93,7 @@ def main() -> None:
             continue
         matcher.stats.reset()
         for query in queries:
-            matcher.lookup_counted(query)
+            matcher.profile_lookup(query)
         table.add_row(
             tries,
             matcher.trie_count,

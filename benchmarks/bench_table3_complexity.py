@@ -59,8 +59,8 @@ def test_table3_scaling_exponent(queries):
         sorted_list.stats.reset()
         palmtrie.stats.reset()
         for query in queries:
-            sorted_list.lookup_counted(query)
-            palmtrie.lookup_counted(query)
+            sorted_list.profile_lookup(query)
+            palmtrie.profile_lookup(query)
         visits[n] = (
             sorted_list.stats.per_lookup()["key_comparisons"],
             palmtrie.stats.per_lookup()["node_visits"],

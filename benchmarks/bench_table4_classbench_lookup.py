@@ -46,8 +46,8 @@ def test_table4_palmtrie_beats_efficuts(table4_matchers, classbench_trace):
     efficuts.stats.reset()
     plus.stats.reset()
     for query in classbench_trace:
-        efficuts.lookup_counted(query)
-        plus.lookup_counted(query)
+        efficuts.profile_lookup(query)
+        plus.profile_lookup(query)
     efficuts_work = efficuts.stats.per_lookup()
     plus_work = plus.stats.per_lookup()
     total_efficuts = efficuts_work["node_visits"] + efficuts_work["key_comparisons"]

@@ -34,8 +34,8 @@ def test_tcam_is_single_visit(pair):
     tcam.stats.reset()
     plus.stats.reset()
     for query in queries:
-        tcam.lookup_counted(query)
-        plus.lookup_counted(query)
+        tcam.profile_lookup(query)
+        plus.profile_lookup(query)
     assert tcam.stats.per_lookup()["node_visits"] == 1.0
     assert plus.stats.per_lookup()["node_visits"] > 1.0
 

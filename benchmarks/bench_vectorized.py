@@ -60,8 +60,8 @@ def test_vectorized_work_stays_linear(campus):
     vector_large = VectorizedMatcher.build(campus.entries, KEY_LENGTH)
     vector_small.stats.reset()
     vector_large.stats.reset()
-    vector_small.lookup_counted(0)
-    vector_large.lookup_counted(0)
+    vector_small.profile_lookup(0)
+    vector_large.profile_lookup(0)
     ratio = vector_large.stats.key_comparisons / vector_small.stats.key_comparisons
     assert ratio == pytest.approx(len(campus.entries) / len(small.entries))
 

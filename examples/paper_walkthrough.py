@@ -54,7 +54,7 @@ def basic_lookup_trace() -> None:
     result = trie.lookup(query)
     print(f"priority encoding selects entry {result.value} (priority {result.priority})")
     trie.stats.reset()
-    trie.lookup_counted(query)
+    trie.profile_lookup(query)
     work = trie.stats.per_lookup()
     print(f"work: {work['node_visits']:.0f} node visits, "
           f"{work['key_comparisons']:.0f} full key comparisons")

@@ -30,10 +30,17 @@ from .acl import (
     parse_acl,
 )
 from .apps import FlowMonitor, FlowRecord
-from .baselines import DpdkStyleAcl, EffiCutsClassifier, SortedListMatcher
+from .baselines import (
+    DpdkStyleAcl,
+    EffiCutsClassifier,
+    SortedListMatcher,
+    TcamModel,
+    VectorizedMatcher,
+)
 from .core import (
     AdaptiveMatcher,
     BasicPalmtrie,
+    LookupStats,
     MultibitPalmtrie,
     PalmtriePlus,
     PatriciaTrie,
@@ -44,7 +51,13 @@ from .core import (
     TernaryMatcher,
     build_matcher,
 )
+from .core.table import matcher_kinds
+from .engine import BatchReport, ClassificationEngine, FlowCache
 from .packet import PacketHeader, decode_packet, encode_packet
+
+#: public registry of matcher kinds: ``{kind name: matcher class}``.
+#: ``build_matcher`` accepts either the kind string or the class itself.
+MATCHER_KINDS = matcher_kinds()
 
 __version__ = "1.0.0"
 
@@ -53,13 +66,18 @@ __all__ = [
     "Action",
     "AdaptiveMatcher",
     "BasicPalmtrie",
+    "BatchReport",
+    "ClassificationEngine",
     "CompiledAcl",
     "DpdkStyleAcl",
     "EffiCutsClassifier",
+    "FlowCache",
     "FlowMonitor",
     "FlowRecord",
     "LAYOUT_V4",
     "LAYOUT_V6",
+    "LookupStats",
+    "MATCHER_KINDS",
     "MultibitPalmtrie",
     "PacketHeader",
     "PalmtriePlus",
@@ -68,13 +86,16 @@ __all__ = [
     "Protocol",
     "RadixTree",
     "SortedListMatcher",
+    "TcamModel",
     "TernaryEntry",
     "TernaryKey",
     "TernaryMatcher",
+    "VectorizedMatcher",
     "build_matcher",
     "compile_acl",
     "decode_packet",
     "encode_packet",
+    "matcher_kinds",
     "parse_acl",
     "__version__",
 ]

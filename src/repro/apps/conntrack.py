@@ -31,6 +31,7 @@ from ..acl.compiler import CompiledAcl
 from ..acl.rule import Action
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryMatcher
+from ..engine import ClassificationEngine
 from ..packet.headers import PROTO_TCP, PacketHeader
 
 __all__ = ["ConnState", "Connection", "StatefulFirewall"]
@@ -77,14 +78,16 @@ class StatefulFirewall:
         idle_timeout: float = 300.0,
         closing_timeout: float = 10.0,
         max_connections: int = 1_000_000,
+        cache_size: int = 4096,
     ) -> None:
         if idle_timeout <= 0 or closing_timeout <= 0:
             raise ValueError("timeouts must be positive")
         if max_connections <= 0:
             raise ValueError("max_connections must be positive")
         self.acl = acl
-        self.matcher = matcher or PalmtriePlus.build(
-            acl.entries, acl.layout.length, stride=8
+        self.engine = ClassificationEngine(
+            matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
+            cache_size=cache_size,
         )
         self.idle_timeout = idle_timeout
         self.closing_timeout = closing_timeout
@@ -93,6 +96,11 @@ class StatefulFirewall:
         self.fast_path_hits = 0
         self.acl_evaluations = 0
         self.table_full_drops = 0
+
+    @property
+    def matcher(self) -> TernaryMatcher:
+        """The wrapped ACL matcher (kept for callers of the old name)."""
+        return self.engine.matcher
 
     # ------------------------------------------------------------------
 
@@ -113,7 +121,7 @@ class StatefulFirewall:
 
         # Flow table miss: consult the stateless policy.
         self.acl_evaluations += 1
-        entry = self.matcher.lookup(header.to_query(self.acl.layout))
+        entry = self.engine.lookup(header.to_query(self.acl.layout))
         if entry is None:
             return Action.DENY
         rule_index = entry.value

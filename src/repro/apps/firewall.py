@@ -16,6 +16,7 @@ from ..acl.compiler import CompiledAcl, compile_acl
 from ..acl.parser import parse_acl
 from ..acl.rule import AclRule, Action
 from ..core.plus import PalmtriePlus
+from ..engine import ClassificationEngine
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -39,13 +40,22 @@ class Firewall:
         acl: CompiledAcl,
         stride: int = 8,
         default_action: Action = Action.DENY,
+        cache_size: int = 4096,
     ) -> None:
         self.acl = acl
         self.default_action = default_action
-        self._matcher = PalmtriePlus.build(acl.entries, acl.layout.length, stride=stride)
+        self.engine = ClassificationEngine(
+            PalmtriePlus.build(acl.entries, acl.layout.length, stride=stride),
+            cache_size=cache_size,
+        )
         self._counters = [RuleCounter(rule) for rule in acl.rules]
         self.default_hits = 0
         self.decode_errors = 0
+
+    @property
+    def _matcher(self) -> PalmtriePlus:
+        """The underlying Palmtrie+ (kept for callers of the old name)."""
+        return self.engine.matcher
 
     @classmethod
     def from_text(cls, acl_text: str, **kwargs: object) -> "Firewall":
@@ -56,7 +66,7 @@ class Firewall:
 
     def check(self, header: PacketHeader, length: int = 0) -> Action:
         """Apply the policy to one packet; updates hit counters."""
-        entry = self._matcher.lookup(header.to_query(self.acl.layout))
+        entry = self.engine.lookup(header.to_query(self.acl.layout))
         if entry is None:
             self.default_hits += 1
             return self.default_action
@@ -64,6 +74,26 @@ class Firewall:
         counter.packets += 1
         counter.octets += length
         return counter.rule.action
+
+    def check_batch(
+        self, headers: Sequence[PacketHeader], lengths: Optional[Sequence[int]] = None
+    ) -> list[Action]:
+        """Apply the policy to a burst of packets (one batched lookup)."""
+        layout = self.acl.layout
+        entries = self.engine.lookup_batch([h.to_query(layout) for h in headers])
+        if lengths is None:
+            lengths = [0] * len(headers)
+        actions: list[Action] = []
+        for entry, length in zip(entries, lengths):
+            if entry is None:
+                self.default_hits += 1
+                actions.append(self.default_action)
+                continue
+            counter = self._counters[entry.value]
+            counter.packets += 1
+            counter.octets += length
+            actions.append(counter.rule.action)
+        return actions
 
     def permits(self, header: PacketHeader, length: int = 0) -> bool:
         return self.check(header, length) is Action.PERMIT
@@ -110,10 +140,14 @@ class Firewall:
     # ------------------------------------------------------------------
 
     def replace_policy(self, rules: Sequence[AclRule]) -> None:
-        """Swap in a new rule list (counters reset, matcher rebuilt)."""
+        """Swap in a new rule list (counters reset, matcher rebuilt,
+        flow cache flushed)."""
         self.acl = compile_acl(list(rules), layout=self.acl.layout)
-        self._matcher = PalmtriePlus.build(
-            self.acl.entries, self.acl.layout.length, stride=self._matcher.stride
+        self.engine = ClassificationEngine(
+            PalmtriePlus.build(
+                self.acl.entries, self.acl.layout.length, stride=self._matcher.stride
+            ),
+            cache_size=self.engine.cache.capacity,
         )
         self._counters = [RuleCounter(rule) for rule in self.acl.rules]
         self.default_hits = 0

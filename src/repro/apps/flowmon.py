@@ -19,6 +19,7 @@ from typing import Any, Iterable, Iterator, Optional
 
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryEntry, TernaryMatcher
+from ..engine import ClassificationEngine
 from ..packet.headers import PacketHeader
 
 __all__ = ["FlowKey", "FlowRecord", "FlowMonitor"]
@@ -72,17 +73,26 @@ class FlowMonitor:
         matcher: Optional[TernaryMatcher] = None,
         idle_timeout: float = 60.0,
         default_class: Any = None,
+        cache_size: int = 4096,
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError(f"idle timeout must be positive, got {idle_timeout}")
         entries = list(entries)
-        self.matcher = matcher or PalmtriePlus.build(entries, key_length, stride=8)
+        self.engine = ClassificationEngine(
+            matcher or PalmtriePlus.build(entries, key_length, stride=8),
+            cache_size=cache_size,
+        )
         self.idle_timeout = idle_timeout
         self.default_class = default_class
         self._flows: dict[FlowKey, FlowRecord] = {}
         self._clock = 0.0
         self.packets_seen = 0
         self.octets_seen = 0
+
+    @property
+    def matcher(self) -> TernaryMatcher:
+        """The wrapped classifier (kept for callers of the old name)."""
+        return self.engine.matcher
 
     # ------------------------------------------------------------------
 
@@ -102,7 +112,7 @@ class FlowMonitor:
         )
         record = self._flows.get(key)
         if record is None:
-            entry = self.matcher.lookup(header.to_query())
+            entry = self.engine.lookup(header.to_query())
             traffic_class = self.default_class if entry is None else entry.value
             record = FlowRecord(
                 key=key,

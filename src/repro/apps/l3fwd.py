@@ -26,6 +26,7 @@ from ..acl.rule import Action
 from ..core.plus import PalmtriePlus
 from ..core.poptrie import Poptrie
 from ..core.table import TernaryMatcher
+from ..engine import ClassificationEngine
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -65,23 +66,34 @@ class L3Forwarder:
         routes: Iterable[tuple[int, int, int]],
         matcher: Optional[TernaryMatcher] = None,
         default_action: Action = Action.DENY,
+        cache_size: int = 4096,
     ) -> None:
         """``routes`` are ``(prefix_bits, prefix_len, out_port)`` over the
         destination address; ``acl`` decides permit/deny first."""
         self.acl = acl
-        self.matcher = matcher or PalmtriePlus.build(
-            acl.entries, acl.layout.length, stride=8
+        self.engine = ClassificationEngine(
+            matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
+            cache_size=cache_size,
         )
         self.rib = Poptrie.build(routes, key_length=32)
         self.default_action = default_action
         self.stats = ForwardingStats()
+
+    @property
+    def matcher(self) -> TernaryMatcher:
+        """The wrapped ACL matcher (kept for callers of the old name)."""
+        return self.engine.matcher
 
     # ------------------------------------------------------------------
 
     def process(self, header: PacketHeader) -> Verdict:
         """Run one packet through ACL then LPM."""
         self.stats.received += 1
-        entry = self.matcher.lookup(header.to_query(self.acl.layout))
+        entry = self.engine.lookup(header.to_query(self.acl.layout))
+        return self._route(header, entry)
+
+    def _route(self, header: PacketHeader, entry) -> Verdict:
+        """The LPM half of the pipeline, given the packet's ACL verdict."""
         if entry is None:
             action = self.default_action
             rule_index = None
@@ -110,8 +122,12 @@ class L3Forwarder:
         return self.process(header)
 
     def process_batch(self, headers: Sequence[PacketHeader]) -> list[Verdict]:
-        """Batch entry point (the l3fwd burst loop)."""
-        return [self.process(header) for header in headers]
+        """Batch entry point (the l3fwd burst loop): one batched ACL
+        lookup for the whole burst, then per-packet routing."""
+        layout = self.acl.layout
+        entries = self.engine.lookup_batch([h.to_query(layout) for h in headers])
+        self.stats.received += len(headers)
+        return [self._route(h, e) for h, e in zip(headers, entries)]
 
     # ------------------------------------------------------------------
 

@@ -213,20 +213,20 @@ class DpdkStyleAcl(TernaryMatcher):
                 best = node
         return best
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        """Instrumented lookup: updates ``self.stats`` work counters."""
-        self.stats.lookups += 1
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Counted traversal hook for :meth:`profile_lookup`."""
         top_shift = self.key_length - 8
         best: Optional[TernaryEntry] = None
+        visits = 0
         for node in self._roots:
             shift = top_shift
             while type(node) is _Node:
-                self.stats.node_visits += 1
+                visits += 1
                 node = node.children[(query >> shift) & 0xFF]
                 shift -= 8
             if node is not None and (best is None or node.priority > best.priority):
                 best = node
-        return best
+        return best, visits, 0
 
     # ------------------------------------------------------------------
     # Introspection

@@ -210,26 +210,26 @@ class EffiCutsClassifier(TernaryMatcher):
                     break
         return best
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        """Instrumented lookup: updates ``self.stats`` work counters."""
-        self.stats.lookups += 1
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Counted traversal hook for :meth:`profile_lookup`."""
         point = self._point(query)
         best: Optional[TernaryEntry] = None
+        visits = comparisons = 0
         for tree in self._trees:
             node = tree
             while type(node) is _CutNode:
-                self.stats.node_visits += 1
+                visits += 1
                 index = (point[node.dim] - node.lo) // node.width
                 node = node.children[index]
-            self.stats.node_visits += 1
+            visits += 1
             for entry, _ranges in node.rules:
-                self.stats.key_comparisons += 1
+                comparisons += 1
                 if best is not None and entry.priority <= best.priority:
                     break
                 if entry.key.matches(query):
                     best = entry
                     break
-        return best
+        return best, visits, comparisons
 
     # ------------------------------------------------------------------
     # Introspection

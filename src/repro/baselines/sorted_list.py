@@ -60,17 +60,13 @@ class SortedListMatcher(TernaryMatcher):
         """All matching entries; already in priority order."""
         return [entry for entry in self._entries if entry.key.matches(query)]
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        """Instrumented lookup: updates ``self.stats`` work counters."""
-        self.stats.lookups += 1
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Work model: entries scanned until the first match."""
         for position, entry in enumerate(self._entries):
             if entry.key.matches(query):
-                self.stats.key_comparisons += position + 1
-                self.stats.node_visits += position + 1
-                return entry
-        self.stats.key_comparisons += len(self._entries)
-        self.stats.node_visits += len(self._entries)
-        return None
+                return entry, position + 1, position + 1
+        n = len(self._entries)
+        return None, n, n
 
     def __len__(self) -> int:
         return len(self._entries)

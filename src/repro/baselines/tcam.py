@@ -103,12 +103,9 @@ class TcamModel(TernaryMatcher):
     def lookup_all(self, query: int) -> list[TernaryEntry]:
         return [e for e in self._slots if e.key.matches(query)]
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
         """One visit per lookup: the parallel-compare hardware model."""
-        self.stats.lookups += 1
-        self.stats.node_visits += 1
-        self.stats.key_comparisons += 1
-        return self.lookup(query)
+        return self.lookup(query), 1, 1
 
     def __len__(self) -> int:
         return len(self._slots)

@@ -120,12 +120,10 @@ class VectorizedMatcher(TernaryMatcher):
         any_match = matches.any(axis=1)
         return np.where(any_match, winners, -1)
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
         """Work model: like a TCAM search, every entry is touched."""
-        self.stats.lookups += 1
-        self.stats.node_visits += max(len(self._entries), 1)
-        self.stats.key_comparisons += len(self._entries)
-        return self.lookup(query)
+        n = len(self._entries)
+        return self.lookup(query), max(n, 1), n
 
     # ------------------------------------------------------------------
 

@@ -3,7 +3,14 @@
 from .chart import render_series
 from .costmodel import CacheModel, DEFAULT_MODEL, modeled_mlps
 from .experiments import ALL_EXPERIMENTS, run_experiment
-from .harness import BuildMeasurement, LookupMeasurement, measure_build, measure_lookup_rate
+from .harness import (
+    BuildMeasurement,
+    EngineMeasurement,
+    LookupMeasurement,
+    measure_build,
+    measure_engine_rate,
+    measure_lookup_rate,
+)
 from .memory import deep_sizeof, memory_comparison
 from .report import Table, format_rate, format_seconds, save_report
 from .scale import SCALES, Scale, current_scale
@@ -13,6 +20,7 @@ __all__ = [
     "BuildMeasurement",
     "CacheModel",
     "DEFAULT_MODEL",
+    "EngineMeasurement",
     "LookupMeasurement",
     "SCALES",
     "Scale",
@@ -22,6 +30,7 @@ __all__ = [
     "format_rate",
     "format_seconds",
     "measure_build",
+    "measure_engine_rate",
     "measure_lookup_rate",
     "memory_comparison",
     "modeled_mlps",

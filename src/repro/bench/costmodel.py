@@ -13,7 +13,7 @@ This module recovers the *shape* with a deliberately simple model:
                     + touches * per-touch ALU work
 
 where a memory touch is one structure-node visit (measured with the
-matchers' instrumented ``lookup_counted``), and ``latency`` is a step
+matchers' instrumented ``profile_lookup``), and ``latency`` is a step
 function over the structure's modeled C footprint using the paper
 machine's hierarchy (i7-6700K: 32 KiB L1, 256 KiB L2, 8 MiB L3, DRAM).
 Between levels the latency is blended by the fraction of the structure
@@ -84,14 +84,14 @@ def modeled_mlps(
 ) -> float:
     """Modeled mega-lookups/second for a matcher on a query stream.
 
-    Requires the matcher to implement ``lookup_counted`` and
+    Requires the matcher to implement ``profile_lookup`` and
     ``memory_bytes``.
     """
     if not queries:
         raise ValueError("cannot model an empty query stream")
     matcher.stats.reset()
     for query in queries:
-        matcher.lookup_counted(query)  # type: ignore[attr-defined]
+        matcher.profile_lookup(query)
     per = matcher.stats.per_lookup()
     touches = max(per["node_visits"], 1.0)
     footprint = matcher.memory_bytes()

@@ -353,8 +353,8 @@ def table3_complexity(
         oracle.stats.reset()
         palmtrie.stats.reset()
         for query in queries:
-            oracle.lookup_counted(query)
-            palmtrie.lookup_counted(query)
+            oracle.profile_lookup(query)
+            palmtrie.profile_lookup(query)
         s = oracle.stats.per_lookup()["key_comparisons"]
         p = palmtrie.stats.per_lookup()["node_visits"]
         if prev is None:

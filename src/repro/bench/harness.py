@@ -8,8 +8,12 @@ active :class:`~repro.bench.scale.Scale`.
 
 Because pure-Python wall-clock rates are interpreter-dominated, every
 measurement also records deterministic per-lookup work counts (node
-visits, key comparisons) via the matchers' ``lookup_counted``, so the
+visits, key comparisons) via the matchers' ``profile_lookup``, so the
 algorithmic comparison is visible independently of CPython overhead.
+
+:func:`measure_engine_rate` does the same for a
+:class:`~repro.engine.ClassificationEngine`, additionally reporting the
+flow-cache hit ratio and batch throughput of the serving path.
 """
 
 from __future__ import annotations
@@ -20,8 +24,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.table import TernaryMatcher
+from ..engine import ClassificationEngine
 
-__all__ = ["LookupMeasurement", "measure_lookup_rate", "measure_build", "BuildMeasurement"]
+__all__ = [
+    "LookupMeasurement",
+    "EngineMeasurement",
+    "measure_lookup_rate",
+    "measure_engine_rate",
+    "measure_build",
+    "BuildMeasurement",
+]
 
 
 @dataclass
@@ -68,7 +80,7 @@ def measure_lookup_rate(
             if now >= deadline:
                 break
         rates.append(done / (now - start))
-    counted = getattr(matcher, "lookup_counted", None)
+    counted = getattr(matcher, "profile_lookup", None)
     visits = comparisons = 0.0
     if counted is not None:
         matcher.stats.reset()
@@ -84,6 +96,67 @@ def measure_lookup_rate(
         samples=rates,
         node_visits_per_lookup=visits,
         key_comparisons_per_lookup=comparisons,
+    )
+
+
+@dataclass
+class EngineMeasurement:
+    """One engine-path measurement: batched lookups through the flow cache."""
+
+    matcher: str
+    lookups_per_second: float
+    stddev: float
+    cache_hit_ratio: float
+    batch_size: int
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def mega_lookups_per_second(self) -> float:
+        return self.lookups_per_second / 1e6
+
+
+def measure_engine_rate(
+    engine: ClassificationEngine,
+    queries: Sequence[int],
+    batch_size: int = 32,
+    min_duration: float = 0.1,
+    samples: int = 3,
+) -> EngineMeasurement:
+    """Measure the serving path: the query stream is replayed through
+    :meth:`~repro.engine.ClassificationEngine.lookup_batch` in bursts of
+    ``batch_size``, with the flow cache warm after the first pass.
+
+    The reported hit ratio covers the whole run (including the cold
+    first pass), matching what an operator reads off a long-running box.
+    """
+    if not queries:
+        raise ValueError("cannot measure with an empty query stream")
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    batches = [
+        list(queries[i : i + batch_size]) for i in range(0, len(queries), batch_size)
+    ]
+    engine.reset_stats()
+    rates = []
+    for _ in range(max(1, samples)):
+        done = 0
+        start = time.perf_counter()
+        deadline = start + min_duration
+        while True:
+            for batch in batches:
+                engine.lookup_batch(batch)
+            done += len(queries)
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+        rates.append(done / (now - start))
+    return EngineMeasurement(
+        matcher=engine.name,
+        lookups_per_second=statistics.fmean(rates),
+        stddev=statistics.pstdev(rates) if len(rates) > 1 else 0.0,
+        cache_hit_ratio=engine.cache_hit_ratio,
+        batch_size=batch_size,
+        samples=rates,
     )
 
 

@@ -193,16 +193,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     import time
 
-    from .acl.rule import Action
     from .core.table import build_matcher
+    from .engine import ClassificationEngine
     from .workloads.io import load_acl, load_trace
 
+    if args.cache_size < 0:
+        print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
+        return 2
     rules = load_acl(args.acl)
     compiled = compile_acl(rules)
     matcher = build_matcher(
         args.matcher, compiled.entries, compiled.layout.length,
         **({"stride": args.stride} if args.matcher in ("palmtrie", "palmtrie-plus") else {}),
     )
+    engine = ClassificationEngine(matcher, cache_size=args.cache_size)
     if args.input.endswith(".pcap"):
         from .packet.codec import PacketDecodeError, decode_packet
         from .packet.pcap import read_pcap
@@ -229,19 +233,27 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print("no packets to replay", file=sys.stderr)
         return 2
     verdicts = {"permit": 0, "deny": 0, "implicit-deny": 0}
+    batch = max(1, args.batch_size)
     start = time.perf_counter()
-    for query in queries:
-        entry = matcher.lookup(query)
-        if entry is None:
-            verdicts["implicit-deny"] += 1
-        else:
-            verdicts[compiled.rules[entry.value].action.value] += 1
+    for offset in range(0, len(queries), batch):
+        for entry in engine.lookup_batch(queries[offset : offset + batch]):
+            if entry is None:
+                verdicts["implicit-deny"] += 1
+            else:
+                verdicts[compiled.rules[entry.value].action.value] += 1
     elapsed = time.perf_counter() - start
     total = len(queries)
-    print(f"replayed {total} packets through {matcher.name} in {elapsed:.2f} s "
+    print(f"replayed {total} packets through {engine.name} in {elapsed:.2f} s "
           f"({total / elapsed:,.0f} lookups/s)")
     for verdict, count in verdicts.items():
         print(f"  {verdict:14} {count:8}  ({100 * count / total:.1f} %)")
+    report = engine.report()
+    print(
+        f"  flow cache     {report['cache_entries']}/{report['cache_size']} entries, "
+        f"{100 * report['cache_hit_ratio']:.1f} % hits, "
+        f"{report['cache_evictions']} evictions "
+        f"(batch size {batch})"
+    )
     return 0
 
 
@@ -341,15 +353,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay = sub.add_parser("replay", help="replay a .trace or .pcap through an ACL")
     p_replay.add_argument("acl", help="ACL file in the Table 2 dialect")
     p_replay.add_argument("input", help="a .trace (palmtrie-repro generate) or .pcap file")
+    from .core.table import matcher_kinds
+
     p_replay.add_argument(
         "--matcher",
         default="palmtrie-plus",
-        choices=(
-            "sorted-list", "palmtrie-basic", "palmtrie", "palmtrie-plus",
-            "dpdk-acl", "efficuts", "adaptive", "tcam", "vectorized",
-        ),
+        choices=tuple(sorted(matcher_kinds())),
     )
     p_replay.add_argument("--stride", type=int, default=8)
+    p_replay.add_argument(
+        "--batch-size", type=int, default=32,
+        help="packets per lookup_batch burst (1 = scalar path)",
+    )
+    p_replay.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="flow cache capacity (0 disables the cache)",
+    )
     p_replay.set_defaults(func=_cmd_replay)
 
     p_diff = sub.add_parser("diff", help="compare two ACL files")

@@ -132,9 +132,12 @@ class AdaptiveMatcher(TernaryMatcher):
     def lookup(self, query: int) -> Optional[TernaryEntry]:
         return self._inner.lookup(query)
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        self._inner.stats = self.stats
-        return self._inner.lookup_counted(query)  # type: ignore[attr-defined]
+    def lookup_batch(self, queries) -> list[Optional[TernaryEntry]]:
+        return self._inner.lookup_batch(queries)
+
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        # Charge the active structure's work model to our own stats.
+        return self._inner._counted_lookup(query)
 
     # ------------------------------------------------------------------
 

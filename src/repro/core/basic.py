@@ -198,17 +198,16 @@ class BasicPalmtrie(TernaryMatcher):
         matches.sort(key=lambda e: e.priority, reverse=True)
         return matches
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        """Instrumented lookup: updates ``self.stats`` work counters."""
-        stats = self.stats
-        stats.lookups += 1
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Counted traversal hook for :meth:`profile_lookup`."""
         result: Optional[TernaryEntry] = None
+        visits = comparisons = 0
         stack = [self._root] if self._root is not None else []
         while stack:
             node = stack.pop()
-            stats.node_visits += 1
+            visits += 1
             if isinstance(node, _Leaf):
-                stats.key_comparisons += 1
+                comparisons += 1
                 if node.key.matches(query) and (
                     result is None or node.best.priority > result.priority
                 ):
@@ -219,7 +218,7 @@ class BasicPalmtrie(TernaryMatcher):
             child = node.children[(query >> node.bit) & 1]
             if child is not None:
                 stack.append(child)
-        return result
+        return result, visits, comparisons
 
     # ------------------------------------------------------------------
     # Introspection

@@ -384,8 +384,8 @@ class MultibitPalmtrie(TernaryMatcher):
         matches.sort(key=lambda e: e.priority, reverse=True)
         return matches
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        """Instrumented lookup: updates ``self.stats`` work counters."""
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Counted traversal hook for :meth:`profile_lookup`."""
         chunk_mask = (1 << self.stride) - 1
         slots = self._ternary_slots
         skipping = self.subtree_skipping
@@ -416,10 +416,67 @@ class MultibitPalmtrie(TernaryMatcher):
                 t = x.ternaries[slot]
                 if t is not None:
                     stack.append(t)
-        self.stats.lookups += 1
-        self.stats.node_visits += visits
-        self.stats.key_comparisons += comparisons
-        return result
+        return result, visits, comparisons
+
+    def lookup_batch(self, queries) -> list[Optional[TernaryEntry]]:
+        """Batched traversal: one node-major walk for the whole batch.
+
+        Identical queries are resolved once (flow-heavy traffic makes
+        them common), and distinct queries that take the same branch
+        share the node visit: the stack holds ``(node, query indices)``
+        frontiers instead of one node per in-flight lookup.
+        """
+        results: list[Optional[TernaryEntry]] = [None] * len(queries)
+        if not queries:
+            return results
+        # Deduplicate the batch; traverse over unique queries only.
+        positions: dict[int, list[int]] = {}
+        for index, query in enumerate(queries):
+            positions.setdefault(query, []).append(index)
+        unique = list(positions)
+        best: list[Optional[TernaryEntry]] = [None] * len(unique)
+        best_priority = [-1] * len(unique)
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        skipping = self.subtree_skipping
+        stack: list[tuple[_Node, list[int]]] = [(self._root, list(range(len(unique))))]
+        while stack:
+            x, group = stack.pop()
+            maxp = x.max_priority
+            if skipping:
+                group = [g for g in group if best_priority[g] <= maxp]
+                if not group:
+                    continue
+            if type(x) is _Leaf:
+                data = x.data
+                care_mask = x.care_mask
+                for g in group:
+                    if unique[g] & care_mask == data and maxp > best_priority[g]:
+                        best[g] = x.entries[0]
+                        best_priority[g] = best[g].priority
+                continue
+            bit = x.bit
+            buckets: dict[int, list[int]] = {}
+            if bit >= 0:
+                for g in group:
+                    buckets.setdefault((unique[g] >> bit) & chunk_mask, []).append(g)
+            else:
+                for g in group:
+                    buckets.setdefault((unique[g] << -bit) & chunk_mask, []).append(g)
+            descendants = x.descendants
+            ternaries = x.ternaries
+            for i, bucket in buckets.items():
+                child = descendants[i]
+                if child is not None:
+                    stack.append((child, bucket))
+                for slot in slots[i]:
+                    t = ternaries[slot]
+                    if t is not None:
+                        stack.append((t, bucket))
+        for g, query in enumerate(unique):
+            for index in positions[query]:
+                results[index] = best[g]
+        return results
 
     # ------------------------------------------------------------------
     # Introspection

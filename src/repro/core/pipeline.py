@@ -48,7 +48,15 @@ class PipelineStats:
 
 
 class PipelinedLookup:
-    """Batch lookups over a Palmtrie+ with round-robin interleaving."""
+    """Batch lookups over a Palmtrie+ with round-robin interleaving.
+
+    Duck-types enough of the :class:`~repro.core.table.TernaryMatcher`
+    surface (``lookup``, ``insert``, ``delete``, ``key_length``) that
+    :class:`repro.engine.ClassificationEngine` can wrap it; scalar
+    calls and updates delegate to the underlying Palmtrie+.
+    """
+
+    name = "pipelined"
 
     def __init__(self, matcher: PalmtriePlus, batch_size: int = 8) -> None:
         if batch_size < 1:
@@ -56,6 +64,24 @@ class PipelinedLookup:
         self.matcher = matcher
         self.batch_size = batch_size
         self.stats = PipelineStats()
+
+    # -- matcher surface (delegated) -----------------------------------
+
+    @property
+    def key_length(self) -> int:
+        return self.matcher.key_length
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        return self.matcher.lookup(query)
+
+    def insert(self, entry: TernaryEntry) -> None:
+        self.matcher.insert(entry)
+
+    def delete(self, key) -> bool:
+        return self.matcher.delete(key)
+
+    def __len__(self) -> int:
+        return len(self.matcher)
 
     # ------------------------------------------------------------------
 

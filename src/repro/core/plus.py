@@ -265,8 +265,8 @@ class PalmtriePlus(TernaryMatcher):
         matches.sort(key=lambda e: e.priority, reverse=True)
         return matches
 
-    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
-        """Instrumented lookup: updates ``self.stats`` work counters."""
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Counted traversal hook for :meth:`profile_lookup`."""
         if self._dirty:
             self.compile()
         chunk_mask = (1 << self.stride) - 1
@@ -298,10 +298,74 @@ class PalmtriePlus(TernaryMatcher):
             for h in slots[i]:
                 if (x.bitmap_t >> h) & 1:
                     stack.append(nodes[x.offset_t + (x.bitmap_t & ((1 << h) - 1)).bit_count()])
-        self.stats.lookups += 1
-        self.stats.node_visits += visits
-        self.stats.key_comparisons += comparisons
-        return result
+        return result, visits, comparisons
+
+    def lookup_batch(self, queries) -> list[Optional[TernaryEntry]]:
+        """Batched traversal over the compiled node array.
+
+        Mirrors :meth:`MultibitPalmtrie.lookup_batch`: the batch is
+        deduplicated, then traversed node-major so queries sharing a
+        branch share the node visit and the popcount child computation.
+        """
+        if self._dirty:
+            self.compile()
+        results: list[Optional[TernaryEntry]] = [None] * len(queries)
+        if not queries:
+            return results
+        positions: dict[int, list[int]] = {}
+        for index, query in enumerate(queries):
+            positions.setdefault(query, []).append(index)
+        unique = list(positions)
+        best: list[Optional[TernaryEntry]] = [None] * len(unique)
+        best_priority = [-1] * len(unique)
+        chunk_mask = (1 << self.stride) - 1
+        slots = self._ternary_slots
+        skipping = self.subtree_skipping
+        nodes = self._nodes
+        stack: list[tuple[_PlusNode, list[int]]] = [
+            (self._root, list(range(len(unique))))
+        ]
+        while stack:
+            x, group = stack.pop()
+            maxp = x.max_priority
+            if skipping:
+                group = [g for g in group if best_priority[g] <= maxp]
+                if not group:
+                    continue
+            if type(x) is _PlusLeaf:
+                data = x.data
+                care_mask = x.care_mask
+                for g in group:
+                    if unique[g] & care_mask == data and maxp > best_priority[g]:
+                        best[g] = x.entries[0]
+                        best_priority[g] = best[g].priority
+                continue
+            bit = x.bit
+            buckets: dict[int, list[int]] = {}
+            if bit >= 0:
+                for g in group:
+                    buckets.setdefault((unique[g] >> bit) & chunk_mask, []).append(g)
+            else:
+                for g in group:
+                    buckets.setdefault((unique[g] << -bit) & chunk_mask, []).append(g)
+            bitmap_c = x.bitmap_c
+            bitmap_t = x.bitmap_t
+            for i, bucket in buckets.items():
+                if (bitmap_c >> i) & 1:
+                    stack.append(
+                        (nodes[x.offset_c + (bitmap_c & ((1 << i) - 1)).bit_count()], bucket)
+                    )
+                if bitmap_t:
+                    offset_t = x.offset_t
+                    for h in slots[i]:
+                        if (bitmap_t >> h) & 1:
+                            stack.append(
+                                (nodes[offset_t + (bitmap_t & ((1 << h) - 1)).bit_count()], bucket)
+                            )
+        for g, query in enumerate(unique):
+            for index in positions[query]:
+                results[index] = best[g]
+        return results
 
     # ------------------------------------------------------------------
     # Introspection

@@ -13,12 +13,19 @@ benchmarks and differential tests.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence, Type, Union
 
 from .ternary import TernaryKey
 
-__all__ = ["TernaryEntry", "LookupStats", "TernaryMatcher", "build_matcher"]
+__all__ = [
+    "TernaryEntry",
+    "LookupStats",
+    "TernaryMatcher",
+    "build_matcher",
+    "matcher_kinds",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,16 +48,26 @@ class LookupStats:
     overhead, so the harness also reports deterministic work counts: the
     number of structure nodes visited and full key comparisons performed.
     Counters accumulate across lookups; call :meth:`reset` between runs.
+
+    The cache counters are written by :class:`repro.engine.FlowCache` /
+    :class:`repro.engine.ClassificationEngine`; they stay zero for bare
+    matchers.
     """
 
     node_visits: int = 0
     key_comparisons: int = 0
     lookups: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     def reset(self) -> None:
         self.node_visits = 0
         self.key_comparisons = 0
         self.lookups = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     def per_lookup(self) -> dict[str, float]:
         n = max(self.lookups, 1)
@@ -58,6 +75,12 @@ class LookupStats:
             "node_visits": self.node_visits / n,
             "key_comparisons": self.key_comparisons / n,
         }
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Flow-cache hit ratio (0.0 when no cached lookups were served)."""
+        served = self.cache_hits + self.cache_misses
+        return self.cache_hits / served if served else 0.0
 
 
 class TernaryMatcher(abc.ABC):
@@ -105,6 +128,20 @@ class TernaryMatcher(abc.ABC):
     def lookup(self, query: int) -> Optional[TernaryEntry]:
         """Return the highest-priority matching entry, or None."""
 
+    def lookup_batch(self, queries: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        """Resolve many queries at once, in query order.
+
+        The default simply loops :meth:`lookup`.  Structures that can
+        amortize work across a batch (shared trie paths, data
+        parallelism) override it with a genuinely batched traversal:
+        :class:`~repro.core.multibit.MultibitPalmtrie`,
+        :class:`~repro.core.plus.PalmtriePlus`,
+        :class:`~repro.baselines.vectorized.VectorizedMatcher` and
+        :class:`~repro.core.pipeline.PipelinedLookup`.
+        """
+        lookup = self.lookup
+        return [lookup(query) for query in queries]
+
     def lookup_value(self, query: int, default: Any = None) -> Any:
         entry = self.lookup(query)
         return default if entry is None else entry.value
@@ -119,6 +156,47 @@ class TernaryMatcher(abc.ABC):
         (the DPDK-style trie) do not support it.
         """
         raise NotImplementedError(f"{self.name} does not support multi-match lookup")
+
+    # -- instrumented lookup ----------------------------------------------
+
+    def profile_lookup(self, query: int) -> Optional[TernaryEntry]:
+        """Instrumented lookup: updates ``self.stats`` work counters.
+
+        One implementation for every matcher; structures that count work
+        differently override the :meth:`_counted_lookup` hook, not this
+        method.
+        """
+        result, visits, comparisons = self._counted_lookup(query)
+        stats = self.stats
+        stats.lookups += 1
+        stats.node_visits += visits
+        stats.key_comparisons += comparisons
+        return result
+
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Hook: ``(result, node_visits, key_comparisons)`` for one query.
+
+        The default charges one visit and one comparison — the opaque
+        work model.  Traversal structures override it with a counted
+        walk mirroring :meth:`lookup`.
+        """
+        return self.lookup(query), 1, 1
+
+    def lookup_counted(self, query: int) -> Optional[TernaryEntry]:
+        """Deprecated shim for :meth:`profile_lookup`.
+
+        Kept so existing callers keep working; new code should call
+        ``profile_lookup`` (or run through
+        :class:`repro.engine.ClassificationEngine`, which folds cache
+        counters into the same :class:`LookupStats`).
+        """
+        warnings.warn(
+            f"{type(self).__name__}.lookup_counted() is deprecated; use "
+            "profile_lookup() or repro.engine.ClassificationEngine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.profile_lookup(query)
 
     # -- introspection ----------------------------------------------------
 
@@ -145,39 +223,69 @@ def _check_entries(entries: Sequence[TernaryEntry], key_length: int) -> None:
             )
 
 
-def build_matcher(kind: str, entries: Sequence[TernaryEntry], key_length: int, **kwargs: Any) -> TernaryMatcher:
+_KINDS_CACHE: Optional[dict[str, Type[TernaryMatcher]]] = None
+
+
+def matcher_kinds() -> dict[str, Type[TernaryMatcher]]:
+    """The public registry of matcher kinds: ``{kind: class}``.
+
+    Populated lazily (the baseline modules import this one), then
+    cached; re-exported from ``repro`` as ``MATCHER_KINDS``.  The
+    returned dict is a copy — mutate freely.
+    """
+    global _KINDS_CACHE
+    if _KINDS_CACHE is None:
+        from ..baselines.dpdk_acl import DpdkStyleAcl
+        from ..baselines.efficuts import EffiCutsClassifier
+        from ..baselines.sorted_list import SortedListMatcher
+        from ..baselines.tcam import TcamModel
+        from ..baselines.vectorized import VectorizedMatcher
+        from .adaptive import AdaptiveMatcher
+        from .basic import BasicPalmtrie
+        from .multibit import MultibitPalmtrie
+        from .plus import PalmtriePlus
+
+        _KINDS_CACHE = {
+            "sorted-list": SortedListMatcher,
+            "palmtrie-basic": BasicPalmtrie,
+            "palmtrie": MultibitPalmtrie,
+            "palmtrie-plus": PalmtriePlus,
+            "dpdk-acl": DpdkStyleAcl,
+            "efficuts": EffiCutsClassifier,
+            "adaptive": AdaptiveMatcher,
+            "tcam": TcamModel,
+            "vectorized": VectorizedMatcher,
+        }
+    return dict(_KINDS_CACHE)
+
+
+def build_matcher(
+    kind: Union[str, Type[TernaryMatcher]],
+    entries: Sequence[TernaryEntry],
+    key_length: int,
+    **kwargs: Any,
+) -> TernaryMatcher:
     """Factory used by the CLI and benchmarks.
 
-    ``kind`` is one of ``sorted-list``, ``palmtrie-basic``, ``palmtrie``
-    (multi-bit; pass ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``),
-    ``dpdk-acl``, ``efficuts`` or ``adaptive``.
+    ``kind`` is a registry name from :func:`matcher_kinds` —
+    ``sorted-list``, ``palmtrie-basic``, ``palmtrie`` (multi-bit; pass
+    ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``), ``dpdk-acl``,
+    ``efficuts``, ``adaptive``, ``tcam``, ``vectorized`` — or a
+    :class:`TernaryMatcher` subclass itself, so callers never need to
+    reach into private modules.
     """
-    # Imported here to avoid import cycles: baselines import this module.
-    from ..baselines.dpdk_acl import DpdkStyleAcl
-    from ..baselines.efficuts import EffiCutsClassifier
-    from ..baselines.sorted_list import SortedListMatcher
-    from ..baselines.tcam import TcamModel
-    from ..baselines.vectorized import VectorizedMatcher
-    from .adaptive import AdaptiveMatcher
-    from .basic import BasicPalmtrie
-    from .multibit import MultibitPalmtrie
-    from .plus import PalmtriePlus
-
     entries = list(entries)
     _check_entries(entries, key_length)
-    kinds = {
-        "sorted-list": SortedListMatcher,
-        "palmtrie-basic": BasicPalmtrie,
-        "palmtrie": MultibitPalmtrie,
-        "palmtrie-plus": PalmtriePlus,
-        "dpdk-acl": DpdkStyleAcl,
-        "efficuts": EffiCutsClassifier,
-        "adaptive": AdaptiveMatcher,
-        "tcam": TcamModel,
-        "vectorized": VectorizedMatcher,
-    }
-    try:
-        cls = kinds[kind]
-    except KeyError:
-        raise ValueError(f"unknown matcher kind {kind!r}; choose from {sorted(kinds)}") from None
+    if isinstance(kind, type):
+        if not issubclass(kind, TernaryMatcher):
+            raise TypeError(f"{kind!r} is not a TernaryMatcher subclass")
+        cls = kind
+    else:
+        kinds = matcher_kinds()
+        try:
+            cls = kinds[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown matcher kind {kind!r}; choose from {sorted(kinds)}"
+            ) from None
     return cls.build(entries, key_length, **kwargs)

@@ -1,0 +1,282 @@
+"""Batched classification engine with an LRU flow cache.
+
+Every structure in this library answers one query at a time, but real
+packet workloads are bursty and flow-heavy: NICs hand the CPU bursts of
+packets, and a handful of elephant flows dominate any interval (the
+locality that cache-aware forwarding tables and batch classifiers
+exploit).  :class:`ClassificationEngine` is the serving layer that
+turns any :class:`~repro.core.table.TernaryMatcher` into that shape:
+
+* ``lookup_batch`` drains a whole burst through the matcher's batched
+  traversal (every matcher has one; the Palmtrie family and the
+  vectorized baseline implement genuinely batched walks);
+* an LRU *flow cache* keyed on the binary query short-circuits repeat
+  lookups — a hit skips the structure walk entirely, and negative
+  results (no matching rule) are cached too;
+* ``insert``/``delete`` proxy to the matcher and invalidate exactly the
+  cached queries whose verdict could have changed (the ones the
+  inserted or deleted ternary key matches), so cached results are
+  always equal to what the matcher would return;
+* hit/miss/eviction counters fold into the shared
+  :class:`~repro.core.table.LookupStats`, and per-batch work counts and
+  throughput are kept for the benchmark harness and the CLI.
+
+The apps layer (``Firewall``, ``FlowMonitor``, ``L3Forwarder``,
+``StatefulFirewall``) classifies through this engine.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+from .core.table import LookupStats, TernaryEntry, TernaryMatcher
+from .core.ternary import TernaryKey
+
+__all__ = ["FlowCache", "BatchReport", "ClassificationEngine"]
+
+#: distinguishes "not cached" from a cached no-match (None) result
+_MISSING = object()
+
+
+class FlowCache:
+    """LRU map from binary query to lookup result.
+
+    Values are the winning :class:`TernaryEntry` or None (a cached
+    implicit deny).  Capacity 0 disables the cache: every ``get``
+    misses and ``put`` is a no-op.
+    """
+
+    __slots__ = ("capacity", "_map")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._map: OrderedDict[int, Optional[TernaryEntry]] = OrderedDict()
+
+    def get(self, query: int) -> Any:
+        """The cached result, or the module's ``_MISSING`` sentinel."""
+        result = self._map.get(query, _MISSING)
+        if result is not _MISSING:
+            self._map.move_to_end(query)
+        return result
+
+    def put(self, query: int, result: Optional[TernaryEntry]) -> int:
+        """Store one result; returns the number of evictions (0 or 1)."""
+        if self.capacity == 0:
+            return 0
+        cache = self._map
+        if query in cache:
+            cache.move_to_end(query)
+            cache[query] = result
+            return 0
+        cache[query] = result
+        if len(cache) > self.capacity:
+            cache.popitem(last=False)
+            return 1
+        return 0
+
+    def invalidate(self, key: TernaryKey) -> int:
+        """Evict every cached query this ternary key matches.
+
+        Those are exactly the queries whose result can change when an
+        entry with this key is inserted or deleted; untouched queries
+        keep their (still-correct) cached verdicts.
+        """
+        matches = key.matches
+        stale = [query for query in self._map if matches(query)]
+        for query in stale:
+            del self._map[query]
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        dropped = len(self._map)
+        self._map.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, query: int) -> bool:
+        return query in self._map
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Observability record of one ``lookup_batch`` call."""
+
+    #: queries in the batch
+    queries: int
+    #: distinct queries after flow-cache hits were removed
+    matcher_queries: int
+    #: queries answered from the flow cache
+    cache_hits: int
+    #: wall-clock seconds spent resolving the batch
+    seconds: float
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / self.seconds if self.seconds > 0 else 0.0
+
+
+class ClassificationEngine:
+    """Serving layer: flow cache + batched lookups over any matcher.
+
+    ``cache_size`` is the LRU capacity in distinct binary queries
+    (0 disables caching; batching still applies).  ``matcher`` is any
+    :class:`TernaryMatcher` — or anything duck-typing its ``lookup`` /
+    ``lookup_batch`` / ``insert`` / ``delete`` surface, such as
+    :class:`~repro.core.pipeline.PipelinedLookup`.
+    """
+
+    def __init__(
+        self,
+        matcher: Union[TernaryMatcher, Any],
+        cache_size: int = 4096,
+    ) -> None:
+        if not callable(getattr(matcher, "lookup", None)):
+            raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
+        self.matcher = matcher
+        self.cache = FlowCache(cache_size)
+        self.stats = LookupStats()
+        self.batches = 0
+        self.batched_queries = 0
+        self.elapsed_seconds = 0.0
+        self.last_batch: Optional[BatchReport] = None
+
+    @property
+    def name(self) -> str:
+        return f"engine({getattr(self.matcher, 'name', type(self.matcher).__name__)})"
+
+    # -- lookups --------------------------------------------------------
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        """One query through the flow cache, then the matcher."""
+        stats = self.stats
+        stats.lookups += 1
+        cached = self.cache.get(query)
+        if cached is not _MISSING:
+            stats.cache_hits += 1
+            return cached
+        stats.cache_misses += 1
+        result = self.matcher.lookup(query)
+        stats.cache_evictions += self.cache.put(query, result)
+        return result
+
+    def lookup_value(self, query: int, default: Any = None) -> Any:
+        entry = self.lookup(query)
+        return default if entry is None else entry.value
+
+    def lookup_batch(self, queries: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        """Resolve a burst: cache first, one batched matcher call for
+        the rest.  Results come back in query order."""
+        start = time.perf_counter()
+        stats = self.stats
+        n = len(queries)
+        stats.lookups += n
+        results: list[Optional[TernaryEntry]] = [None] * n
+        # Partition into cache hits and (deduplicated) misses.
+        miss_positions: dict[int, list[int]] = {}
+        cache_get = self.cache.get
+        hits = 0
+        for index, query in enumerate(queries):
+            cached = cache_get(query)
+            if cached is not _MISSING:
+                results[index] = cached
+                hits += 1
+            else:
+                miss_positions.setdefault(query, []).append(index)
+        stats.cache_hits += hits
+        stats.cache_misses += n - hits
+        if miss_positions:
+            unique = list(miss_positions)
+            batch = getattr(self.matcher, "lookup_batch", None)
+            if batch is not None:
+                resolved = batch(unique)
+            else:  # duck-typed matcher with only a scalar lookup
+                scalar = self.matcher.lookup
+                resolved = [scalar(query) for query in unique]
+            cache_put = self.cache.put
+            evictions = 0
+            for query, result in zip(unique, resolved):
+                evictions += cache_put(query, result)
+                for index in miss_positions[query]:
+                    results[index] = result
+            stats.cache_evictions += evictions
+        seconds = time.perf_counter() - start
+        self.batches += 1
+        self.batched_queries += n
+        self.elapsed_seconds += seconds
+        self.last_batch = BatchReport(
+            queries=n,
+            matcher_queries=len(miss_positions),
+            cache_hits=hits,
+            seconds=seconds,
+        )
+        return results
+
+    # -- updates (cache-invalidating proxies) ---------------------------
+
+    def insert(self, entry: TernaryEntry) -> None:
+        """Insert through to the matcher, evicting affected cache rows."""
+        self.matcher.insert(entry)
+        self.stats.cache_evictions += self.cache.invalidate(entry.key)
+
+    def delete(self, key: TernaryKey) -> bool:
+        removed = self.matcher.delete(key)
+        if removed:
+            self.stats.cache_evictions += self.cache.invalidate(key)
+        return removed
+
+    def invalidate_all(self) -> int:
+        """Drop the whole cache (bulk policy swaps, ``replace_policy``)."""
+        dropped = self.cache.clear()
+        self.stats.cache_evictions += dropped
+        return dropped
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.stats.cache_hit_ratio
+
+    def queries_per_second(self) -> float:
+        """Sustained rate over every ``lookup_batch`` call so far
+        (scalar ``lookup`` calls are not timed)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.batched_queries / self.elapsed_seconds
+
+    def report(self) -> dict[str, Any]:
+        """Engine counters in one dict (CLI / harness consumption)."""
+        stats = self.stats
+        return {
+            "matcher": getattr(self.matcher, "name", type(self.matcher).__name__),
+            "lookups": stats.lookups,
+            "cache_size": self.cache.capacity,
+            "cache_entries": len(self.cache),
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_evictions": stats.cache_evictions,
+            "cache_hit_ratio": stats.cache_hit_ratio,
+            "batches": self.batches,
+            "queries_per_second": self.queries_per_second(),
+        }
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.batches = 0
+        self.batched_queries = 0
+        self.elapsed_seconds = 0.0
+        self.last_batch = None
+
+    def __len__(self) -> int:
+        return len(self.matcher)

@@ -3,7 +3,13 @@
 from .campus import campus_acl, campus_rules
 from .classbench import ACL_SEED, FW_SEED, IPC_SEED, PROFILES, classbench_acl, classbench_rules
 from .io import load_acl, load_trace, save_acl, save_trace
-from .traffic import pareto_trace, query_matching_entry, reverse_byte_scan, uniform_traffic
+from .traffic import (
+    pareto_trace,
+    query_matching_entry,
+    reverse_byte_scan,
+    uniform_traffic,
+    zipf_trace,
+)
 
 __all__ = [
     "ACL_SEED",
@@ -22,4 +28,5 @@ __all__ = [
     "query_matching_entry",
     "reverse_byte_scan",
     "uniform_traffic",
+    "zipf_trace",
 ]

@@ -23,7 +23,13 @@ from typing import Sequence
 from ..acl.layout import LAYOUT_V4, TCP_SYN, KeyLayout
 from ..core.table import TernaryEntry
 
-__all__ = ["uniform_traffic", "reverse_byte_scan", "pareto_trace", "query_matching_entry"]
+__all__ = [
+    "uniform_traffic",
+    "reverse_byte_scan",
+    "pareto_trace",
+    "zipf_trace",
+    "query_matching_entry",
+]
 
 
 def query_matching_entry(entry: TernaryEntry, rng: random.Random) -> int:
@@ -79,6 +85,37 @@ def reverse_byte_scan(
             )
         )
     return queries
+
+
+def zipf_trace(
+    entries: Sequence[TernaryEntry],
+    count: int,
+    flows: int = 256,
+    s: float = 1.2,
+    seed: int = 2020,
+) -> list[int]:
+    """A flow-skewed trace: a fixed flow population with Zipf popularity.
+
+    ``flows`` distinct headers are drawn (each matching a random rule),
+    then packets pick a flow with probability proportional to
+    ``1 / rank**s`` — the classic heavy-tail flow-size distribution of
+    measured Internet traffic.  Unlike :func:`pareto_trace` (whose
+    repeats are only back-to-back), packets of the same flow recur
+    throughout the trace, which is the locality a flow cache exploits.
+    """
+    if not entries:
+        raise ValueError("cannot generate traffic for an empty table")
+    if flows <= 0:
+        raise ValueError(f"flow count must be positive, got {flows}")
+    if s <= 0:
+        raise ValueError(f"zipf exponent must be positive, got {s}")
+    rng = random.Random(seed)
+    n = len(entries)
+    population = [
+        query_matching_entry(entries[rng.randrange(n)], rng) for _ in range(flows)
+    ]
+    weights = [1.0 / (rank + 1) ** s for rank in range(flows)]
+    return rng.choices(population, weights=weights, k=count)
 
 
 def pareto_trace(

@@ -73,10 +73,10 @@ class TestCorrectness:
         for query in range(0, 1 << 16, 211):
             assert_same_result(oracle.lookup(query), matcher.lookup(query))
 
-    def test_lookup_counted_delegates(self):
+    def test_profile_lookup_delegates(self):
         matcher = AdaptiveMatcher.build(_entries(5), 16)
         matcher.stats.reset()
-        matcher.lookup_counted(123)
+        matcher.profile_lookup(123)
         assert matcher.stats.lookups == 1
 
     def test_memory_delegates(self):

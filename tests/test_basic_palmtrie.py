@@ -30,7 +30,7 @@ class TestPaperWalkthrough:
     def test_counted_agrees_with_plain(self, table1):
         for query in range(256):
             plain = table1.lookup(query)
-            counted = table1.lookup_counted(query)
+            counted = table1.profile_lookup(query)
             assert (plain is None) == (counted is None)
             if plain is not None:
                 assert plain.priority == counted.priority

@@ -26,7 +26,7 @@ class TestCorrectness:
         matcher = DpdkStyleAcl.build(entries, 8)
         for query in range(0, 256, 7):
             a = matcher.lookup(query)
-            b = matcher.lookup_counted(query)
+            b = matcher.profile_lookup(query)
             assert (a is None) == (b is None)
 
     def test_empty_table(self):
@@ -40,7 +40,7 @@ class TestStructure:
         matcher = DpdkStyleAcl.build(entries, 16)
         matcher.stats.reset()
         for query in range(0, 1 << 16, 509):
-            matcher.lookup_counted(query)
+            matcher.profile_lookup(query)
         assert matcher.stats.per_lookup()["node_visits"] <= 2  # 16-bit key = 2 bytes
 
     def test_early_resolution_on_wildcard_tail(self):
@@ -106,8 +106,8 @@ class TestTrieSplitting:
         single.stats.reset()
         split.stats.reset()
         for query in range(0, 1 << 16, 509):
-            single.lookup_counted(query)
-            split.lookup_counted(query)
+            single.profile_lookup(query)
+            split.profile_lookup(query)
         assert (
             split.stats.per_lookup()["node_visits"]
             >= single.stats.per_lookup()["node_visits"]

@@ -47,7 +47,7 @@ class TestCorrectness:
         matcher = EffiCutsClassifier.build(entries, 16)
         for query in range(0, 1 << 16, 997):
             a = matcher.lookup(query)
-            b = matcher.lookup_counted(query)
+            b = matcher.profile_lookup(query)
             assert (a is None) == (b is None)
             if a is not None:
                 assert a.priority == b.priority

@@ -1,0 +1,231 @@
+"""The serving layer: flow cache, batched lookups, and the unified API.
+
+The load-bearing property is differential: for every matcher kind in
+the public registry, the scalar path, the batched path, the cached
+engine paths, and the brute-force oracle must all agree — including
+after ``insert``/``delete`` on the incremental structures (the cache
+must never serve a stale verdict).
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
+
+from repro import MATCHER_KINDS, ClassificationEngine, FlowCache, build_matcher
+from repro.core.plus import PalmtriePlus
+from repro.core.table import TernaryEntry, matcher_kinds
+from repro.core.ternary import TernaryKey
+
+KEY_LENGTH = 16
+#: kinds whose insert() raises (build-only structures)
+BUILD_ONLY = {"dpdk-acl", "efficuts"}
+
+
+def _queries(count: int, seed: int = 11) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(KEY_LENGTH) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# The registry itself
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_registry_is_public_and_complete(self):
+        assert set(MATCHER_KINDS) == {
+            "sorted-list", "palmtrie-basic", "palmtrie", "palmtrie-plus",
+            "dpdk-acl", "efficuts", "adaptive", "tcam", "vectorized",
+        }
+        for cls in MATCHER_KINDS.values():
+            assert isinstance(cls, type)
+
+    def test_registry_returns_a_copy(self):
+        kinds = matcher_kinds()
+        kinds.clear()
+        assert matcher_kinds()  # the registry itself is untouched
+
+    def test_build_matcher_accepts_class_objects(self):
+        entries = table1_entries()
+        by_name = build_matcher("palmtrie-plus", entries, 8)
+        by_class = build_matcher(PalmtriePlus, entries, 8)
+        assert type(by_name) is type(by_class)
+        for query in range(256):
+            assert_same_result(by_name.lookup(query), by_class.lookup(query))
+
+    def test_build_matcher_rejects_non_matcher_class(self):
+        with pytest.raises(TypeError):
+            build_matcher(dict, table1_entries(), 8)
+
+
+# ----------------------------------------------------------------------
+# Differential: every kind, every path
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", sorted(MATCHER_KINDS))
+class TestEveryKind:
+    def test_batch_matches_scalar_and_oracle(self, kind):
+        entries = random_entries(60, KEY_LENGTH, seed=3)
+        matcher = build_matcher(kind, entries, KEY_LENGTH)
+        queries = _queries(300)
+        batched = matcher.lookup_batch(queries)
+        assert len(batched) == len(queries)
+        for query, got in zip(queries, batched):
+            expected = oracle_lookup(entries, query)
+            assert_same_result(expected, got)
+            assert_same_result(expected, matcher.lookup(query))
+
+    def test_engine_paths_match_oracle(self, kind):
+        entries = random_entries(60, KEY_LENGTH, seed=4)
+        engine = ClassificationEngine(
+            build_matcher(kind, entries, KEY_LENGTH), cache_size=64
+        )
+        queries = _queries(400, seed=5)
+        # Twice through, so the second pass is served (partly) from cache.
+        for _ in range(2):
+            for query, got in zip(queries, engine.lookup_batch(queries)):
+                assert_same_result(oracle_lookup(entries, query), got)
+            for query in queries[:100]:
+                assert_same_result(oracle_lookup(entries, query), engine.lookup(query))
+        assert engine.stats.cache_hits > 0
+
+    def test_cache_stays_correct_across_updates(self, kind):
+        if kind in BUILD_ONLY:
+            pytest.skip(f"{kind} is build-only (no incremental updates)")
+        entries = random_entries(40, KEY_LENGTH, seed=6)
+        engine = ClassificationEngine(
+            build_matcher(kind, entries, KEY_LENGTH), cache_size=256
+        )
+        queries = _queries(200, seed=7)
+        engine.lookup_batch(queries)  # warm the cache
+
+        # A high-priority catch-some rule: cached verdicts it matches
+        # must be re-resolved, the rest may stay cached.
+        key = TernaryKey.from_string("01" + "*" * (KEY_LENGTH - 2))
+        new = TernaryEntry(key, 999, 10_000)
+        engine.insert(new)
+        entries = entries + [new]
+        for query, got in zip(queries, engine.lookup_batch(queries)):
+            assert_same_result(oracle_lookup(entries, query), got)
+
+        assert engine.delete(key)
+        entries = entries[:-1]
+        for query, got in zip(queries, engine.lookup_batch(queries)):
+            assert_same_result(oracle_lookup(entries, query), got)
+        assert not engine.delete(key)  # already gone; no-op
+
+
+# ----------------------------------------------------------------------
+# FlowCache mechanics
+# ----------------------------------------------------------------------
+
+class TestFlowCache:
+    def test_lru_eviction_order(self):
+        cache = FlowCache(2)
+        e = table1_entries()[0]
+        cache.put(1, e)
+        cache.put(2, e)
+        cache.get(1)        # 1 is now most recent
+        assert cache.put(3, e) == 1
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_negative_results_are_cached(self):
+        cache = FlowCache(4)
+        cache.put(7, None)
+        assert 7 in cache
+        assert cache.get(7) is None
+
+    def test_zero_capacity_disables(self):
+        cache = FlowCache(0)
+        cache.put(1, None)
+        assert len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            FlowCache(-1)
+
+    def test_invalidate_only_matching_queries(self):
+        cache = FlowCache(8)
+        cache.put(0b0101, None)
+        cache.put(0b1111, None)
+        assert cache.invalidate(TernaryKey.from_string("01**")) == 1
+        assert 0b0101 not in cache and 0b1111 in cache
+
+
+# ----------------------------------------------------------------------
+# Engine counters and plumbing
+# ----------------------------------------------------------------------
+
+class TestEngineObservability:
+    def test_counters_and_report(self):
+        entries = table1_entries()
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, 8), cache_size=16
+        )
+        engine.lookup_batch(list(range(32)))
+        engine.lookup_batch(list(range(32)))   # all hits... except evicted rows
+        stats = engine.stats
+        assert stats.lookups == 64
+        assert stats.cache_hits + stats.cache_misses == 64
+        assert stats.cache_evictions >= 16     # 32 distinct queries, capacity 16
+        report = engine.report()
+        assert report["batches"] == 2
+        assert report["cache_entries"] == 16
+        assert 0.0 <= report["cache_hit_ratio"] <= 1.0
+        assert report["queries_per_second"] == engine.queries_per_second()
+        assert engine.last_batch is not None
+        assert engine.last_batch.queries == 32
+        engine.reset_stats()
+        assert engine.stats.lookups == 0 and engine.batches == 0
+
+    def test_batch_report_dedupes_repeats(self):
+        engine = ClassificationEngine(
+            build_matcher("sorted-list", table1_entries(), 8), cache_size=0
+        )
+        engine.lookup_batch([5, 5, 5, 9, 9])
+        assert engine.last_batch.matcher_queries == 2  # 5 and 9, deduplicated
+        assert engine.last_batch.cache_hits == 0       # cache disabled
+
+    def test_scalar_only_duck_type_falls_back(self):
+        class ScalarOnly:
+            name = "scalar-only"
+            def lookup(self, query):
+                return None
+        engine = ClassificationEngine(ScalarOnly(), cache_size=4)
+        assert engine.lookup_batch([1, 2, 3]) == [None, None, None]
+
+    def test_rejects_non_matcher(self):
+        with pytest.raises(TypeError):
+            ClassificationEngine(object())
+
+    def test_invalidate_all(self):
+        engine = ClassificationEngine(
+            build_matcher("sorted-list", table1_entries(), 8), cache_size=8
+        )
+        engine.lookup_batch([1, 2, 3])
+        assert engine.invalidate_all() == 3
+        assert len(engine.cache) == 0
+
+
+# ----------------------------------------------------------------------
+# The deprecation shim
+# ----------------------------------------------------------------------
+
+class TestDeprecatedShim:
+    def test_lookup_counted_warns_but_works(self):
+        matcher = build_matcher("sorted-list", table1_entries(), 8)
+        matcher.stats.reset()
+        with pytest.warns(DeprecationWarning, match="lookup_counted"):
+            result = matcher.lookup_counted(0b00010101)
+        assert_same_result(oracle_lookup(table1_entries(), 0b00010101), result)
+        assert matcher.stats.lookups == 1
+
+    def test_profile_lookup_does_not_warn(self):
+        matcher = build_matcher("sorted-list", table1_entries(), 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            matcher.profile_lookup(0b00010101)

@@ -11,6 +11,7 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 FAST = [
     "quickstart.py",
@@ -29,12 +30,19 @@ SLOW = [
 
 
 def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    # The examples import ``repro`` without installing the package, so
+    # the subprocess needs src/ on its path regardless of how pytest
+    # itself was launched.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC if not existing else os.pathsep.join([SRC, existing])
     return subprocess.run(
         [sys.executable, os.path.join(EXAMPLES, name)],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=EXAMPLES,
+        env=env,
     )
 
 

@@ -137,7 +137,7 @@ class TestSkipping:
         for trie in (with_skip, without):
             trie.stats.reset()
             for query in queries:
-                trie.lookup_counted(query)
+                trie.profile_lookup(query)
         assert (
             with_skip.stats.per_lookup()["node_visits"]
             <= without.stats.per_lookup()["node_visits"]

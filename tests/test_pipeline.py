@@ -86,7 +86,7 @@ class TestStats:
         pipeline.lookup_batch(queries)
         plus.stats.reset()
         for query in queries:
-            plus.lookup_counted(query)
+            plus.profile_lookup(query)
         assert pipeline.stats.visits == plus.stats.node_visits
 
     def test_invalid_batch_size(self, plus):

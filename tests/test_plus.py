@@ -29,7 +29,7 @@ class TestCompileEquivalence:
         plus = PalmtriePlus.build(entries, 8, stride=3)
         for query in range(256):
             a = plus.lookup(query)
-            b = plus.lookup_counted(query)
+            b = plus.profile_lookup(query)
             assert (a is None) == (b is None)
             if a is not None:
                 assert a.priority == b.priority

@@ -63,8 +63,8 @@ class TestCounted:
     def test_counted_work_is_scan_position(self):
         matcher = SortedListMatcher.build(table1_entries(), 8)
         matcher.stats.reset()
-        matcher.lookup_counted(0b00010101)  # entry 3, priority 9: first in list
+        matcher.profile_lookup(0b00010101)  # entry 3, priority 9: first in list
         assert matcher.stats.key_comparisons == 1
         matcher.stats.reset()
-        matcher.lookup_counted(0b11111111)  # only the 1******* floor matches
+        matcher.profile_lookup(0b11111111)  # only the 1******* floor matches
         assert matcher.stats.key_comparisons == len(matcher)

@@ -41,7 +41,7 @@ class TestSemantics:
         tcam = TcamModel.build(table1_entries(), 8)
         tcam.stats.reset()
         for query in range(64):
-            tcam.lookup_counted(query)
+            tcam.profile_lookup(query)
         assert tcam.stats.per_lookup()["node_visits"] == 1.0
 
 

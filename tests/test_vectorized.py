@@ -100,7 +100,7 @@ class TestMaintenance:
     def test_work_model_is_full_scan(self):
         matcher = VectorizedMatcher.build(table1_entries(), 8)
         matcher.stats.reset()
-        matcher.lookup_counted(0)
+        matcher.profile_lookup(0)
         assert matcher.stats.key_comparisons == 9
 
 
