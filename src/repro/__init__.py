@@ -40,6 +40,8 @@ from .baselines import (
 from .core import (
     AdaptiveMatcher,
     BasicPalmtrie,
+    FrozenMatcher,
+    FrozenPoptrie,
     LookupStats,
     MultibitPalmtrie,
     PalmtriePlus,
@@ -50,6 +52,9 @@ from .core import (
     TernaryKey,
     TernaryMatcher,
     build_matcher,
+    freeze,
+    load_frozen,
+    save_frozen,
 )
 from .core.table import matcher_kinds
 from .engine import BatchReport, ClassificationEngine, FlowCache
@@ -74,6 +79,8 @@ __all__ = [
     "FlowCache",
     "FlowMonitor",
     "FlowRecord",
+    "FrozenMatcher",
+    "FrozenPoptrie",
     "LAYOUT_V4",
     "LAYOUT_V6",
     "LookupStats",
@@ -95,7 +102,10 @@ __all__ = [
     "compile_acl",
     "decode_packet",
     "encode_packet",
+    "freeze",
+    "load_frozen",
     "matcher_kinds",
     "parse_acl",
+    "save_frozen",
     "__version__",
 ]

@@ -79,6 +79,7 @@ class StatefulFirewall:
         closing_timeout: float = 10.0,
         max_connections: int = 1_000_000,
         cache_size: int = 4096,
+        auto_freeze: bool = False,
     ) -> None:
         if idle_timeout <= 0 or closing_timeout <= 0:
             raise ValueError("timeouts must be positive")
@@ -88,6 +89,7 @@ class StatefulFirewall:
         self.engine = ClassificationEngine(
             matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
             cache_size=cache_size,
+            auto_freeze=auto_freeze,
         )
         self.idle_timeout = idle_timeout
         self.closing_timeout = closing_timeout

@@ -41,12 +41,14 @@ class Firewall:
         stride: int = 8,
         default_action: Action = Action.DENY,
         cache_size: int = 4096,
+        auto_freeze: bool = False,
     ) -> None:
         self.acl = acl
         self.default_action = default_action
         self.engine = ClassificationEngine(
             PalmtriePlus.build(acl.entries, acl.layout.length, stride=stride),
             cache_size=cache_size,
+            auto_freeze=auto_freeze,
         )
         self._counters = [RuleCounter(rule) for rule in acl.rules]
         self.default_hits = 0
@@ -148,6 +150,7 @@ class Firewall:
                 self.acl.entries, self.acl.layout.length, stride=self._matcher.stride
             ),
             cache_size=self.engine.cache.capacity,
+            auto_freeze=self.engine.auto_freeze,
         )
         self._counters = [RuleCounter(rule) for rule in self.acl.rules]
         self.default_hits = 0

@@ -74,6 +74,7 @@ class FlowMonitor:
         idle_timeout: float = 60.0,
         default_class: Any = None,
         cache_size: int = 4096,
+        auto_freeze: bool = False,
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError(f"idle timeout must be positive, got {idle_timeout}")
@@ -81,6 +82,7 @@ class FlowMonitor:
         self.engine = ClassificationEngine(
             matcher or PalmtriePlus.build(entries, key_length, stride=8),
             cache_size=cache_size,
+            auto_freeze=auto_freeze,
         )
         self.idle_timeout = idle_timeout
         self.default_class = default_class

@@ -67,6 +67,7 @@ class L3Forwarder:
         matcher: Optional[TernaryMatcher] = None,
         default_action: Action = Action.DENY,
         cache_size: int = 4096,
+        auto_freeze: bool = False,
     ) -> None:
         """``routes`` are ``(prefix_bits, prefix_len, out_port)`` over the
         destination address; ``acl`` decides permit/deny first."""
@@ -74,6 +75,7 @@ class L3Forwarder:
         self.engine = ClassificationEngine(
             matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
             cache_size=cache_size,
+            auto_freeze=auto_freeze,
         )
         self.rib = Poptrie.build(routes, key_length=32)
         self.default_action = default_action

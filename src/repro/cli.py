@@ -129,7 +129,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from .core.serialize import save_plus
+    from .core.serialize import save_frozen, save_plus
     from .workloads.io import load_acl
 
     rules = load_acl(args.acl)
@@ -144,9 +144,16 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                f"(-{100 * compression_ratio(entries, squeezed):.0f} %)"
         entries = squeezed
     matcher = PalmtriePlus.build(entries, compiled.layout.length, stride=args.stride)
-    written = save_plus(matcher, args.output)
+    if args.frozen:
+        from .core.frozen import freeze
+
+        written = save_frozen(freeze(matcher), args.output)
+        form = "frozen table"
+    else:
+        written = save_plus(matcher, args.output)
+        form = "table"
     print(
-        f"compiled {len(rules)} rules ({len(entries)} entries) into "
+        f"compiled {len(rules)} rules ({len(entries)} entries) into {form} "
         f"{args.output}: {written} bytes, stride {args.stride}{note}"
     )
     return 0
@@ -190,6 +197,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if shadowed or correlations else 0
 
 
+def _matcher_kwargs(kind: str, args: argparse.Namespace) -> dict:
+    """CLI kwargs the registry class actually accepts.
+
+    Inspects the class ``__init__`` instead of keeping a hand-maintained
+    list of stride-taking kinds, so new registry entries pick up
+    ``--stride`` automatically.
+    """
+    import inspect
+
+    from .core.table import matcher_kinds
+
+    cls = matcher_kinds()[kind]
+    params = inspect.signature(cls.__init__).parameters
+    return {"stride": args.stride} if "stride" in params else {}
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import time
 
@@ -204,9 +227,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     compiled = compile_acl(rules)
     matcher = build_matcher(
         args.matcher, compiled.entries, compiled.layout.length,
-        **({"stride": args.stride} if args.matcher in ("palmtrie", "palmtrie-plus") else {}),
+        **_matcher_kwargs(args.matcher, args),
     )
-    engine = ClassificationEngine(matcher, cache_size=args.cache_size)
+    engine = ClassificationEngine(
+        matcher, cache_size=args.cache_size, auto_freeze=args.freeze
+    )
     if args.input.endswith(".pcap"):
         from .packet.codec import PacketDecodeError, decode_packet
         from .packet.pcap import read_pcap
@@ -254,6 +279,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{report['cache_evictions']} evictions "
         f"(batch size {batch})"
     )
+    if args.freeze:
+        state = "active" if report["frozen_plane_active"] else "unavailable"
+        print(f"  frozen plane   {state} ({report['freezes']} freezes)")
     return 0
 
 
@@ -343,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--compress", action="store_true",
         help="adjacency-merge equivalent entries before compiling",
     )
+    p_compile.add_argument(
+        "--frozen", action="store_true",
+        help="emit a frozen struct-of-arrays plane (.plmf) instead of a "
+             "mutable Palmtrie+ table",
+    )
     p_compile.set_defaults(func=_cmd_compile)
 
     p_analyze = sub.add_parser("analyze", help="lint an ACL: shadowing, conflicts")
@@ -368,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument(
         "--cache-size", type=int, default=4096,
         help="flow cache capacity (0 disables the cache)",
+    )
+    p_replay.add_argument(
+        "--freeze", action="store_true",
+        help="compile the matcher into its frozen struct-of-arrays plane "
+             "before replaying (Palmtrie family only; others fall back)",
     )
     p_replay.set_defaults(func=_cmd_replay)
 

@@ -3,6 +3,7 @@
 from .adaptive import AdaptiveMatcher
 from .basic import BasicPalmtrie
 from .categories import CategorizedEntry, CategorizedTable
+from .frozen import FrozenMatcher, FrozenPoptrie, freeze
 from .introspect import TrieShape, to_dot, trie_shape
 from .multibit import MultibitPalmtrie
 from .patricia import PatriciaTrie
@@ -10,7 +11,16 @@ from .pipeline import PipelinedLookup, PipelineStats
 from .plus import PalmtriePlus
 from .poptrie import Poptrie
 from .radix import RadixTree
-from .serialize import deserialize_plus, load_plus, save_plus, serialize_plus
+from .serialize import (
+    deserialize_frozen,
+    deserialize_plus,
+    load_frozen,
+    load_plus,
+    save_frozen,
+    save_plus,
+    serialize_frozen,
+    serialize_plus,
+)
 from .table import LookupStats, TernaryEntry, TernaryMatcher, build_matcher
 from .ternary import TernaryKey, extract_chunk
 
@@ -19,6 +29,8 @@ __all__ = [
     "BasicPalmtrie",
     "CategorizedEntry",
     "CategorizedTable",
+    "FrozenMatcher",
+    "FrozenPoptrie",
     "LookupStats",
     "MultibitPalmtrie",
     "PalmtriePlus",
@@ -32,10 +44,15 @@ __all__ = [
     "TernaryMatcher",
     "TrieShape",
     "build_matcher",
+    "deserialize_frozen",
     "deserialize_plus",
     "extract_chunk",
+    "freeze",
+    "load_frozen",
     "load_plus",
+    "save_frozen",
     "save_plus",
+    "serialize_frozen",
     "serialize_plus",
     "to_dot",
     "trie_shape",

@@ -1,0 +1,781 @@
+"""Frozen struct-of-arrays lookup plane (the §3.4/§3.6 layouts, compiled).
+
+The mutable tries in this package are graphs of Python objects: every
+lookup pays attribute loads, bitmap slicing on wide Python ints, and an
+inner slot loop per node visit.  The paper's practical message — and the
+one cache-aware flattened forwarding structures and computational
+classifiers make across the literature — is that the hot path belongs in
+contiguous arrays.  :func:`freeze` is that compiler for Python: it takes
+a *built* :class:`~repro.core.multibit.MultibitPalmtrie` or
+:class:`~repro.core.plus.PalmtriePlus` (or a
+:class:`~repro.core.poptrie.Poptrie`, see :class:`FrozenPoptrie`) and
+emits the whole trie as flat parallel integer arrays:
+
+* ``bit`` / ``max_priority`` — per-node chunk index and priority
+  ceiling (the §3.5 subtree-skipping bound), in :mod:`array` arrays;
+* a *dispatch table* — for every (internal node, chunk value) pair one
+  packed ``array('I')`` word: ``(target << 5) | 1`` when exactly one
+  child survives that chunk (the overwhelmingly common case — the walk
+  follows these chains without touching its stack), otherwise
+  ``(base << 5) | count`` locating the surviving children inside one
+  shared ``array('Q')`` push list.  This is the Palmtrie+ popcount
+  child indexing with the popcounts taken **once at freeze time**: the
+  per-lookup ``offset + popcount(bitmap & (1 << i) - 1)`` arithmetic
+  and the §3.4 ternary-slot loop both collapse into a single indexed
+  word.  Identical multi-successor runs are deduplicated, so chunks
+  that fall through to the same don't-care children share one run;
+* a separate *leaf-entry table* — per-leaf precomputed ``data`` /
+  ``care`` match words plus a flat, priority-sorted entry list.
+
+``lookup`` is then an allocation-free iterative loop over integer node
+ids (internals first, leaves above ``first_leaf``), and
+``lookup_batch`` walks the arrays node-major — vectorized across the
+batch with NumPy when it is importable (the same uint64 lane splitting
+as :mod:`repro.baselines.vectorized`), in pure Python otherwise.  The
+arrays are the canonical plane — what :meth:`memory_bytes` measures and
+:mod:`repro.core.serialize` writes; because indexing an :mod:`array`
+boxes a fresh int on every access, each freeze also keeps plain-list
+mirrors of the hot arrays for the scalar interpreter loop (the NumPy
+path reads the buffers zero-copy instead).
+
+A frozen plane is immutable; like Palmtrie+ it retains its mutable
+source, absorbs ``insert``/``delete`` there, and re-freezes lazily on
+the next lookup.  Planes loaded from disk
+(:func:`repro.core.serialize.load_frozen`) defer even building the
+source until the first mutation.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from .multibit import MultibitPalmtrie
+from .multibit import _Leaf as _MbLeaf
+from .plus import PalmtriePlus, _PlusLeaf
+from .poptrie import Poptrie, _PoptrieNode
+from .table import TernaryEntry, TernaryMatcher
+from .ternary import TernaryKey
+
+try:  # optional fast path, shared with repro.baselines.vectorized
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+__all__ = ["FrozenMatcher", "FrozenPoptrie", "freeze"]
+
+_LANE_BITS = 64
+_LANE_MASK = (1 << _LANE_BITS) - 1
+
+#: bits reserved for the successor count in a packed dispatch word;
+#: count <= stride + 1, so any stride up to 30 fits.
+_COUNT_BITS = 5
+_COUNT_MASK = (1 << _COUNT_BITS) - 1
+
+#: per-stride ternary slot tables (same indexing as the mutable tries):
+#: slots[i][l] is the don't-care slot for the length-l prefix of chunk i.
+_SLOT_CACHE: dict[int, list[tuple[int, ...]]] = {}
+
+
+def _ternary_slots(stride: int) -> list[tuple[int, ...]]:
+    slots = _SLOT_CACHE.get(stride)
+    if slots is None:
+        slots = [
+            tuple((i >> (stride - l)) + (1 << l) - 1 for l in range(stride))
+            for i in range(1 << stride)
+        ]
+        _SLOT_CACHE[stride] = slots
+    return slots
+
+
+def _iter_set_bits(bitmap: int) -> Iterator[int]:
+    while bitmap:
+        low = bitmap & -bitmap
+        yield low.bit_length() - 1
+        bitmap ^= low
+
+
+class FrozenMatcher(TernaryMatcher):
+    """A Palmtrie compiled into flat parallel arrays (struct-of-arrays).
+
+    Build one with :func:`freeze` (from an existing trie), the usual
+    ``FrozenMatcher.build(entries, key_length, stride=8)``, or
+    :func:`repro.core.serialize.load_frozen`.  The source matcher that
+    absorbs incremental updates is reachable as :attr:`source`.
+    """
+
+    name = "frozen"
+
+    def __init__(self, key_length: int, stride: int = 8, subtree_skipping: bool = True) -> None:
+        super().__init__(key_length)
+        if not 1 <= stride <= 30:
+            raise ValueError(f"stride must be in 1..30, got {stride}")
+        self.stride = stride
+        self.subtree_skipping = subtree_skipping
+        self._source: Optional[TernaryMatcher] = MultibitPalmtrie(
+            key_length, stride=stride, subtree_skipping=subtree_skipping
+        )
+        self._pending_entries: Optional[list[TernaryEntry]] = None
+        self._dirty = True
+        self._freeze_count = 0
+        self._refreeze()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, entries: Iterable[TernaryEntry], key_length: int, **kwargs: Any
+    ) -> "FrozenMatcher":
+        """Bulk build: fill a source Palmtrie_k, then freeze it once."""
+        frozen = cls(key_length, **kwargs)
+        assert isinstance(frozen._source, MultibitPalmtrie)
+        for entry in entries:
+            frozen._source.insert(entry)
+        frozen._dirty = True
+        frozen._refreeze()
+        return frozen
+
+    @classmethod
+    def from_matcher(cls, source: TernaryMatcher) -> "FrozenMatcher":
+        """Compile an existing built trie (the :func:`freeze` entry point)."""
+        if not isinstance(source, (MultibitPalmtrie, PalmtriePlus)):
+            raise TypeError(
+                f"cannot freeze {type(source).__name__}; "
+                "expected MultibitPalmtrie or PalmtriePlus"
+            )
+        frozen = cls.__new__(cls)
+        TernaryMatcher.__init__(frozen, source.key_length)
+        frozen.stride = source.stride
+        frozen.subtree_skipping = source.subtree_skipping
+        frozen._source = source
+        frozen._pending_entries = None
+        frozen._dirty = True
+        frozen._freeze_count = 0
+        frozen._refreeze()
+        return frozen
+
+    def _hydrate_source(self) -> TernaryMatcher:
+        """Materialize the mutable source (deserialized planes defer it)."""
+        if self._source is None:
+            source = MultibitPalmtrie(
+                self.key_length, stride=self.stride, subtree_skipping=self.subtree_skipping
+            )
+            for entry in self._pending_entries or []:
+                source.insert(entry)
+            self._pending_entries = None
+            self._source = source
+        return self._source
+
+    def insert(self, entry: TernaryEntry) -> None:
+        """Update the retained source; the plane re-freezes on next lookup."""
+        self._hydrate_source().insert(entry)
+        self._dirty = True
+
+    def delete(self, key: TernaryKey) -> bool:
+        removed = self._hydrate_source().delete(key)
+        if removed:
+            self._dirty = True
+        return removed
+
+    # -- the freeze compiler --------------------------------------------
+
+    def _refreeze(self) -> None:
+        """Recompile the arrays from the source trie."""
+        source = self._hydrate_source()
+        stride = self.stride
+        slots_of = _ternary_slots(stride)
+        if isinstance(source, PalmtriePlus):
+            if source._dirty:
+                source.compile()
+            root: Any = source._root
+            plus_nodes = source._nodes
+
+            def successors(node: Any) -> tuple[dict[int, Any], dict[int, Any]]:
+                exact = {
+                    i: plus_nodes[node.offset_c + rank]
+                    for rank, i in enumerate(_iter_set_bits(node.bitmap_c))
+                }
+                ternary = {
+                    h: plus_nodes[node.offset_t + rank]
+                    for rank, h in enumerate(_iter_set_bits(node.bitmap_t))
+                }
+                return exact, ternary
+
+            def is_leaf(node: Any) -> bool:
+                return type(node) is _PlusLeaf
+        else:
+            root = source._root
+
+            def successors(node: Any) -> tuple[dict[int, Any], dict[int, Any]]:
+                exact = {i: c for i, c in enumerate(node.descendants) if c is not None}
+                ternary = {h: c for h, c in enumerate(node.ternaries) if c is not None}
+                return exact, ternary
+
+            def is_leaf(node: Any) -> bool:
+                return type(node) is _MbLeaf
+
+        # Pass 1: breadth-first id assignment (internals and leaves
+        # numbered separately; leaves sit above every internal id).
+        internals: list[Any] = []
+        leaves: list[Any] = []
+        order: list[Any] = [] if root is None else [root]
+        kids: dict[int, tuple[dict[int, Any], dict[int, Any]]] = {}
+        cursor = 0
+        while cursor < len(order):
+            node = order[cursor]
+            cursor += 1
+            if is_leaf(node):
+                leaves.append(node)
+                continue
+            internals.append(node)
+            exact, ternary = successors(node)
+            kids[id(node)] = (exact, ternary)
+            order.extend(exact.values())
+            order.extend(ternary.values())
+        ids: dict[int, int] = {id(n): x for x, n in enumerate(internals)}
+        first_leaf = len(internals)
+        ids.update({id(n): first_leaf + j for j, n in enumerate(leaves)})
+
+        # Pass 2: emit the arrays.
+        bit_arr = array("i", bytes(4 * first_leaf))
+        maxp_arr = array("q", bytes(8 * (first_leaf + len(leaves))))
+        dispatch = array("I", bytes(4 * (first_leaf << stride)))
+        push: list[int] = []
+        run_pool: dict[tuple[int, ...], int] = {}
+        for x, node in enumerate(internals):
+            bit_arr[x] = node.bit
+            maxp_arr[x] = node.max_priority
+            exact, ternary = kids[id(node)]
+            base_slot = x << stride
+            for chunk in range(1 << stride):
+                run: list[int] = []
+                child = exact.get(chunk)
+                if child is not None:
+                    run.append(ids[id(child)])
+                # Push order mirrors the mutable lookups: exact child
+                # first, then don't-care slots from the shortest prefix
+                # up, so the pop order (and therefore which of several
+                # equal-priority winners is reported) is unchanged.
+                for h in slots_of[chunk]:
+                    t = ternary.get(h)
+                    if t is not None:
+                        run.append(ids[id(t)])
+                if not run:
+                    continue
+                if len(run) == 1:
+                    # Single survivor: the dispatch word IS the target.
+                    dispatch[base_slot + chunk] = (run[0] << _COUNT_BITS) | 1
+                    continue
+                signature = tuple(run)
+                base = run_pool.get(signature)
+                if base is None:
+                    base = len(push)
+                    push.extend(run)
+                    run_pool[signature] = base
+                dispatch[base_slot + chunk] = (base << _COUNT_BITS) | len(run)
+
+        leaf_data: list[int] = []
+        leaf_care: list[int] = []
+        leaf_best: list[TernaryEntry] = []
+        entry_base = array("Q", bytes(8 * len(leaves)))
+        entry_count = array("Q", bytes(8 * len(leaves)))
+        entry_table: list[TernaryEntry] = []
+        for j, leaf in enumerate(leaves):
+            maxp_arr[first_leaf + j] = leaf.max_priority
+            leaf_data.append(leaf.data)
+            leaf_care.append(leaf.care_mask)
+            leaf_best.append(leaf.entries[0])
+            entry_base[j] = len(entry_table)
+            entry_count[j] = len(leaf.entries)
+            entry_table.extend(leaf.entries)
+
+        self._bit = bit_arr
+        self._maxp = maxp_arr
+        self._dispatch = dispatch
+        self._push = array("Q", push)
+        self._leaf_data = leaf_data
+        self._leaf_care = leaf_care
+        self._leaf_best = leaf_best
+        self._leaf_entry_base = entry_base
+        self._leaf_entry_count = entry_count
+        self._entry_table = entry_table
+        self._first_leaf = first_leaf
+        # Hot mirrors for the scalar interpreter loop: indexing an
+        # ``array`` boxes a fresh int on every access; these lists hold
+        # the already-boxed values, and one attribute load + unpack per
+        # lookup replaces a dozen.  The NumPy batch path reads the array
+        # buffers zero-copy instead (see _numpy_views).
+        self._hot = (
+            list(maxp_arr),
+            list(bit_arr),
+            list(dispatch),
+            list(self._push),
+            leaf_data,
+            leaf_care,
+            leaf_best,
+            first_leaf,
+            stride,
+            (1 << stride) - 1,
+            self.subtree_skipping,
+        )
+        self._np_cache: Optional[dict[str, Any]] = None
+        self._dirty = False
+        self._freeze_count += 1
+
+    # ------------------------------------------------------------------
+    # Lookup: an iterative loop over array indices
+    # ------------------------------------------------------------------
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        if self._dirty:
+            self._refreeze()
+        (
+            maxp, bits, dispatch, push, data, care, best_of,
+            first_leaf, stride, chunk_mask, skipping,
+        ) = self._hot
+        if first_leaf == 0 and not data:
+            return None
+        count_mask = _COUNT_MASK
+        count_bits = _COUNT_BITS
+        result: Optional[TernaryEntry] = None
+        result_priority = -1
+        stack = [0]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            x = pop()
+            # Inner loop: follow single-successor chains without
+            # touching the stack (the dominant dispatch shape).
+            while True:
+                mp = maxp[x]
+                if skipping and result_priority > mp:
+                    break
+                if x >= first_leaf:
+                    j = x - first_leaf
+                    if query & care[j] == data[j] and mp > result_priority:
+                        result = best_of[j]
+                        result_priority = mp
+                    break
+                b = bits[x]
+                if b >= 0:
+                    packed = dispatch[(x << stride) + ((query >> b) & chunk_mask)]
+                else:
+                    packed = dispatch[(x << stride) + ((query << -b) & chunk_mask)]
+                c = packed & count_mask
+                if c == 1:
+                    x = packed >> count_bits
+                    continue
+                if c == 0:
+                    break
+                # Continue with the run's LAST element (the one the
+                # LIFO walk would pop first) and stack the rest.
+                base = packed >> count_bits
+                x = push[base + c - 1]
+                extend(push[base : base + c - 1])
+        return result
+
+    def lookup_all(self, query: int) -> list[TernaryEntry]:
+        """All matching entries, highest priority first (no skipping)."""
+        if self._dirty:
+            self._refreeze()
+        (
+            _maxp, bits, dispatch, push, data, care, _best_of,
+            first_leaf, stride, chunk_mask, _skipping,
+        ) = self._hot
+        entry_base = self._leaf_entry_base
+        entry_count = self._leaf_entry_count
+        entry_table = self._entry_table
+        matches: list[TernaryEntry] = []
+        stack = [0] if (first_leaf or data) else []
+        while stack:
+            x = stack.pop()
+            if x >= first_leaf:
+                j = x - first_leaf
+                if query & care[j] == data[j]:
+                    base = entry_base[j]
+                    matches.extend(entry_table[base : base + entry_count[j]])
+                continue
+            b = bits[x]
+            if b >= 0:
+                s = (x << stride) + ((query >> b) & chunk_mask)
+            else:
+                s = (x << stride) + ((query << -b) & chunk_mask)
+            packed = dispatch[s]
+            c = packed & _COUNT_MASK
+            if c == 1:
+                stack.append(packed >> _COUNT_BITS)
+            elif c:
+                base = packed >> _COUNT_BITS
+                stack.extend(push[base : base + c])
+        matches.sort(key=lambda e: e.priority, reverse=True)
+        return matches
+
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Counted traversal hook for :meth:`profile_lookup`."""
+        if self._dirty:
+            self._refreeze()
+        (
+            maxp, bits, dispatch, push, data, care, best_of,
+            first_leaf, stride, chunk_mask, skipping,
+        ) = self._hot
+        result: Optional[TernaryEntry] = None
+        result_priority = -1
+        visits = comparisons = 0
+        stack = [0] if (first_leaf or data) else []
+        while stack:
+            x = stack.pop()
+            mp = maxp[x]
+            if skipping and result_priority > mp:
+                continue
+            visits += 1
+            if x >= first_leaf:
+                comparisons += 1
+                j = x - first_leaf
+                if query & care[j] == data[j] and mp > result_priority:
+                    result = best_of[j]
+                    result_priority = mp
+                continue
+            b = bits[x]
+            if b >= 0:
+                s = (x << stride) + ((query >> b) & chunk_mask)
+            else:
+                s = (x << stride) + ((query << -b) & chunk_mask)
+            packed = dispatch[s]
+            c = packed & _COUNT_MASK
+            if c == 1:
+                stack.append(packed >> _COUNT_BITS)
+            elif c:
+                base = packed >> _COUNT_BITS
+                stack.extend(push[base : base + c])
+        return result, visits, comparisons
+
+    # ------------------------------------------------------------------
+    # Batched lookup: node-major, vectorized under numpy
+    # ------------------------------------------------------------------
+
+    def lookup_batch(self, queries: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        if self._dirty:
+            self._refreeze()
+        results: list[Optional[TernaryEntry]] = [None] * len(queries)
+        if not queries or not self._leaf_best:
+            return results
+        positions: dict[int, list[int]] = {}
+        for index, query in enumerate(queries):
+            positions.setdefault(query, []).append(index)
+        unique = list(positions)
+        if _np is not None:
+            best = self._batch_walk_numpy(unique)
+        else:
+            best = self._batch_walk_python(unique)
+        for g, query in enumerate(unique):
+            for index in positions[query]:
+                results[index] = best[g]
+        return results
+
+    def _batch_walk_python(self, unique: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        """Grouped node-major walk (the fallback without numpy)."""
+        best: list[Optional[TernaryEntry]] = [None] * len(unique)
+        best_priority = [-1] * len(unique)
+        (
+            maxp, bits, dispatch, push, data, care, best_of,
+            first_leaf, stride, chunk_mask, skipping,
+        ) = self._hot
+        stack: list[tuple[int, list[int]]] = [(0, list(range(len(unique))))]
+        while stack:
+            x, group = stack.pop()
+            mp = maxp[x]
+            if skipping:
+                group = [g for g in group if best_priority[g] <= mp]
+                if not group:
+                    continue
+            if x >= first_leaf:
+                j = x - first_leaf
+                leaf_data = data[j]
+                leaf_care = care[j]
+                for g in group:
+                    if unique[g] & leaf_care == leaf_data and mp > best_priority[g]:
+                        best[g] = best_of[j]
+                        best_priority[g] = mp
+                continue
+            b = bits[x]
+            buckets: dict[int, list[int]] = {}
+            if b >= 0:
+                for g in group:
+                    buckets.setdefault((unique[g] >> b) & chunk_mask, []).append(g)
+            else:
+                for g in group:
+                    buckets.setdefault((unique[g] << -b) & chunk_mask, []).append(g)
+            base_slot = x << stride
+            for chunk, bucket in buckets.items():
+                packed = dispatch[base_slot + chunk]
+                c = packed & _COUNT_MASK
+                if c == 1:
+                    stack.append((packed >> _COUNT_BITS, bucket))
+                elif c:
+                    base = packed >> _COUNT_BITS
+                    for t in range(base, base + c):
+                        stack.append((push[t], bucket))
+        return best
+
+    # -- numpy fast path -------------------------------------------------
+
+    def _numpy_views(self) -> dict[str, Any]:
+        """Zero-copy views over the arrays plus leaf-key lane tables."""
+        cache = self._np_cache
+        if cache is None:
+            lanes = (self.key_length + _LANE_BITS - 1) // _LANE_BITS
+            leaves = len(self._leaf_best)
+            data_lanes = _np.zeros((leaves, lanes), dtype=_np.uint64)
+            care_lanes = _np.zeros((leaves, lanes), dtype=_np.uint64)
+            for j in range(leaves):
+                d = self._leaf_data[j]
+                cm = self._leaf_care[j]
+                for lane in range(lanes):
+                    data_lanes[j, lane] = (d >> (_LANE_BITS * lane)) & _LANE_MASK
+                    care_lanes[j, lane] = (cm >> (_LANE_BITS * lane)) & _LANE_MASK
+            packed = _np.frombuffer(self._dispatch, dtype=_np.uint32).astype(_np.int64)
+            cache = {
+                "lanes": lanes,
+                "maxp": _np.frombuffer(self._maxp, dtype=_np.int64),
+                "bit": _np.frombuffer(self._bit, dtype=_np.int32).astype(_np.int64),
+                "succ_base": packed >> _COUNT_BITS,
+                "succ_count": packed & _COUNT_MASK,
+                "push": _np.frombuffer(self._push, dtype=_np.uint64).astype(_np.int64),
+                "data_lanes": data_lanes,
+                "care_lanes": care_lanes,
+            }
+            self._np_cache = cache
+        return cache
+
+    def _batch_walk_numpy(self, unique: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        """Vectorized node-major frontier walk across the whole batch."""
+        np = _np
+        views = self._numpy_views()
+        lanes = views["lanes"]
+        maxp = views["maxp"]
+        bit = views["bit"]
+        succ_base = views["succ_base"]
+        succ_count = views["succ_count"]
+        push = views["push"]
+        data_lanes = views["data_lanes"]
+        care_lanes = views["care_lanes"]
+        first_leaf = self._first_leaf
+        stride = self.stride
+        chunk_mask = np.uint64((1 << stride) - 1)
+        skipping = self.subtree_skipping
+
+        n = len(unique)
+        qlanes = np.zeros((n, lanes), dtype=np.uint64)
+        for g, query in enumerate(unique):
+            for lane in range(lanes):
+                qlanes[g, lane] = (query >> (_LANE_BITS * lane)) & _LANE_MASK
+
+        best_priority = np.full(n, -1, dtype=np.int64)
+        best_leaf = np.full(n, -1, dtype=np.int64)
+        nodes = np.zeros(n, dtype=np.int64)  # frontier starts at the root
+        qidx = np.arange(n, dtype=np.int64)
+        while nodes.size:
+            mp = maxp[nodes]
+            if skipping:
+                keep = best_priority[qidx] <= mp
+                if not keep.all():
+                    nodes = nodes[keep]
+                    qidx = qidx[keep]
+                    mp = mp[keep]
+                if not nodes.size:
+                    break
+            leaf_mask = nodes >= first_leaf
+            if leaf_mask.any():
+                lj = nodes[leaf_mask] - first_leaf
+                lq = qidx[leaf_mask]
+                ok = np.ones(lj.size, dtype=bool)
+                for lane in range(lanes):
+                    ok &= (qlanes[lq, lane] & care_lanes[lj, lane]) == data_lanes[lj, lane]
+                ok &= mp[leaf_mask] > best_priority[lq]
+                if ok.any():
+                    wq = lq[ok]
+                    wp = mp[leaf_mask][ok]
+                    wl = lj[ok]
+                    np.maximum.at(best_priority, wq, wp)
+                    won = wp == best_priority[wq]
+                    best_leaf[wq[won]] = wl[won]
+            internal_mask = ~leaf_mask
+            nodes = nodes[internal_mask]
+            qidx = qidx[internal_mask]
+            if not nodes.size:
+                break
+            b = bit[nodes]
+            chunk = np.zeros(nodes.size, dtype=np.uint64)
+            pos = b >= 0
+            if pos.any():
+                bp = b[pos]
+                word = bp >> 6
+                shift = (bp & 63).astype(np.uint64)
+                qp = qidx[pos]
+                low = qlanes[qp, word] >> shift
+                has_high = (shift > 0) & (word + 1 < lanes)
+                high_word = np.where(word + 1 < lanes, word + 1, word)
+                high = np.where(
+                    has_high,
+                    qlanes[qp, high_word]
+                    << ((np.uint64(_LANE_BITS) - shift) % np.uint64(_LANE_BITS)),
+                    np.uint64(0),
+                )
+                chunk[pos] = (low | high) & chunk_mask
+            neg = ~pos
+            if neg.any():
+                shift = (-b[neg]).astype(np.uint64)
+                chunk[neg] = (qlanes[qidx[neg], 0] << shift) & chunk_mask
+            slots = (nodes << np.int64(stride)) + chunk.astype(np.int64)
+            packed_counts = succ_count[slots]
+            packed_bases = succ_base[slots]
+            # count == 1 words carry the target id directly; count > 1
+            # words index a run in the shared push list.
+            single = packed_counts == 1
+            next_nodes = [packed_bases[single]]
+            next_qidx = [qidx[single]]
+            multi = packed_counts > 1
+            if multi.any():
+                counts = packed_counts[multi]
+                bases = packed_bases[multi]
+                total = int(counts.sum())
+                offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                next_nodes.append(push[np.repeat(bases, counts) + offsets])
+                next_qidx.append(np.repeat(qidx[multi], counts))
+            nodes = np.concatenate(next_nodes)
+            qidx = np.concatenate(next_qidx)
+
+        best_of = self._leaf_best
+        return [best_of[j] if j >= 0 else None for j in best_leaf.tolist()]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._source is not None:
+            return len(self._source)
+        if self._pending_entries is not None:
+            return len(self._pending_entries)
+        return len(self._entry_table)
+
+    def entries(self) -> Iterator[TernaryEntry]:
+        if self._dirty and self._source is not None:
+            yield from self._source.entries()  # type: ignore[attr-defined]
+            return
+        yield from self._entry_table
+
+    def node_count(self) -> tuple[int, int]:
+        """(internal nodes, leaves) of the frozen plane."""
+        if self._dirty:
+            self._refreeze()
+        return self._first_leaf, len(self._leaf_best)
+
+    @property
+    def source(self) -> TernaryMatcher:
+        """The retained mutable trie that absorbs incremental updates."""
+        return self._hydrate_source()
+
+    @property
+    def freeze_count(self) -> int:
+        """How many times the plane has been (re)compiled."""
+        return self._freeze_count
+
+    def memory_bytes(self) -> int:
+        """The flat plane's true footprint: the array buffers as
+        allocated, plus the modeled leaf-key words (2L bits each) and
+        entry slots (8-byte value, 4-byte priority) — the quantity a C
+        port of this layout would allocate, and what
+        ``serialize_frozen`` writes (header and value encoding aside).
+        """
+        if self._dirty:
+            self._refreeze()
+        buffers = (
+            len(self._bit) * self._bit.itemsize
+            + len(self._maxp) * self._maxp.itemsize
+            + len(self._dispatch) * self._dispatch.itemsize
+            + len(self._push) * self._push.itemsize
+            + len(self._leaf_entry_base) * self._leaf_entry_base.itemsize
+            + len(self._leaf_entry_count) * self._leaf_entry_count.itemsize
+        )
+        key_bytes = 2 * ((self.key_length + 7) // 8)
+        return buffers + len(self._leaf_best) * key_bytes + len(self._entry_table) * 12
+
+
+class FrozenPoptrie:
+    """A :class:`~repro.core.poptrie.Poptrie` flattened the same way.
+
+    The Poptrie is already array-shaped; freezing unboxes its node
+    objects into four parallel arrays so the LPM inner loop is pure
+    integer indexing.  Lookup semantics are identical to the source.
+    """
+
+    def __init__(self, source: Poptrie) -> None:
+        if source._dirty:
+            source.compile()
+        self.key_length = source.key_length
+        self.stride = source.stride
+        root = source._root
+        assert root is not None
+        nodes: list[_PoptrieNode] = [root] + source._nodes
+        self._vector = [n.vector for n in nodes]
+        # base1 is relative to source._nodes; shift for the prepended root.
+        self._base1 = array("Q", (n.base1 + 1 for n in nodes))
+        self._leafvec = [n.leafvec for n in nodes]
+        self._base0 = array("Q", (n.base0 for n in nodes))
+        self._leaves = list(source._leaves)
+        self._route_count = len(source)
+
+    def lookup(self, key: int) -> Any:
+        """Longest-prefix match; None when no route covers the key."""
+        vector = self._vector
+        base1 = self._base1
+        leafvec = self._leafvec
+        base0 = self._base0
+        leaves = self._leaves
+        stride = self.stride
+        chunk_mask = (1 << stride) - 1
+        shift = self.key_length - stride
+        x = 0
+        while True:
+            if shift >= 0:
+                chunk = (key >> shift) & chunk_mask
+            else:
+                chunk = (key << -shift) & chunk_mask
+            v = vector[x]
+            if not (v >> chunk) & 1:
+                index = (leafvec[x] & ((2 << chunk) - 1)).bit_count() - 1
+                return leaves[base0[x] + index]
+            x = base1[x] + (v & ((1 << chunk) - 1)).bit_count()
+            shift -= stride
+
+    def __len__(self) -> int:
+        return self._route_count
+
+    def memory_bytes(self) -> int:
+        """Same C model as the source Poptrie (the layout is unchanged;
+        only the Python boxing is gone)."""
+        vector_bytes = max((1 << self.stride) // 8, 1)
+        return len(self._vector) * (2 * vector_bytes + 8) + len(self._leaves) * 4
+
+
+def freeze(matcher: Any) -> Any:
+    """Compile a built matcher into its frozen struct-of-arrays plane.
+
+    * :class:`MultibitPalmtrie` / :class:`PalmtriePlus` →
+      :class:`FrozenMatcher` (the full ternary-matching surface);
+    * :class:`Poptrie` → :class:`FrozenPoptrie` (the LPM surface);
+    * an already-frozen matcher is re-frozen only if its source has
+      pending updates, then returned as-is.
+    """
+    if isinstance(matcher, FrozenMatcher):
+        if matcher._dirty:
+            matcher._refreeze()
+        return matcher
+    if isinstance(matcher, Poptrie):
+        return FrozenPoptrie(matcher)
+    return FrozenMatcher.from_matcher(matcher)

@@ -520,13 +520,17 @@ class MultibitPalmtrie(TernaryMatcher):
     def memory_bytes(self) -> int:
         """C-layout model (the quantity Figure 9 plots): each internal
         node allocates ``2**(k+1) - 1`` 8-byte pointers plus its bit
-        index and max_priority; each leaf stores the 2L-bit key, an
-        8-byte value and a 4-byte priority (§3.6's motivation: over 4 KiB
-        per node at k = 8).
+        index and max_priority; each leaf stores the 2L-bit key and its
+        max_priority, plus an 8-byte value and a 4-byte priority for
+        *every* entry sharing that key (§3.6's motivation: over 4 KiB
+        per node at k = 8).  Entries are charged individually because a
+        leaf whose key several rules share keeps the whole list — the
+        serialized form writes every one of them.
         """
         internal, leaves = self.node_count()
         pointers = (1 << (self.stride + 1)) - 1
         internal_bytes = pointers * 8 + 4 + 4
         key_bytes = 2 * (self.key_length // 8)
-        leaf_bytes = key_bytes + 8 + 4 + 4
-        return internal * internal_bytes + leaves * leaf_bytes
+        leaf_bytes = key_bytes + 4
+        entry_bytes = 8 + 4
+        return internal * internal_bytes + leaves * leaf_bytes + len(self) * entry_bytes

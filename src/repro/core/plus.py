@@ -397,10 +397,13 @@ class PalmtriePlus(TernaryMatcher):
     def memory_bytes(self) -> int:
         """C-layout model of the compiled form (Figure 6's union node):
         per internal node two ``2**k``-bit bitmaps, two 4-byte offsets,
-        bit index and max_priority; per leaf the 2L-bit key, an 8-byte
-        value and 4-byte priorities.  The pointer arrays of Palmtrie_k
-        are gone — this is what Figure 9 shows collapsing to the
-        Palmtrie_1 level.
+        bit index and max_priority; per leaf the 2L-bit key and its
+        max_priority, plus an 8-byte value and a 4-byte priority for
+        *every* entry sharing that key.  The pointer arrays of
+        Palmtrie_k are gone — this is what Figure 9 shows collapsing to
+        the Palmtrie_1 level.  Entries are charged individually because
+        a leaf whose key several rules share keeps the whole list — the
+        serialized form writes every one of them.
         """
         if self._dirty:
             self.compile()
@@ -408,8 +411,9 @@ class PalmtriePlus(TernaryMatcher):
         bitmap_bytes = (1 << self.stride) // 8 if self.stride >= 3 else 1
         internal_bytes = 2 * bitmap_bytes + 4 + 4 + 4 + 4
         key_bytes = 2 * (self.key_length // 8)
-        leaf_bytes = key_bytes + 8 + 4 + 4
-        return internal * internal_bytes + leaves * leaf_bytes
+        leaf_bytes = key_bytes + 4
+        entry_bytes = 8 + 4
+        return internal * internal_bytes + leaves * leaf_bytes + len(self) * entry_bytes
 
     @property
     def source(self) -> MultibitPalmtrie:

@@ -1,4 +1,4 @@
-"""Binary serialization of compiled Palmtrie+ tables.
+"""Binary serialization of compiled Palmtrie tables.
 
 A deployment compiles ACLs on a control plane and ships the compiled
 table to data-plane processes; that requires a stable wire format.
@@ -6,6 +6,13 @@ This codec packs a :class:`~repro.core.plus.PalmtriePlus` into the C
 struct layout the paper's §3.6/Figure 6 describes — fixed-size union
 nodes in one contiguous array — so the serialized size also *is* the
 ``memory_bytes`` model (the tests pin them together, keys aside).
+
+A second codec (``PLMF``, :func:`serialize_frozen` /
+:func:`deserialize_frozen`) writes a
+:class:`~repro.core.frozen.FrozenMatcher`'s parallel arrays verbatim:
+loading is a handful of buffer copies (``array.frombytes``) rather than
+a per-node parse, so frozen planes come back without any trie rebuild
+— the mutable source stays unmaterialized until the first mutation.
 
 Format (all little-endian):
 
@@ -30,19 +37,40 @@ Format (all little-endian):
 
 from __future__ import annotations
 
+import os
 import struct
+import sys
+from array import array
 from typing import Any, BinaryIO
 
 from .plus import PalmtriePlus, _PlusInternal, _PlusLeaf
-from .table import TernaryEntry
+from .table import TernaryEntry, TernaryMatcher
 from .ternary import TernaryKey
 
-__all__ = ["serialize_plus", "deserialize_plus", "save_plus", "load_plus", "FormatError"]
+__all__ = [
+    "serialize_plus",
+    "deserialize_plus",
+    "save_plus",
+    "load_plus",
+    "serialize_frozen",
+    "deserialize_frozen",
+    "save_frozen",
+    "load_frozen",
+    "FormatError",
+]
 
 MAGIC = b"PLM+"
 VERSION = 1
 
 _HEADER = struct.Struct("<4sHBBIIII")
+
+FROZEN_MAGIC = b"PLMF"
+FROZEN_VERSION = 1
+
+#: magic, version u16, stride u8, flags u8 (bit 0 = subtree skipping),
+#: key_length u32, internal count u32, leaf count u32, push length u32,
+#: entry count u32, entry-blob length u32.
+_FROZEN_HEADER = struct.Struct("<4sHBBIIIIII")
 
 
 class FormatError(ValueError):
@@ -227,6 +255,266 @@ def deserialize_plus(data: bytes) -> PalmtriePlus:
     matcher._nodes = nodes[:root_index]
     matcher._dirty = False
     return matcher
+
+
+def _array_bytes(arr: array) -> bytes:
+    """The array's buffer, little-endian regardless of host order."""
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        arr = array(arr.typecode, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _array_from(typecode: str, data: bytes) -> array:
+    arr = array(typecode)
+    arr.frombytes(data)
+    if sys.byteorder != "little":  # pragma: no cover
+        arr.byteswap()
+    return arr
+
+
+def serialize_frozen(matcher: "TernaryMatcher") -> bytes:
+    """Pack a frozen plane's arrays into the ``PLMF`` wire form.
+
+    Section order after the header: bit i32[I], max_priority i64[I+L],
+    dispatch u32[I << stride], push u64[P], leaf keys (data ‖ care,
+    each ``ceil(key_length / 8)`` bytes, L times), entry base u64[L],
+    entry count u64[L], entry blob (as in ``PLM+``: priority i32,
+    value length u16, value bytes per entry).
+    """
+    from .frozen import FrozenMatcher
+
+    if not isinstance(matcher, FrozenMatcher):
+        raise FormatError(f"expected FrozenMatcher, got {type(matcher).__name__}")
+    if matcher._dirty:
+        matcher._refreeze()
+    key_bytes = (matcher.key_length + 7) // 8
+    leaf_count = len(matcher._leaf_best)
+
+    key_blob = bytearray()
+    for j in range(leaf_count):
+        key_blob += matcher._leaf_data[j].to_bytes(key_bytes, "little")
+        key_blob += matcher._leaf_care[j].to_bytes(key_bytes, "little")
+
+    entry_blob = bytearray()
+    for entry in matcher._entry_table:
+        value = _encode_value(entry.value)
+        entry_blob += struct.pack("<iH", entry.priority, len(value))
+        entry_blob += value
+
+    header = _FROZEN_HEADER.pack(
+        FROZEN_MAGIC,
+        FROZEN_VERSION,
+        matcher.stride,
+        1 if matcher.subtree_skipping else 0,
+        matcher.key_length,
+        matcher._first_leaf,
+        leaf_count,
+        len(matcher._push),
+        len(matcher._entry_table),
+        len(entry_blob),
+    )
+    return b"".join(
+        (
+            header,
+            _array_bytes(matcher._bit),
+            _array_bytes(matcher._maxp),
+            _array_bytes(matcher._dispatch),
+            _array_bytes(matcher._push),
+            bytes(key_blob),
+            _array_bytes(matcher._leaf_entry_base),
+            _array_bytes(matcher._leaf_entry_count),
+            bytes(entry_blob),
+        )
+    )
+
+
+def deserialize_frozen(data: bytes) -> "TernaryMatcher":
+    """Rebuild a :class:`~repro.core.frozen.FrozenMatcher` from bytes.
+
+    The plane's arrays are restored with buffer copies — no trie walk,
+    no recompilation.  The mutable source trie is *not* built: the
+    decoded entries are parked as pending and only hydrated on the
+    first ``insert``/``delete``, so pure-lookup data planes skip the
+    whole incremental-update machinery.
+    """
+    from .frozen import _COUNT_BITS, _COUNT_MASK, FrozenMatcher
+
+    if len(data) < _FROZEN_HEADER.size:
+        raise FormatError("truncated header")
+    (
+        magic,
+        version,
+        stride,
+        flags,
+        key_length,
+        first_leaf,
+        leaf_count,
+        push_len,
+        entry_count,
+        blob_len,
+    ) = _FROZEN_HEADER.unpack_from(data)
+    if magic != FROZEN_MAGIC:
+        raise FormatError(f"bad magic {magic!r}")
+    if version != FROZEN_VERSION:
+        raise FormatError(f"unsupported version {version}")
+    if not 1 <= stride <= 30 or key_length <= 0:
+        raise FormatError("corrupt geometry fields")
+    key_bytes = (key_length + 7) // 8
+    node_count = first_leaf + leaf_count
+    sizes = (
+        4 * first_leaf,               # bit
+        8 * node_count,               # max_priority
+        4 * (first_leaf << stride),   # dispatch
+        8 * push_len,                 # push
+        2 * key_bytes * leaf_count,   # leaf keys
+        8 * leaf_count,               # entry base
+        8 * leaf_count,               # entry count
+        blob_len,                     # entry blob
+    )
+    if len(data) != _FROZEN_HEADER.size + sum(sizes):
+        raise FormatError(
+            f"size mismatch: expected {_FROZEN_HEADER.size + sum(sizes)} bytes,"
+            f" got {len(data)}"
+        )
+
+    view = memoryview(data)
+    cursor = _FROZEN_HEADER.size
+    sections = []
+    for size in sizes:
+        sections.append(view[cursor : cursor + size])
+        cursor += size
+    bit_arr = _array_from("i", sections[0])
+    maxp_arr = _array_from("q", sections[1])
+    dispatch = _array_from("I", sections[2])
+    push = _array_from("Q", sections[3])
+    entry_base = _array_from("Q", sections[5])
+    entry_count_arr = _array_from("Q", sections[6])
+
+    for target in push:
+        if target >= node_count:
+            raise FormatError("push target out of range")
+    for packed in dispatch:
+        c = packed & _COUNT_MASK
+        if c == 0:
+            if packed:
+                raise FormatError("dispatch word with zero count but nonzero base")
+        elif c == 1:
+            if packed >> _COUNT_BITS >= node_count:
+                raise FormatError("dispatch target out of range")
+        elif c > stride + 1 or (packed >> _COUNT_BITS) + c > push_len:
+            raise FormatError("dispatch run out of range")
+
+    key_view = sections[4]
+    leaf_data: list[int] = []
+    leaf_care: list[int] = []
+    for j in range(leaf_count):
+        base = 2 * key_bytes * j
+        leaf_data.append(int.from_bytes(key_view[base : base + key_bytes], "little"))
+        leaf_care.append(
+            int.from_bytes(key_view[base + key_bytes : base + 2 * key_bytes], "little")
+        )
+
+    blob = sections[7]
+    running_base = 0
+    for j in range(leaf_count):
+        count = entry_count_arr[j]
+        if count == 0:
+            raise FormatError("leaf without entries")
+        # The writer emits entry slices leaf-major and contiguous; the
+        # single-pass decode below depends on it.
+        if entry_base[j] != running_base:
+            raise FormatError("leaf entry slices must be contiguous")
+        running_base += count
+    if running_base != entry_count:
+        raise FormatError("leaf entry slice out of range")
+
+    # Single forward pass over the blob (entries are stored in table
+    # order, which is leaf-major).
+    entry_table: list[TernaryEntry] = []
+    cursor = 0
+    per_leaf_remaining = list(entry_count_arr)
+    leaf_index = 0
+    leaf_best: list[TernaryEntry] = []
+    key_cache: TernaryKey | None = None
+    for _ in range(entry_count):
+        if cursor + 6 > len(blob):
+            raise FormatError("entry blob overrun")
+        priority, value_len = struct.unpack_from("<iH", blob, cursor)
+        cursor += 6
+        if cursor + value_len > len(blob):
+            raise FormatError("entry blob overrun")
+        value = _decode_value(bytes(blob[cursor : cursor + value_len]))
+        cursor += value_len
+        if key_cache is None:
+            care = leaf_care[leaf_index]
+            key_cache = TernaryKey(
+                leaf_data[leaf_index], ~care & ((1 << key_length) - 1), key_length
+            )
+        entry = TernaryEntry(key_cache, value, priority)
+        if len(entry_table) == entry_base[leaf_index]:
+            leaf_best.append(entry)
+        entry_table.append(entry)
+        per_leaf_remaining[leaf_index] -= 1
+        if per_leaf_remaining[leaf_index] == 0:
+            leaf_index += 1
+            key_cache = None
+    if cursor != len(blob):
+        raise FormatError("trailing bytes in entry blob")
+    for j in range(leaf_count):
+        if maxp_arr[first_leaf + j] != leaf_best[j].priority:
+            raise FormatError("leaf max_priority inconsistent with entries")
+
+    frozen = FrozenMatcher.__new__(FrozenMatcher)
+    TernaryMatcher.__init__(frozen, key_length)
+    frozen.stride = stride
+    frozen.subtree_skipping = bool(flags & 1)
+    frozen._source = None
+    frozen._pending_entries = list(entry_table)
+    frozen._dirty = False
+    frozen._freeze_count = 1
+    frozen._bit = bit_arr
+    frozen._maxp = maxp_arr
+    frozen._dispatch = dispatch
+    frozen._push = push
+    frozen._leaf_data = leaf_data
+    frozen._leaf_care = leaf_care
+    frozen._leaf_best = leaf_best
+    frozen._leaf_entry_base = entry_base
+    frozen._leaf_entry_count = entry_count_arr
+    frozen._entry_table = entry_table
+    frozen._first_leaf = first_leaf
+    frozen._hot = (
+        list(maxp_arr),
+        list(bit_arr),
+        list(dispatch),
+        list(push),
+        leaf_data,
+        leaf_care,
+        leaf_best,
+        first_leaf,
+        stride,
+        (1 << stride) - 1,
+        frozen.subtree_skipping,
+    )
+    frozen._np_cache = None
+    return frozen
+
+
+def save_frozen(matcher: "TernaryMatcher", path: str) -> int:
+    """Serialize a frozen plane to a file; returns the bytes written."""
+    data = serialize_frozen(matcher)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def load_frozen(path_or_file: str | os.PathLike | BinaryIO) -> "TernaryMatcher":
+    """Load a plane previously written by :func:`save_frozen`."""
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "rb") as handle:
+            return deserialize_frozen(handle.read())
+    return deserialize_frozen(path_or_file.read())
 
 
 def save_plus(matcher: PalmtriePlus, path: str) -> int:

@@ -242,6 +242,7 @@ def matcher_kinds() -> dict[str, Type[TernaryMatcher]]:
         from ..baselines.vectorized import VectorizedMatcher
         from .adaptive import AdaptiveMatcher
         from .basic import BasicPalmtrie
+        from .frozen import FrozenMatcher
         from .multibit import MultibitPalmtrie
         from .plus import PalmtriePlus
 
@@ -250,6 +251,7 @@ def matcher_kinds() -> dict[str, Type[TernaryMatcher]]:
             "palmtrie-basic": BasicPalmtrie,
             "palmtrie": MultibitPalmtrie,
             "palmtrie-plus": PalmtriePlus,
+            "frozen": FrozenMatcher,
             "dpdk-acl": DpdkStyleAcl,
             "efficuts": EffiCutsClassifier,
             "adaptive": AdaptiveMatcher,
@@ -269,7 +271,8 @@ def build_matcher(
 
     ``kind`` is a registry name from :func:`matcher_kinds` —
     ``sorted-list``, ``palmtrie-basic``, ``palmtrie`` (multi-bit; pass
-    ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``), ``dpdk-acl``,
+    ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``), ``frozen``
+    (struct-of-arrays compiled plane; pass ``stride=k``), ``dpdk-acl``,
     ``efficuts``, ``adaptive``, ``tcam``, ``vectorized`` — or a
     :class:`TernaryMatcher` subclass itself, so callers never need to
     reach into private modules.

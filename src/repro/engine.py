@@ -135,17 +135,31 @@ class ClassificationEngine:
     :class:`TernaryMatcher` — or anything duck-typing its ``lookup`` /
     ``lookup_batch`` / ``insert`` / ``delete`` surface, such as
     :class:`~repro.core.pipeline.PipelinedLookup`.
+
+    With ``auto_freeze=True`` the engine compiles the matcher into its
+    frozen struct-of-arrays plane (:func:`repro.core.freeze`) once the
+    build settles — lazily, on the first cache miss — and serves
+    lookups from the plane.  ``insert``/``delete`` still go to the
+    mutable matcher; they drop the plane, which is re-frozen lazily on
+    the next miss, so updates stay cheap and bursts stay fast.
+    Matchers without a frozen form (anything that is not a Palmtrie
+    trie) silently fall back to their own lookups.
     """
 
     def __init__(
         self,
         matcher: Union[TernaryMatcher, Any],
         cache_size: int = 4096,
+        auto_freeze: bool = False,
     ) -> None:
         if not callable(getattr(matcher, "lookup", None)):
             raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
         self.matcher = matcher
         self.cache = FlowCache(cache_size)
+        self.auto_freeze = auto_freeze
+        self._plane: Optional[Any] = None
+        self._unfreezable = False
+        self.freezes = 0
         self.stats = LookupStats()
         self.batches = 0
         self.batched_queries = 0
@@ -155,6 +169,26 @@ class ClassificationEngine:
     @property
     def name(self) -> str:
         return f"engine({getattr(self.matcher, 'name', type(self.matcher).__name__)})"
+
+    # -- the frozen lookup plane ----------------------------------------
+
+    def _lookup_target(self) -> Any:
+        """The object cache misses are resolved against: the frozen
+        plane when ``auto_freeze`` is on and the matcher freezes, the
+        matcher itself otherwise."""
+        if not self.auto_freeze or self._unfreezable:
+            return self.matcher
+        if self._plane is None:
+            from .core.frozen import freeze
+
+            try:
+                self._plane = freeze(self.matcher)
+            except TypeError:
+                # Not a freezable structure; remember and stop trying.
+                self._unfreezable = True
+                return self.matcher
+            self.freezes += 1
+        return self._plane
 
     # -- lookups --------------------------------------------------------
 
@@ -167,7 +201,7 @@ class ClassificationEngine:
             stats.cache_hits += 1
             return cached
         stats.cache_misses += 1
-        result = self.matcher.lookup(query)
+        result = self._lookup_target().lookup(query)
         stats.cache_evictions += self.cache.put(query, result)
         return result
 
@@ -198,12 +232,12 @@ class ClassificationEngine:
         stats.cache_misses += n - hits
         if miss_positions:
             unique = list(miss_positions)
-            batch = getattr(self.matcher, "lookup_batch", None)
+            target = self._lookup_target()
+            batch = getattr(target, "lookup_batch", None)
             if batch is not None:
                 resolved = batch(unique)
             else:  # duck-typed matcher with only a scalar lookup
-                scalar = self.matcher.lookup
-                resolved = [scalar(query) for query in unique]
+                resolved = [target.lookup(query) for query in unique]
             cache_put = self.cache.put
             evictions = 0
             for query, result in zip(unique, resolved):
@@ -228,11 +262,13 @@ class ClassificationEngine:
     def insert(self, entry: TernaryEntry) -> None:
         """Insert through to the matcher, evicting affected cache rows."""
         self.matcher.insert(entry)
+        self._plane = None  # re-freeze lazily on the next miss
         self.stats.cache_evictions += self.cache.invalidate(entry.key)
 
     def delete(self, key: TernaryKey) -> bool:
         removed = self.matcher.delete(key)
         if removed:
+            self._plane = None  # re-freeze lazily on the next miss
             self.stats.cache_evictions += self.cache.invalidate(key)
         return removed
 
@@ -269,6 +305,9 @@ class ClassificationEngine:
             "cache_hit_ratio": stats.cache_hit_ratio,
             "batches": self.batches,
             "queries_per_second": self.queries_per_second(),
+            "auto_freeze": self.auto_freeze,
+            "frozen_plane_active": self._plane is not None,
+            "freezes": self.freezes,
         }
 
     def reset_stats(self) -> None:

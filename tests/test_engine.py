@@ -39,7 +39,7 @@ class TestRegistry:
     def test_registry_is_public_and_complete(self):
         assert set(MATCHER_KINDS) == {
             "sorted-list", "palmtrie-basic", "palmtrie", "palmtrie-plus",
-            "dpdk-acl", "efficuts", "adaptive", "tcam", "vectorized",
+            "frozen", "dpdk-acl", "efficuts", "adaptive", "tcam", "vectorized",
         }
         for cls in MATCHER_KINDS.values():
             assert isinstance(cls, type)
@@ -117,6 +117,74 @@ class TestEveryKind:
         for query, got in zip(queries, engine.lookup_batch(queries)):
             assert_same_result(oracle_lookup(entries, query), got)
         assert not engine.delete(key)  # already gone; no-op
+
+    # -- lookup_batch edge cases ----------------------------------------
+
+    def test_empty_batch(self, kind):
+        entries = random_entries(20, KEY_LENGTH, seed=8)
+        matcher = build_matcher(kind, entries, KEY_LENGTH)
+        assert matcher.lookup_batch([]) == []
+        engine = ClassificationEngine(matcher, cache_size=8)
+        assert engine.lookup_batch([]) == []
+        assert engine.last_batch.queries == 0
+        assert engine.last_batch.hit_ratio == 0.0
+
+    def test_all_duplicate_batch(self, kind):
+        entries = random_entries(30, KEY_LENGTH, seed=9)
+        matcher = build_matcher(kind, entries, KEY_LENGTH)
+        query = _queries(1, seed=10)[0]
+        expected = oracle_lookup(entries, query)
+        for got in matcher.lookup_batch([query] * 64):
+            assert_same_result(expected, got)
+        engine = ClassificationEngine(
+            build_matcher(kind, entries, KEY_LENGTH), cache_size=8
+        )
+        for got in engine.lookup_batch([query] * 64):
+            assert_same_result(expected, got)
+        # one distinct query: the matcher is asked exactly once
+        assert engine.last_batch.matcher_queries == 1
+        # a second identical burst is answered entirely from the cache
+        for got in engine.lookup_batch([query] * 64):
+            assert_same_result(expected, got)
+        assert engine.last_batch.cache_hits == 64
+
+    def test_batch_equal_to_cache_size(self, kind):
+        entries = random_entries(30, KEY_LENGTH, seed=12)
+        size = 32
+        engine = ClassificationEngine(
+            build_matcher(kind, entries, KEY_LENGTH), cache_size=size
+        )
+        queries = list(dict.fromkeys(_queries(200, seed=13)))[:size]
+        assert len(queries) == size
+        engine.lookup_batch(queries)
+        assert len(engine.cache) == size
+        assert engine.stats.cache_evictions == 0
+        # the same burst again is answered entirely from the cache
+        for query, got in zip(queries, engine.lookup_batch(queries)):
+            assert_same_result(oracle_lookup(entries, query), got)
+        assert engine.last_batch.cache_hits == size
+
+    def test_batches_interleaved_with_updates(self, kind):
+        if kind in BUILD_ONLY:
+            pytest.skip(f"{kind} is build-only (no incremental updates)")
+        entries = random_entries(25, KEY_LENGTH, seed=14)
+        matcher = build_matcher(kind, entries, KEY_LENGTH)
+        engine = ClassificationEngine(matcher, cache_size=64)
+        queries = _queries(120, seed=15)
+        rng = random.Random(16)
+        for round_ in range(4):
+            for query, got in zip(queries, engine.lookup_batch(queries)):
+                assert_same_result(oracle_lookup(entries, query), got)
+            if round_ % 2 == 0:
+                # a key with the low 4 bits wild, the rest exact
+                key = TernaryKey(rng.getrandbits(KEY_LENGTH) & ~0xF, 0xF, KEY_LENGTH)
+                new = TernaryEntry(key, 500 + round_, 5_000 + round_)
+                engine.insert(new)
+                entries = entries + [new]
+            else:
+                victim = entries[-1]
+                assert engine.delete(victim.key)
+                entries = entries[:-1]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,381 @@
+"""The frozen struct-of-arrays lookup plane.
+
+The load-bearing property is differential: a :class:`FrozenMatcher`
+compiled from a built trie must return *identical* results (``lookup``,
+``lookup_all``, ``lookup_batch``) to its source on fuzzed tables and on
+ClassBench workloads — same winning entry object, not just the same
+priority — because freezing is a representation change, not an
+algorithm change.  On top of that: the PLMF wire format round-trips,
+corruption is detected, lazy re-freezing after updates stays coherent,
+and both batch walks (numpy and pure-python) agree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
+
+from repro import MATCHER_KINDS, ClassificationEngine, build_matcher
+from repro.core.frozen import FrozenMatcher, FrozenPoptrie, freeze
+from repro.core.multibit import MultibitPalmtrie
+from repro.core.plus import PalmtriePlus
+from repro.core.poptrie import Poptrie
+from repro.core.serialize import (
+    FormatError,
+    deserialize_frozen,
+    load_frozen,
+    save_frozen,
+    serialize_frozen,
+)
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+
+KEY_LENGTH = 32
+
+
+def _queries(count: int, seed: int = 0, bits: int = KEY_LENGTH) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(bits) for _ in range(count)]
+
+
+def _biased_queries(entries, count: int, seed: int = 0) -> list[int]:
+    """Half random, half forced to match some entry (flips don't-care bits)."""
+    rng = random.Random(seed)
+    queries = []
+    for i in range(count):
+        if entries and i % 2:
+            e = entries[rng.randrange(len(entries))]
+            wild = rng.getrandbits(e.key.length) & e.key.mask
+            queries.append(e.key.data | wild)
+        else:
+            queries.append(rng.getrandbits(entries[0].key.length if entries else 16))
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Construction and the freeze() dispatcher
+# ----------------------------------------------------------------------
+
+class TestConstruction:
+    def test_build_classmethod(self):
+        entries = table1_entries()
+        frozen = FrozenMatcher.build(entries, 8, stride=4)
+        assert frozen.name == "frozen"
+        assert len(frozen) == len(entries)
+        assert frozen.key_length == 8
+
+    def test_freeze_dispatcher_accepts_the_trie_family(self):
+        entries = random_entries(20, KEY_LENGTH, seed=1)
+        for source in (
+            MultibitPalmtrie.build(entries, KEY_LENGTH, stride=4),
+            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
+        ):
+            frozen = freeze(source)
+            assert isinstance(frozen, FrozenMatcher)
+            assert len(frozen) == len(entries)
+
+    def test_freeze_poptrie(self):
+        pt = Poptrie(key_length=32)
+        pt.insert(0b1010, 4, "a")
+        assert isinstance(freeze(pt), FrozenPoptrie)
+
+    def test_freeze_rejects_non_trie(self):
+        with pytest.raises(TypeError):
+            freeze(build_matcher("sorted-list", table1_entries(), 8))
+
+    def test_freeze_of_frozen_is_idempotent(self):
+        frozen = FrozenMatcher.build(table1_entries(), 8)
+        assert freeze(frozen) is frozen
+
+    def test_registry_and_build_matcher(self):
+        assert MATCHER_KINDS["frozen"] is FrozenMatcher
+        matcher = build_matcher("frozen", table1_entries(), 8, stride=4)
+        assert isinstance(matcher, FrozenMatcher)
+
+    def test_stride_bounds(self):
+        with pytest.raises(ValueError):
+            FrozenMatcher(8, stride=0)
+        with pytest.raises(ValueError):
+            FrozenMatcher(8, stride=31)
+
+    def test_empty_table(self):
+        frozen = FrozenMatcher.build([], KEY_LENGTH)
+        assert len(frozen) == 0
+        assert frozen.lookup(123) is None
+        assert frozen.lookup_all(123) == []
+        assert frozen.lookup_batch([1, 2, 3]) == [None, None, None]
+
+
+# ----------------------------------------------------------------------
+# Differential: frozen vs source vs oracle
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("source_kind", ["palmtrie", "palmtrie-plus"])
+class TestDifferentialFuzz:
+    def _build(self, source_kind, seed):
+        entries = random_entries(50 + 17 * seed, KEY_LENGTH, seed=seed)
+        source = build_matcher(source_kind, entries, KEY_LENGTH, stride=4 + seed % 3)
+        return entries, source, freeze(source)
+
+    def test_lookup_identical_to_source(self, source_kind, seed):
+        entries, source, frozen = self._build(source_kind, seed)
+        for query in _biased_queries(entries, 400, seed=seed + 100):
+            expected = source.lookup(query)
+            got = frozen.lookup(query)
+            # identical object, not just the same priority: freezing
+            # must preserve the tie winner too
+            assert got is expected or (
+                got is not None and expected is not None
+                and got.priority == expected.priority
+                and got.value == expected.value
+            )
+            assert_same_result(oracle_lookup(entries, query), got)
+
+    def test_lookup_all_identical(self, source_kind, seed):
+        entries, source, frozen = self._build(source_kind, seed)
+        for query in _biased_queries(entries, 150, seed=seed + 200):
+            expected = sorted(
+                (e for e in entries if e.key.matches(query)),
+                key=lambda e: e.priority, reverse=True,
+            )
+            got = frozen.lookup_all(query)
+            assert [e.priority for e in got] == [e.priority for e in expected]
+            assert {(e.priority, e.value) for e in got} == {
+                (e.priority, e.value) for e in expected
+            }
+
+    def test_lookup_batch_identical(self, source_kind, seed):
+        entries, source, frozen = self._build(source_kind, seed)
+        queries = _biased_queries(entries, 300, seed=seed + 300)
+        scalar = [frozen.lookup(q) for q in queries]
+        assert frozen.lookup_batch(queries) == scalar
+
+
+class TestDifferentialClassBench:
+    @pytest.mark.parametrize("profile", ["acl", "fw", "ipc"])
+    def test_classbench_workload(self, profile):
+        from repro.workloads.classbench import classbench_acl
+        from repro.workloads.traffic import pareto_trace
+
+        acl = classbench_acl(profile, 120)
+        source = PalmtriePlus.build(acl.entries, acl.layout.length, stride=8)
+        frozen = freeze(source)
+        queries = pareto_trace(acl.entries, 600)
+        expected = [source.lookup(q) for q in queries]
+        assert [frozen.lookup(q) for q in queries] == expected
+        assert frozen.lookup_batch(queries) == expected
+
+
+class TestBatchPaths:
+    def test_numpy_and_python_walks_agree(self):
+        entries = random_entries(60, KEY_LENGTH, seed=7)
+        frozen = FrozenMatcher.build(entries, KEY_LENGTH, stride=6)
+        queries = _biased_queries(entries, 500, seed=8)
+        via_default = frozen.lookup_batch(queries)
+        python_only = frozen._batch_walk_python(list(dict.fromkeys(queries)))
+        by_query = dict(zip(dict.fromkeys(queries), python_only))
+        assert via_default == [by_query[q] for q in queries]
+
+    def test_batch_empty_and_duplicates(self):
+        frozen = FrozenMatcher.build(table1_entries(), 8)
+        assert frozen.lookup_batch([]) == []
+        results = frozen.lookup_batch([0b00010101] * 10)
+        assert len(set(id(r) for r in results)) == 1  # deduplicated resolve
+
+
+# ----------------------------------------------------------------------
+# Mutability: lazy re-freeze
+# ----------------------------------------------------------------------
+
+class TestLazyRefreeze:
+    def test_insert_refreezes_on_next_lookup(self):
+        entries = random_entries(20, KEY_LENGTH, seed=20)
+        frozen = FrozenMatcher.build(entries, KEY_LENGTH)
+        count = frozen.freeze_count
+        key = TernaryKey(0, (1 << KEY_LENGTH) - 1, KEY_LENGTH)  # match-all
+        frozen.insert(TernaryEntry(key, "new", 10_000))
+        assert frozen.lookup(_queries(1, seed=21)[0]).priority == 10_000
+        assert frozen.freeze_count == count + 1
+        assert len(frozen) == 21
+
+    def test_delete(self):
+        entries = random_entries(20, KEY_LENGTH, seed=22)
+        frozen = FrozenMatcher.build(entries, KEY_LENGTH)
+        victim = entries[5]
+        assert frozen.delete(victim.key)
+        remaining = [e for e in entries if e is not victim]
+        for query in _biased_queries(remaining, 200, seed=23):
+            assert_same_result(oracle_lookup(remaining, query), frozen.lookup(query))
+        assert not frozen.delete(victim.key)
+
+    def test_entries_roundtrip(self):
+        entries = random_entries(15, KEY_LENGTH, seed=24)
+        frozen = FrozenMatcher.build(entries, KEY_LENGTH)
+        assert {(e.key, e.priority) for e in frozen.entries()} == {
+            (e.key, e.priority) for e in entries
+        }
+
+
+# ----------------------------------------------------------------------
+# PLMF wire format
+# ----------------------------------------------------------------------
+
+class TestSerialization:
+    def _frozen(self, seed=30, count=40):
+        entries = random_entries(count, KEY_LENGTH, seed=seed)
+        return entries, FrozenMatcher.build(entries, KEY_LENGTH, stride=5)
+
+    def test_roundtrip_is_byte_identical(self):
+        _, frozen = self._frozen()
+        blob = serialize_frozen(frozen)
+        assert serialize_frozen(deserialize_frozen(blob)) == blob
+
+    def test_loaded_plane_serves_without_rebuild(self):
+        entries, frozen = self._frozen(seed=31)
+        loaded = deserialize_frozen(serialize_frozen(frozen))
+        assert loaded._source is None  # serves without rebuilding a trie
+        for query in _biased_queries(entries, 300, seed=32):
+            assert_same_result(frozen.lookup(query), loaded.lookup(query))
+        queries = _biased_queries(entries, 100, seed=33)
+        assert [e.priority if e else None for e in loaded.lookup_batch(queries)] == [
+            e.priority if e else None for e in frozen.lookup_batch(queries)
+        ]
+
+    def test_loaded_plane_hydrates_on_insert(self):
+        entries, frozen = self._frozen(seed=34, count=12)
+        loaded = deserialize_frozen(serialize_frozen(frozen))
+        key = TernaryKey(0, (1 << KEY_LENGTH) - 1, KEY_LENGTH)
+        loaded.insert(TernaryEntry(key, "late", 99_999))
+        assert loaded.lookup(5).priority == 99_999
+        assert len(loaded) == 13
+
+    def test_save_load_file(self, tmp_path):
+        entries, frozen = self._frozen(seed=35)
+        path = tmp_path / "plane.plmf"
+        written = save_frozen(frozen, path)
+        assert written == path.stat().st_size
+        loaded = load_frozen(path)
+        for query in _queries(100, seed=36):
+            assert_same_result(frozen.lookup(query), loaded.lookup(query))
+
+    def test_corruption_detected(self):
+        _, frozen = self._frozen(seed=37)
+        blob = serialize_frozen(frozen)
+        with pytest.raises(FormatError):
+            deserialize_frozen(blob[: len(blob) // 2])  # truncated
+        with pytest.raises(FormatError):
+            deserialize_frozen(b"XXXX" + blob[4:])  # bad magic
+        with pytest.raises(FormatError):
+            deserialize_frozen(blob + b"\x00")  # trailing garbage
+
+    def test_memory_model_survives_roundtrip(self):
+        _, frozen = self._frozen(seed=38)
+        loaded = deserialize_frozen(serialize_frozen(frozen))
+        assert loaded.memory_bytes() == frozen.memory_bytes()
+
+
+# ----------------------------------------------------------------------
+# Engine integration (auto_freeze)
+# ----------------------------------------------------------------------
+
+class TestEngineAutoFreeze:
+    def test_plane_appears_and_serves(self):
+        entries = random_entries(30, KEY_LENGTH, seed=40)
+        engine = ClassificationEngine(
+            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
+            cache_size=16, auto_freeze=True,
+        )
+        report = engine.report()
+        assert report["auto_freeze"] and not report["frozen_plane_active"]
+        for query in _biased_queries(entries, 200, seed=41):
+            assert_same_result(oracle_lookup(entries, query), engine.lookup(query))
+        report = engine.report()
+        assert report["frozen_plane_active"] and report["freezes"] == 1
+
+    def test_updates_drop_and_refreeze_plane(self):
+        entries = random_entries(25, KEY_LENGTH, seed=42)
+        engine = ClassificationEngine(
+            MultibitPalmtrie.build(entries, KEY_LENGTH, stride=4),
+            cache_size=0, auto_freeze=True,
+        )
+        queries = _biased_queries(entries, 100, seed=43)
+        engine.lookup_batch(queries)
+        key = TernaryKey(0, (1 << KEY_LENGTH) - 1, KEY_LENGTH)
+        new = TernaryEntry(key, "hot", 50_000)
+        engine.insert(new)
+        assert not engine.report()["frozen_plane_active"]
+        entries = entries + [new]
+        for query, got in zip(queries, engine.lookup_batch(queries)):
+            assert_same_result(oracle_lookup(entries, query), got)
+        report = engine.report()
+        assert report["frozen_plane_active"] and report["freezes"] == 2
+        assert engine.delete(key)
+        entries = entries[:-1]
+        for query, got in zip(queries, engine.lookup_batch(queries)):
+            assert_same_result(oracle_lookup(entries, query), got)
+
+    def test_unfreezable_matcher_falls_back(self):
+        engine = ClassificationEngine(
+            build_matcher("sorted-list", table1_entries(), 8),
+            cache_size=4, auto_freeze=True,
+        )
+        for query in range(64):
+            assert_same_result(
+                oracle_lookup(table1_entries(), query), engine.lookup(query)
+            )
+        report = engine.report()
+        assert not report["frozen_plane_active"] and report["freezes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Instrumentation and introspection
+# ----------------------------------------------------------------------
+
+class TestObservability:
+    def test_profile_lookup_counts_work(self):
+        entries = table1_entries()
+        frozen = FrozenMatcher.build(entries, 8, stride=4)
+        frozen.stats.reset()
+        result = frozen.profile_lookup(0b00010101)
+        assert_same_result(oracle_lookup(entries, 0b00010101), result)
+        assert frozen.stats.lookups == 1
+        assert frozen.stats.node_visits > 0
+        assert frozen.stats.key_comparisons > 0
+
+    def test_memory_bytes_positive_and_tracks_arrays(self):
+        entries = random_entries(40, KEY_LENGTH, seed=50)
+        frozen = FrozenMatcher.build(entries, KEY_LENGTH, stride=6)
+        assert frozen.memory_bytes() > 0
+        bigger = FrozenMatcher.build(
+            random_entries(80, KEY_LENGTH, seed=50), KEY_LENGTH, stride=6
+        )
+        assert bigger.memory_bytes() > frozen.memory_bytes()
+
+
+# ----------------------------------------------------------------------
+# FrozenPoptrie
+# ----------------------------------------------------------------------
+
+class TestFrozenPoptrie:
+    def test_matches_source_on_random_prefixes(self):
+        rng = random.Random(60)
+        pt = Poptrie(key_length=32)
+        for i in range(200):
+            plen = rng.randrange(1, 25)
+            pt.insert(rng.getrandbits(plen), plen, i)
+        frozen = freeze(pt)
+        for _ in range(2000):
+            q = rng.getrandbits(32)
+            assert frozen.lookup(q) == pt.lookup(q)
+
+    def test_memory_model_matches_source(self):
+        rng = random.Random(61)
+        pt = Poptrie(key_length=32)
+        for i in range(50):
+            plen = rng.randrange(1, 20)
+            pt.insert(rng.getrandbits(plen), plen, i)
+        assert freeze(pt).memory_bytes() <= pt.memory_bytes() * 2
