@@ -57,7 +57,7 @@ from .core import (
     save_frozen,
 )
 from .core.table import matcher_kinds
-from .engine import BatchReport, ClassificationEngine, FlowCache
+from .engine import BatchReport, ClassificationEngine, FlowCache, UpdateReport
 from .packet import PacketHeader, decode_packet, encode_packet
 
 #: public registry of matcher kinds: ``{kind name: matcher class}``.
@@ -97,6 +97,7 @@ __all__ = [
     "TernaryEntry",
     "TernaryKey",
     "TernaryMatcher",
+    "UpdateReport",
     "VectorizedMatcher",
     "build_matcher",
     "compile_acl",

@@ -104,6 +104,17 @@ class StatefulFirewall:
         """The wrapped ACL matcher (kept for callers of the old name)."""
         return self.engine.matcher
 
+    def replace_acl(
+        self, acl: CompiledAcl, matcher: Optional[TernaryMatcher] = None
+    ) -> None:
+        """Swap in a recompiled ACL atomically.  Established connections
+        keep their state (the real-system behaviour: policy changes
+        gate *new* flows); only flow-table misses consult the new ACL."""
+        self.acl = acl
+        self.engine.replace_matcher(
+            matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8)
+        )
+
     # ------------------------------------------------------------------
 
     def check(self, header: PacketHeader, timestamp: float = 0.0) -> Action:

@@ -143,17 +143,23 @@ class Firewall:
 
     def replace_policy(self, rules: Sequence[AclRule]) -> None:
         """Swap in a new rule list (counters reset, matcher rebuilt,
-        flow cache flushed)."""
+        flow cache flushed).
+
+        The rebuilt matcher is swapped into the *existing* engine
+        atomically, so the engine's cumulative lookup statistics and
+        its ``policy_swaps`` record survive the swap; the per-rule and
+        implicit-default counters (and decode error count) describe the
+        old policy and are reset.
+        """
         self.acl = compile_acl(list(rules), layout=self.acl.layout)
-        self.engine = ClassificationEngine(
+        self.engine.replace_matcher(
             PalmtriePlus.build(
                 self.acl.entries, self.acl.layout.length, stride=self._matcher.stride
-            ),
-            cache_size=self.engine.cache.capacity,
-            auto_freeze=self.engine.auto_freeze,
+            )
         )
         self._counters = [RuleCounter(rule) for rule in self.acl.rules]
         self.default_hits = 0
+        self.decode_errors = 0
 
     def rule_hits(self, index: int) -> int:
         return self._counters[index].packets

@@ -96,6 +96,25 @@ class FlowMonitor:
         """The wrapped classifier (kept for callers of the old name)."""
         return self.engine.matcher
 
+    def apply_updates(self, ops: Iterable[Any]):
+        """Transactionally change the classification rules (one pass,
+        one cache sweep — see :meth:`ClassificationEngine.apply_updates`).
+        Existing flow records keep the class they were admitted under;
+        only packets classified after the update see the new rules."""
+        return self.engine.apply_updates(ops)
+
+    def replace_rules(
+        self,
+        entries: Iterable[TernaryEntry],
+        key_length: int = 128,
+        matcher: Optional[TernaryMatcher] = None,
+    ) -> None:
+        """Swap the whole classifier atomically (engine statistics and
+        active flow records survive the swap)."""
+        self.engine.replace_matcher(
+            matcher or PalmtriePlus.build(list(entries), key_length, stride=8)
+        )
+
     # ------------------------------------------------------------------
 
     def observe(self, header: PacketHeader, length: int = 0, timestamp: float = 0.0) -> FlowRecord:

@@ -133,6 +133,17 @@ class L3Forwarder:
 
     # ------------------------------------------------------------------
 
+    def replace_acl(
+        self, acl: CompiledAcl, matcher: Optional[TernaryMatcher] = None
+    ) -> None:
+        """Swap in a recompiled ACL atomically (new matcher, flushed
+        flow cache) while the pipeline's forwarding statistics and the
+        engine's cumulative lookup record carry over."""
+        self.acl = acl
+        self.engine.replace_matcher(
+            matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8)
+        )
+
     def add_route(self, prefix_bits: int, prefix_len: int, out_port: int) -> None:
         self.rib.insert(prefix_bits, prefix_len, out_port)
 

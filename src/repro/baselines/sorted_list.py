@@ -37,6 +37,7 @@ class SortedListMatcher(TernaryMatcher):
         position = bisect.bisect_left(self._neg_priorities, -entry.priority)
         self._entries.insert(position, entry)
         self._neg_priorities.insert(position, -entry.priority)
+        self.generation += 1
 
     def delete(self, key: TernaryKey) -> bool:
         kept = [e for e in self._entries if e.key != key]
@@ -44,6 +45,7 @@ class SortedListMatcher(TernaryMatcher):
             return False
         self._entries = kept
         self._neg_priorities = [-e.priority for e in kept]
+        self.generation += 1
         return True
 
     def lookup(self, query: int) -> Optional[TernaryEntry]:

@@ -86,12 +86,14 @@ class TcamModel(TernaryMatcher):
         while position < len(self._slots) and self._slots[position].priority >= entry.priority:
             position += 1
         self._slots.insert(position, entry)
+        self.generation += 1
 
     def delete(self, key: TernaryKey) -> bool:
         kept = [e for e in self._slots if e.key != key]
         if len(kept) == len(self._slots):
             return False
         self._slots = kept
+        self.generation += 1
         return True
 
     def lookup(self, query: int) -> Optional[TernaryEntry]:

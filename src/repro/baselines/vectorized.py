@@ -59,6 +59,7 @@ class VectorizedMatcher(TernaryMatcher):
             )
         self._entries.append(entry)
         self._dirty = True
+        self.generation += 1
 
     def delete(self, key: TernaryKey) -> bool:
         kept = [e for e in self._entries if e.key != key]
@@ -66,6 +67,7 @@ class VectorizedMatcher(TernaryMatcher):
             return False
         self._entries = kept
         self._dirty = True
+        self.generation += 1
         return True
 
     def _pack(self) -> None:

@@ -257,12 +257,60 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if not queries:
         print("no packets to replay", file=sys.stderr)
         return 2
+    if args.update_rate < 0:
+        print("error: --update-rate must be >= 0", file=sys.stderr)
+        return 2
+    # Churn workload: at R updates/packet, each batch carries one
+    # update transaction that inserts fresh canary rules (exact-match
+    # keys taken from the trace, priority below every real rule so
+    # verdicts are unchanged) and deletes the previous batch's.  This
+    # exercises the transactional update plane under replay load.
+    from .core.table import TernaryEntry
+    from .core.ternary import TernaryKey
+
+    key_length = compiled.layout.length
+    canary_cursor = 0
+    previous_canaries: list[TernaryKey] = []
+    churn_budget = 0.0
+
+    def _churn(batch_queries: list) -> None:
+        nonlocal canary_cursor, previous_canaries, churn_budget
+        churn_budget += len(batch_queries) * args.update_rate
+        pending = int(churn_budget)
+        if pending <= 0:
+            return
+        churn_budget -= pending
+        canaries = []
+        for _ in range(pending):
+            key = TernaryKey.exact(queries[canary_cursor % len(queries)], key_length)
+            canary_cursor += 1
+            canaries.append(key)
+        ops: list = [
+            ("insert", TernaryEntry(key=key, value=-1, priority=-1)) for key in canaries
+        ]
+        ops.extend(("delete", key) for key in previous_canaries)
+        engine.apply_updates(ops)
+        previous_canaries = canaries
+
     verdicts = {"permit": 0, "deny": 0, "implicit-deny": 0}
     batch = max(1, args.batch_size)
     start = time.perf_counter()
     for offset in range(0, len(queries), batch):
-        for entry in engine.lookup_batch(queries[offset : offset + batch]):
-            if entry is None:
+        burst = queries[offset : offset + batch]
+        if args.update_rate:
+            try:
+                _churn(burst)
+            except NotImplementedError:
+                print(
+                    f"error: matcher {args.matcher!r} does not support "
+                    "incremental updates; --update-rate needs an updatable kind",
+                    file=sys.stderr,
+                )
+                return 2
+        for entry in engine.lookup_batch(burst):
+            if entry is None or entry.value == -1:
+                # Canary rules (value -1) permit nothing; count their
+                # hits with the implicit denies.
                 verdicts["implicit-deny"] += 1
             else:
                 verdicts[compiled.rules[entry.value].action.value] += 1
@@ -279,6 +327,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{report['cache_evictions']} evictions "
         f"(batch size {batch})"
     )
+    if args.update_rate:
+        print(
+            f"  updates        {report['updates_applied']} applied in "
+            f"{report['update_batches']} transactions "
+            f"({report['cache_rows_invalidated']} cache rows invalidated, "
+            f"{report['targeted_invalidations']} targeted / "
+            f"{report['lazy_invalidations']} lazy sweeps, "
+            f"generation {report['generation']})"
+        )
     if args.freeze:
         state = "active" if report["frozen_plane_active"] else "unavailable"
         print(f"  frozen plane   {state} ({report['freezes']} freezes)")
@@ -406,6 +463,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--freeze", action="store_true",
         help="compile the matcher into its frozen struct-of-arrays plane "
              "before replaying (Palmtrie family only; others fall back)",
+    )
+    p_replay.add_argument(
+        "--update-rate", type=float, default=0.0,
+        help="policy updates per replayed packet (e.g. 0.01 = 1%% churn): "
+             "each batch applies one transactional update of low-priority "
+             "canary rules, exercising the update plane under load",
     )
     p_replay.set_defaults(func=_cmd_replay)
 

@@ -103,6 +103,7 @@ class AdaptiveMatcher(TernaryMatcher):
             )
         self._entries.append(entry)
         self._inner.insert(entry)
+        self.generation += 1
         self._resize()
 
     def delete(self, key: TernaryKey) -> bool:
@@ -112,6 +113,7 @@ class AdaptiveMatcher(TernaryMatcher):
         self._entries = kept
         if not self._inner.delete(key):  # pragma: no cover - inner mirrors us
             raise AssertionError("inner structure out of sync")
+        self.generation += 1
         self._resize()
         return True
 

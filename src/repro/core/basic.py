@@ -89,6 +89,7 @@ class BasicPalmtrie(TernaryMatcher):
     def insert(self, entry: TernaryEntry) -> None:
         self._check_entry(entry)
         self._size += 1
+        self.generation += 1
         if self._root is None:
             self._root = _Leaf(entry)
             return
@@ -146,6 +147,7 @@ class BasicPalmtrie(TernaryMatcher):
         if node is None or node.key != key:
             return False
         self._size -= len(node.entries)
+        self.generation += 1
         if parent is None:
             self._root = None
             return True

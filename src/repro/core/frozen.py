@@ -116,9 +116,11 @@ class FrozenMatcher(TernaryMatcher):
             key_length, stride=stride, subtree_skipping=subtree_skipping
         )
         self._pending_entries: Optional[list[TernaryEntry]] = None
+        # The first freeze is deferred: ``build()`` (or the first
+        # lookup) performs it, so constructing-then-bulk-inserting does
+        # not compile an empty plane just to throw it away.
         self._dirty = True
         self._freeze_count = 0
-        self._refreeze()
 
     # ------------------------------------------------------------------
     # Construction
@@ -172,12 +174,38 @@ class FrozenMatcher(TernaryMatcher):
         """Update the retained source; the plane re-freezes on next lookup."""
         self._hydrate_source().insert(entry)
         self._dirty = True
+        self.generation += 1
 
     def delete(self, key: TernaryKey) -> bool:
         removed = self._hydrate_source().delete(key)
         if removed:
             self._dirty = True
+            self.generation += 1
         return removed
+
+    def bulk_update(self, ops: Iterable[tuple[str, Any]]) -> tuple[int, int, int]:
+        """Apply many inserts/deletes with one source pass and one
+        deferred re-freeze.
+
+        ``ops`` is a sequence of ``("insert", TernaryEntry)`` /
+        ``("delete", TernaryKey)`` pairs; the plane is marked stale (and
+        the generation bumped) exactly once.  Returns ``(inserted,
+        deleted, missing_deletes)``.
+        """
+        source = self._hydrate_source()
+        inserted = deleted = missing = 0
+        for op, payload in ops:
+            if op == "insert":
+                source.insert(payload)
+                inserted += 1
+            elif source.delete(payload):
+                deleted += 1
+            else:
+                missing += 1
+        if inserted or deleted:
+            self._dirty = True
+            self.generation += 1
+        return inserted, deleted, missing
 
     # -- the freeze compiler --------------------------------------------
 

@@ -229,6 +229,7 @@ class MultibitPalmtrie(TernaryMatcher):
             node.set(kind, index, split)
             break
         self._size += 1
+        self.generation += 1
 
     def remove_entry(self, entry: TernaryEntry) -> bool:
         """Remove one specific entry (key + value + priority).
@@ -248,6 +249,7 @@ class MultibitPalmtrie(TernaryMatcher):
             return self.delete(entry.key)
         leaf.remove(entry)
         self._size -= 1
+        self.generation += 1
         self._refresh_max_priorities(entry.key)
         return True
 
@@ -318,6 +320,7 @@ class MultibitPalmtrie(TernaryMatcher):
             parent.max_priority = max(
                 (c.max_priority for c in children), default=-1
             )
+        self.generation += 1
         return True
 
     # ------------------------------------------------------------------

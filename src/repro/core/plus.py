@@ -84,7 +84,11 @@ class PalmtriePlus(TernaryMatcher):
         # table defers that rebuild until the first mutation.
         self._pending_entries: Optional[list[TernaryEntry]] = None
         self._ternary_slots = self._source._ternary_slots
-        self.compile()
+        # The first compile is deferred: ``build()`` (or the first
+        # lookup) performs it, so constructing-then-bulk-inserting does
+        # not compile an empty trie just to throw it away.
+        self._compile_count = 0
+        self._dirty = True
 
     # ------------------------------------------------------------------
     # Construction: updates go to the source trie, then recompile.
@@ -103,6 +107,7 @@ class PalmtriePlus(TernaryMatcher):
         plus._dirty = True
         plus._pending_entries = None
         plus._ternary_slots = source._ternary_slots
+        plus._compile_count = 0
         plus.compile()
         return plus
 
@@ -136,12 +141,14 @@ class PalmtriePlus(TernaryMatcher):
         self._hydrate_source()
         self._source.insert(entry)
         self._dirty = True
+        self.generation += 1
 
     def delete(self, key: TernaryKey) -> bool:
         self._hydrate_source()
         removed = self._source.delete(key)
         if removed:
             self._dirty = True
+            self.generation += 1
         return removed
 
     def remove_entry(self, entry: TernaryEntry) -> bool:
@@ -150,7 +157,34 @@ class PalmtriePlus(TernaryMatcher):
         removed = self._source.remove_entry(entry)
         if removed:
             self._dirty = True
+            self.generation += 1
         return removed
+
+    def bulk_update(self, ops: Iterable[tuple[str, Any]]) -> tuple[int, int, int]:
+        """Apply many inserts/deletes with one source pass and one
+        deferred recompile.
+
+        ``ops`` is a sequence of ``("insert", TernaryEntry)`` /
+        ``("delete", TernaryKey)`` pairs.  The source trie is hydrated
+        once, every op is applied to it, and the compressed form is
+        marked stale exactly once — the per-op path would pay the
+        hydration check and dirty bookkeeping N times.  Returns
+        ``(inserted, deleted, missing_deletes)``.
+        """
+        self._hydrate_source()
+        inserted = deleted = missing = 0
+        for op, payload in ops:
+            if op == "insert":
+                self._source.insert(payload)
+                inserted += 1
+            elif self._source.delete(payload):
+                deleted += 1
+            else:
+                missing += 1
+        if inserted or deleted:
+            self._dirty = True
+            self.generation += 1
+        return inserted, deleted, missing
 
     def compile(self) -> None:
         """Rebuild the node array from the source trie (compilation part
@@ -185,6 +219,12 @@ class PalmtriePlus(TernaryMatcher):
         self._nodes = nodes
         self._root = root
         self._dirty = False
+        self._compile_count += 1
+
+    @property
+    def compile_count(self) -> int:
+        """Compilations performed so far (the §3.6/§4.4 update cost)."""
+        return self._compile_count
 
     @staticmethod
     def _compile_shallow(src: Any) -> _PlusNode:

@@ -254,6 +254,8 @@ def deserialize_plus(data: bytes) -> PalmtriePlus:
     matcher._root = nodes[root_index]
     matcher._nodes = nodes[:root_index]
     matcher._dirty = False
+    # The decoded arrays stand in for the build-time compile.
+    matcher._compile_count = 1
     return matcher
 
 

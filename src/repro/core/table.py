@@ -94,6 +94,15 @@ class TernaryMatcher(abc.ABC):
             raise ValueError(f"key length must be positive, got {key_length}")
         self.key_length = key_length
         self.stats = LookupStats()
+        #: monotonically increasing content version.  Every successful
+        #: mutation (``insert``, ``delete``, ``remove_entry``, bulk
+        #: updates) bumps it, so layers stacked above a matcher — the
+        #: :class:`repro.engine.ClassificationEngine` flow cache and
+        #: frozen plane — can detect staleness with one integer compare
+        #: even when callers mutate the matcher directly.  Recompiles
+        #: (``compile``/refreeze) do not bump it: the logical content is
+        #: unchanged.
+        self.generation = 0
 
     # -- construction ---------------------------------------------------
 

@@ -21,6 +21,31 @@ turns any :class:`~repro.core.table.TernaryMatcher` into that shape:
   :class:`~repro.core.table.LookupStats`, and per-batch work counts and
   throughput are kept for the benchmark harness and the CLI.
 
+The *update plane* makes policy churn first-class.  The paper's update
+cost model (§3.6, §4.4) is that a Palmtrie+ update is an update of the
+retained source trie plus a recompile; this engine adds the serving
+half of that story:
+
+* :meth:`apply_updates` (and the :meth:`update_batch` context manager)
+  applies many inserts/deletes as one transaction — one pass over the
+  source trie, one cache-invalidation sweep, one deferred
+  recompile/re-freeze — where N scalar calls would pay each cost N
+  times;
+* every matcher carries a monotonic ``generation`` counter bumped on
+  content changes; the engine stamps the flow cache and frozen plane
+  with the generation they were filled under and re-checks it in O(1)
+  at the top of every lookup, so results stay coherent even when a
+  caller mutates the matcher directly (``engine.matcher.insert(...)``)
+  behind the engine's back;
+* above ``invalidation_threshold`` cached rows, the per-update targeted
+  ternary sweep (O(cache) matches per changed key) is replaced by
+  *lazy* invalidation: the engine leaves its generation stamp stale and
+  the next lookup drops the whole cache once;
+* :meth:`replace_matcher` swaps in a rebuilt policy atomically — new
+  matcher, fresh plane, cleared cache — while cumulative lookup
+  statistics carry over (the apps' ``replace_policy`` paths route
+  through it).
+
 The apps layer (``Firewall``, ``FlowMonitor``, ``L3Forwarder``,
 ``StatefulFirewall``) classifies through this engine.
 """
@@ -30,15 +55,20 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from .core.table import LookupStats, TernaryEntry, TernaryMatcher
 from .core.ternary import TernaryKey
 
-__all__ = ["FlowCache", "BatchReport", "ClassificationEngine"]
+__all__ = ["FlowCache", "BatchReport", "UpdateReport", "ClassificationEngine"]
 
 #: distinguishes "not cached" from a cached no-match (None) result
 _MISSING = object()
+
+#: smallest measurable perf_counter interval; timing shorter than this
+#: reads as 0.0, so throughput math clamps to it instead of reporting
+#: a rate of zero for work that completed between two clock ticks.
+_TIMER_TICK = time.get_clock_info("perf_counter").resolution or 1e-9
 
 
 class FlowCache:
@@ -92,6 +122,27 @@ class FlowCache:
             del self._map[query]
         return len(stale)
 
+    def invalidate_many(self, keys: Sequence[TernaryKey]) -> int:
+        """Evict every cached query any of these ternary keys matches.
+
+        One sweep over the cache testing all changed keys per row —
+        the batched form of :meth:`invalidate`, so a transaction of N
+        updates pays one cache pass instead of N.
+        """
+        if not keys:
+            return 0
+        if len(keys) == 1:
+            return self.invalidate(keys[0])
+        matchers = [key.matches for key in keys]
+        stale = [
+            query
+            for query in self._map
+            if any(matches(query) for matches in matchers)
+        ]
+        for query in stale:
+            del self._map[query]
+        return len(stale)
+
     def clear(self) -> int:
         """Drop everything; returns the number of entries dropped."""
         dropped = len(self._map)
@@ -124,7 +175,68 @@ class BatchReport:
 
     @property
     def queries_per_second(self) -> float:
-        return self.queries / self.seconds if self.seconds > 0 else 0.0
+        if not self.queries:
+            return 0.0
+        # Sub-tick batches (tiny bursts on a hot cache) read as 0.0
+        # seconds; clamp so the rate stays finite instead of zero.
+        return self.queries / max(self.seconds, _TIMER_TICK)
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Observability record of one ``apply_updates`` transaction."""
+
+    #: entries inserted
+    inserted: int
+    #: delete ops that removed at least one entry
+    deleted: int
+    #: delete ops whose key matched nothing
+    missing_deletes: int
+    #: cache rows evicted by the targeted sweep (0 when deferred)
+    cache_rows_invalidated: int
+    #: True when invalidation was deferred to the next lookup (the
+    #: cache held more rows than ``invalidation_threshold``)
+    deferred_invalidation: bool
+    #: wall-clock seconds spent applying the transaction
+    seconds: float
+    #: matcher generation after the transaction (None when the matcher
+    #: does not expose one)
+    generation: Optional[int]
+
+    @property
+    def ops(self) -> int:
+        return self.inserted + self.deleted + self.missing_deletes
+
+
+class _UpdateBatch:
+    """Recorder returned by :meth:`ClassificationEngine.update_batch`.
+
+    Collects ``insert``/``delete`` calls and applies them as one
+    :meth:`~ClassificationEngine.apply_updates` transaction when the
+    ``with`` block exits cleanly; ``report`` then holds the
+    :class:`UpdateReport`.  Nothing is applied if the block raises.
+    """
+
+    __slots__ = ("_engine", "ops", "report")
+
+    def __init__(self, engine: "ClassificationEngine") -> None:
+        self._engine = engine
+        self.ops: list[tuple[str, Any]] = []
+        self.report: Optional[UpdateReport] = None
+
+    def insert(self, entry: TernaryEntry) -> None:
+        self.ops.append(("insert", entry))
+
+    def delete(self, key: TernaryKey) -> None:
+        self.ops.append(("delete", key))
+
+    def __enter__(self) -> "_UpdateBatch":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is None:
+            self.report = self._engine.apply_updates(self.ops)
+        return False
 
 
 class ClassificationEngine:
@@ -144,6 +256,18 @@ class ClassificationEngine:
     the next miss, so updates stay cheap and bursts stay fast.
     Matchers without a frozen form (anything that is not a Palmtrie
     trie) silently fall back to their own lookups.
+
+    ``invalidation_threshold`` bounds the per-update cache sweep: while
+    the cache holds at most this many rows, an update evicts exactly
+    the rows the changed keys match (a full pass testing each row);
+    above it the engine defers — the next lookup notices the matcher's
+    ``generation`` moved and clears the whole cache once, making each
+    update O(1).  ``None`` disables deferral and always sweeps.  The
+    same generation check also catches *direct* matcher mutations
+    (``engine.matcher.insert(...)``), so stale cached verdicts or a
+    stale frozen plane are never served; matchers without a
+    ``generation`` attribute skip the check and must route updates
+    through the engine.
     """
 
     def __init__(
@@ -151,20 +275,37 @@ class ClassificationEngine:
         matcher: Union[TernaryMatcher, Any],
         cache_size: int = 4096,
         auto_freeze: bool = False,
+        invalidation_threshold: Optional[int] = 1024,
     ) -> None:
         if not callable(getattr(matcher, "lookup", None)):
             raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
+        if invalidation_threshold is not None and invalidation_threshold < 0:
+            raise ValueError(
+                f"invalidation_threshold must be >= 0 or None, got {invalidation_threshold}"
+            )
         self.matcher = matcher
         self.cache = FlowCache(cache_size)
         self.auto_freeze = auto_freeze
+        self.invalidation_threshold = invalidation_threshold
         self._plane: Optional[Any] = None
         self._unfreezable = False
+        #: matcher generation the cache contents were filled under
+        self._seen_generation: Optional[int] = getattr(matcher, "generation", None)
+        #: matcher generation the frozen plane was compiled from
+        self._plane_generation: Optional[int] = None
         self.freezes = 0
         self.stats = LookupStats()
         self.batches = 0
         self.batched_queries = 0
         self.elapsed_seconds = 0.0
         self.last_batch: Optional[BatchReport] = None
+        self.updates_applied = 0
+        self.update_batches = 0
+        self.cache_rows_invalidated = 0
+        self.targeted_invalidations = 0
+        self.lazy_invalidations = 0
+        self.policy_swaps = 0
+        self.last_update: Optional[UpdateReport] = None
 
     @property
     def name(self) -> str:
@@ -188,12 +329,63 @@ class ClassificationEngine:
                 self._unfreezable = True
                 return self.matcher
             self.freezes += 1
+            self._plane_generation = getattr(self.matcher, "generation", None)
         return self._plane
+
+    # -- generation coherence -------------------------------------------
+
+    def _sync(self) -> None:
+        """O(1) staleness check at the top of every lookup path.
+
+        If the matcher's generation moved past the engine's stamp —
+        either a deferred (lazy) invalidation or a caller mutating the
+        matcher directly — drop the cache (and the plane, if it was
+        compiled from an older generation) in one step.
+        """
+        generation = getattr(self.matcher, "generation", None)
+        if generation is None or generation == self._seen_generation:
+            return
+        dropped = self.cache.clear()
+        self.stats.cache_evictions += dropped
+        self.cache_rows_invalidated += dropped
+        self.lazy_invalidations += 1
+        if self._plane is not None and self._plane_generation != generation:
+            self._plane = None
+        self._seen_generation = generation
+
+    def _note_update(self, keys: Sequence[TernaryKey]) -> tuple[int, bool]:
+        """Bookkeeping after matcher content changed through the engine.
+
+        Drops the frozen plane (re-frozen lazily on the next miss) and
+        invalidates affected cache rows — targeted while the cache is
+        small, deferred to the next lookup's :meth:`_sync` once it
+        outgrows ``invalidation_threshold``.  Returns ``(rows_evicted,
+        deferred)``.
+        """
+        self._plane = None  # re-freeze lazily on the next miss
+        generation = getattr(self.matcher, "generation", None)
+        threshold = self.invalidation_threshold
+        if (
+            generation is not None
+            and threshold is not None
+            and len(self.cache) > threshold
+        ):
+            # Too many rows to test one by one: leave the generation
+            # stamp stale so the next lookup clears the cache in O(1).
+            return 0, True
+        dropped = self.cache.invalidate_many(keys)
+        self.stats.cache_evictions += dropped
+        self.cache_rows_invalidated += dropped
+        self.targeted_invalidations += 1
+        if generation is not None:
+            self._seen_generation = generation
+        return dropped, False
 
     # -- lookups --------------------------------------------------------
 
     def lookup(self, query: int) -> Optional[TernaryEntry]:
         """One query through the flow cache, then the matcher."""
+        self._sync()
         stats = self.stats
         stats.lookups += 1
         cached = self.cache.get(query)
@@ -213,6 +405,7 @@ class ClassificationEngine:
         """Resolve a burst: cache first, one batched matcher call for
         the rest.  Results come back in query order."""
         start = time.perf_counter()
+        self._sync()
         stats = self.stats
         n = len(queries)
         stats.lookups += n
@@ -262,15 +455,150 @@ class ClassificationEngine:
     def insert(self, entry: TernaryEntry) -> None:
         """Insert through to the matcher, evicting affected cache rows."""
         self.matcher.insert(entry)
-        self._plane = None  # re-freeze lazily on the next miss
-        self.stats.cache_evictions += self.cache.invalidate(entry.key)
+        self.updates_applied += 1
+        self._note_update((entry.key,))
 
     def delete(self, key: TernaryKey) -> bool:
         removed = self.matcher.delete(key)
         if removed:
-            self._plane = None  # re-freeze lazily on the next miss
-            self.stats.cache_evictions += self.cache.invalidate(key)
+            self.updates_applied += 1
+            self._note_update((key,))
         return removed
+
+    @staticmethod
+    def _normalize_op(op: Any) -> tuple[str, Any]:
+        """Coerce one update op to ``("insert", entry)`` / ``("delete", key)``.
+
+        Accepted shapes: a bare :class:`TernaryEntry` (insert), a bare
+        :class:`TernaryKey` (delete), or an explicit ``(kind, payload)``
+        pair — where a delete payload may be an entry (its key is used).
+        """
+        if isinstance(op, TernaryEntry):
+            return ("insert", op)
+        if isinstance(op, TernaryKey):
+            return ("delete", op)
+        try:
+            kind, payload = op
+        except (TypeError, ValueError):
+            raise TypeError(f"not an update op: {op!r}") from None
+        if kind == "insert":
+            if not isinstance(payload, TernaryEntry):
+                raise TypeError(f"insert payload must be a TernaryEntry, got {payload!r}")
+            return ("insert", payload)
+        if kind == "delete":
+            if isinstance(payload, TernaryEntry):
+                payload = payload.key
+            if not isinstance(payload, TernaryKey):
+                raise TypeError(f"delete payload must be a TernaryKey, got {payload!r}")
+            return ("delete", payload)
+        raise ValueError(f"unknown update op kind {kind!r}")
+
+    def apply_updates(self, ops: Iterable[Any]) -> UpdateReport:
+        """Apply many inserts/deletes as one transaction.
+
+        Where N scalar ``insert``/``delete`` calls pay N dirty-marks, N
+        cache sweeps and (under ``auto_freeze``) N plane drops, this
+        applies the whole batch with one pass — through the matcher's
+        ``bulk_update`` when it has one — one cache-invalidation sweep
+        (or one deferred clear), and one plane drop.  The recompile /
+        re-freeze itself stays lazy: the next lookup pays it once.
+
+        ``ops`` accepts ``("insert", entry)`` / ``("delete", key)``
+        pairs, bare entries (inserts), and bare keys (deletes).
+        """
+        start = time.perf_counter()
+        normalized = [self._normalize_op(op) for op in ops]
+        matcher = self.matcher
+        bulk = getattr(matcher, "bulk_update", None)
+        if bulk is not None:
+            inserted, deleted, missing = bulk(normalized)
+        else:
+            inserted = deleted = missing = 0
+            for kind, payload in normalized:
+                if kind == "insert":
+                    matcher.insert(payload)
+                    inserted += 1
+                elif matcher.delete(payload):
+                    deleted += 1
+                else:
+                    missing += 1
+        rows = 0
+        deferred = False
+        if inserted or deleted:
+            self.updates_applied += inserted + deleted
+            # A missed delete cannot have changed any verdict, but with
+            # bulk_update we don't know which deletes missed; sweeping
+            # its key anyway is harmless (over-eviction, never stale).
+            keys = [
+                payload.key if kind == "insert" else payload
+                for kind, payload in normalized
+            ]
+            rows, deferred = self._note_update(keys)
+        self.update_batches += 1
+        report = UpdateReport(
+            inserted=inserted,
+            deleted=deleted,
+            missing_deletes=missing,
+            cache_rows_invalidated=rows,
+            deferred_invalidation=deferred,
+            seconds=time.perf_counter() - start,
+            generation=getattr(matcher, "generation", None),
+        )
+        self.last_update = report
+        return report
+
+    def update_batch(self) -> _UpdateBatch:
+        """Transactional recorder::
+
+            with engine.update_batch() as batch:
+                batch.insert(entry)
+                batch.delete(key)
+            batch.report  # the UpdateReport
+
+        Everything recorded inside the block is applied as one
+        :meth:`apply_updates` transaction on clean exit; nothing is
+        applied if the block raises.
+        """
+        return _UpdateBatch(self)
+
+    def replace_matcher(self, matcher: Union[TernaryMatcher, Any]) -> None:
+        """Swap in a rebuilt policy atomically.
+
+        The new matcher replaces the old one in one step — plane
+        dropped, cache cleared, generation stamps re-seeded — while the
+        engine's cumulative lookup statistics and batch history carry
+        over, so a policy swap does not erase the serving record the
+        way constructing a fresh engine would.
+        """
+        if not callable(getattr(matcher, "lookup", None)):
+            raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
+        self.matcher = matcher
+        self._plane = None
+        self._plane_generation = None
+        self._unfreezable = False
+        self._seen_generation = getattr(matcher, "generation", None)
+        dropped = self.cache.clear()
+        self.stats.cache_evictions += dropped
+        self.cache_rows_invalidated += dropped
+        self.policy_swaps += 1
+
+    def refresh(self) -> None:
+        """Eagerly pay the deferred update work.
+
+        Normally a transaction leaves the recompile/re-freeze to the
+        next lookup; call this to perform it now (e.g. before a
+        latency-sensitive burst): syncs the generation stamp,
+        recompiles a dirty matcher, and re-freezes the plane when
+        ``auto_freeze`` is on.
+        """
+        self._sync()
+        if getattr(self.matcher, "_dirty", False):
+            # Palmtrie+ exposes compile(); the frozen plane re-freezes
+            # through the same freeze() path _lookup_target uses.
+            compile_ = getattr(self.matcher, "compile", None)
+            if callable(compile_):
+                compile_()
+        self._lookup_target()
 
     def invalidate_all(self) -> int:
         """Drop the whole cache (bulk policy swaps, ``replace_policy``)."""
@@ -287,9 +615,11 @@ class ClassificationEngine:
     def queries_per_second(self) -> float:
         """Sustained rate over every ``lookup_batch`` call so far
         (scalar ``lookup`` calls are not timed)."""
-        if self.elapsed_seconds <= 0:
+        if not self.batched_queries:
             return 0.0
-        return self.batched_queries / self.elapsed_seconds
+        # All-sub-tick batches accumulate 0.0 seconds; clamp so the
+        # rate stays finite (see _TIMER_TICK).
+        return self.batched_queries / max(self.elapsed_seconds, _TIMER_TICK)
 
     def report(self) -> dict[str, Any]:
         """Engine counters in one dict (CLI / harness consumption)."""
@@ -308,6 +638,15 @@ class ClassificationEngine:
             "auto_freeze": self.auto_freeze,
             "frozen_plane_active": self._plane is not None,
             "freezes": self.freezes,
+            "updates_applied": self.updates_applied,
+            "update_batches": self.update_batches,
+            "cache_rows_invalidated": self.cache_rows_invalidated,
+            "targeted_invalidations": self.targeted_invalidations,
+            "lazy_invalidations": self.lazy_invalidations,
+            "policy_swaps": self.policy_swaps,
+            "invalidation_threshold": self.invalidation_threshold,
+            "generation": getattr(self.matcher, "generation", None),
+            "plane_generation": self._plane_generation,
         }
 
     def reset_stats(self) -> None:
@@ -316,6 +655,13 @@ class ClassificationEngine:
         self.batched_queries = 0
         self.elapsed_seconds = 0.0
         self.last_batch = None
+        self.updates_applied = 0
+        self.update_batches = 0
+        self.cache_rows_invalidated = 0
+        self.targeted_invalidations = 0
+        self.lazy_invalidations = 0
+        self.policy_swaps = 0
+        self.last_update = None
 
     def __len__(self) -> int:
         return len(self.matcher)

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from helpers import assert_same_result, random_entries
+from helpers import assert_same_result, oracle_lookup, random_entries
 from repro.baselines.dpdk_acl import DpdkStyleAcl
 from repro.baselines.efficuts import EffiCutsClassifier
 from repro.baselines.sorted_list import SortedListMatcher
@@ -19,6 +19,8 @@ from repro.core.adaptive import AdaptiveMatcher
 from repro.core.basic import BasicPalmtrie
 from repro.core.multibit import MultibitPalmtrie
 from repro.core.plus import PalmtriePlus
+from repro.core.table import build_matcher, matcher_kinds
+from repro.engine import ClassificationEngine
 from repro.workloads.campus import campus_acl
 from repro.workloads.classbench import classbench_acl
 from repro.workloads.traffic import pareto_trace, reverse_byte_scan, uniform_traffic
@@ -113,6 +115,90 @@ def test_incremental_inserts_track_oracle():
             expected = oracle.lookup(query)
             assert_same_result(expected, palmtrie.lookup(query))
             assert_same_result(expected, plus.lookup(query))
+
+
+# ---------------------------------------------------------------------------
+# Churn fuzz: random interleavings of inserts, deletes, transactional
+# batches, and lookups driven through the serving engine, checked after
+# every mutation against the brute-force oracle.  Covers every updatable
+# matcher kind (build-only baselines raise NotImplementedError on insert)
+# with the flow cache on, off, and under auto-freeze — the combinations
+# where a stale cache row or a stale frozen plane would surface as a
+# wrong verdict rather than a crash.
+# ---------------------------------------------------------------------------
+
+#: kinds whose insert/delete raise NotImplementedError (rebuild-only)
+BUILD_ONLY = {"dpdk-acl", "efficuts"}
+CHURN_KINDS = sorted(set(matcher_kinds()) - BUILD_ONLY)
+
+
+def _fuzz_churn(kind, seed, *, auto_freeze=False, cache_size=256, steps=90):
+    rng = random.Random(seed)
+    live = random_entries(40, KEY_LENGTH, seed=seed)
+    pool = random_entries(140, KEY_LENGTH, seed=seed + 1)
+    engine = ClassificationEngine(
+        build_matcher(kind, live, KEY_LENGTH),
+        cache_size=cache_size,
+        auto_freeze=auto_freeze,
+        invalidation_threshold=rng.choice([None, 0, 8]),
+    )
+
+    def check(count):
+        for _ in range(count):
+            query = rng.getrandbits(KEY_LENGTH)
+            assert_same_result(oracle_lookup(live, query), engine.lookup(query))
+
+    for _ in range(steps):
+        action = rng.randrange(6)
+        if action == 0 and pool:
+            entry = pool.pop(rng.randrange(len(pool)))
+            engine.insert(entry)
+            live.append(entry)
+        elif action == 1 and live:
+            key = rng.choice(live).key
+            assert engine.delete(key)
+            live[:] = [e for e in live if e.key != key]
+        elif action == 2:
+            # One transaction of mixed ops; mirror each op into the
+            # oracle list in apply order (a batch may delete a key it
+            # inserted moments earlier).
+            ops = []
+            for _ in range(rng.randrange(1, 5)):
+                if pool and rng.random() < 0.6:
+                    entry = pool.pop(rng.randrange(len(pool)))
+                    ops.append(("insert", entry))
+                    live.append(entry)
+                elif live:
+                    key = rng.choice(live).key
+                    ops.append(("delete", key))
+                    live[:] = [e for e in live if e.key != key]
+            if ops:
+                report = engine.apply_updates(ops)
+                assert report.missing_deletes == 0
+        elif action == 3 and pool:
+            # Mutate the matcher directly, bypassing the engine: the
+            # generation stamp must still keep cache and plane coherent.
+            entry = pool.pop(rng.randrange(len(pool)))
+            engine.matcher.insert(entry)
+            live.append(entry)
+        elif action == 4:
+            queries = [rng.getrandbits(KEY_LENGTH) for _ in range(20)]
+            got = engine.lookup_batch(queries)
+            for query, result in zip(queries, got):
+                assert_same_result(oracle_lookup(live, query), result)
+        check(3)
+    check(25)
+
+
+@pytest.mark.parametrize(
+    "auto_freeze,cache_size",
+    [(False, 256), (True, 256), (False, 0)],
+    ids=["cached", "auto-freeze", "uncached"],
+)
+@pytest.mark.parametrize("kind", CHURN_KINDS)
+def test_churn_fuzz_tracks_oracle(kind, auto_freeze, cache_size):
+    seed = 11 + CHURN_KINDS.index(kind)
+    _fuzz_churn(kind, seed, auto_freeze=auto_freeze, cache_size=cache_size)
 
 
 def test_interleaved_deletes_track_oracle():

@@ -223,6 +223,16 @@ class TestFlowCache:
         assert cache.invalidate(TernaryKey.from_string("01**")) == 1
         assert 0b0101 not in cache and 0b1111 in cache
 
+    def test_invalidate_many_is_one_sweep_over_all_keys(self):
+        cache = FlowCache(8)
+        cache.put(0b0101, None)
+        cache.put(0b1111, None)
+        cache.put(0b1000, None)
+        keys = [TernaryKey.from_string("01**"), TernaryKey.from_string("11**")]
+        assert cache.invalidate_many(keys) == 2
+        assert 0b1000 in cache and len(cache) == 1
+        assert cache.invalidate_many([]) == 0
+
 
 # ----------------------------------------------------------------------
 # Engine counters and plumbing
@@ -277,6 +287,238 @@ class TestEngineObservability:
         engine.lookup_batch([1, 2, 3])
         assert engine.invalidate_all() == 3
         assert len(engine.cache) == 0
+
+
+# ----------------------------------------------------------------------
+# The transactional update plane
+# ----------------------------------------------------------------------
+
+UPDATABLE_KINDS = sorted(set(MATCHER_KINDS) - BUILD_ONLY)
+
+
+class TestUpdatePlane:
+    @pytest.mark.parametrize("kind", UPDATABLE_KINDS)
+    def test_apply_updates_matches_oracle(self, kind):
+        entries = random_entries(40, KEY_LENGTH, seed=21)
+        engine = ClassificationEngine(
+            build_matcher(kind, entries, KEY_LENGTH), cache_size=128
+        )
+        queries = _queries(200, seed=22)
+        engine.lookup_batch(queries)  # warm the cache before churning
+        new = [
+            TernaryEntry(TernaryKey.from_string("10" + "*" * (KEY_LENGTH - 2)), 900, 9_000),
+            TernaryEntry(TernaryKey.exact(queries[0], KEY_LENGTH), 901, 9_001),
+        ]
+        victims = [entries[0].key, entries[1].key]
+        report = engine.apply_updates(
+            [("insert", new[0]), ("insert", new[1])]
+            + [("delete", key) for key in victims]
+        )
+        assert report.inserted == 2
+        assert report.deleted == 2
+        assert report.missing_deletes == 0
+        assert report.ops == 4
+        entries = [e for e in entries if e.key not in victims] + new
+        for query, got in zip(queries, engine.lookup_batch(queries)):
+            assert_same_result(oracle_lookup(entries, query), got)
+
+    def test_op_normalization_accepts_bare_entries_and_keys(self):
+        entries = random_entries(10, KEY_LENGTH, seed=23)
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH))
+        extra = TernaryEntry(TernaryKey.exact(3, KEY_LENGTH), 99, 999)
+        report = engine.apply_updates([extra, entries[0].key, ("delete", entries[1])])
+        assert report.inserted == 1 and report.deleted == 2
+        assert_same_result(engine.lookup(3), extra)
+
+    def test_op_normalization_rejects_garbage(self):
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", random_entries(5, KEY_LENGTH, seed=24), KEY_LENGTH)
+        )
+        with pytest.raises(TypeError):
+            engine.apply_updates([42])
+        with pytest.raises(ValueError):
+            engine.apply_updates([("upsert", None)])
+        with pytest.raises(TypeError):
+            engine.apply_updates([("insert", TernaryKey.exact(1, KEY_LENGTH))])
+
+    def test_missing_deletes_are_counted_not_applied(self):
+        entries = random_entries(10, KEY_LENGTH, seed=25)
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH))
+        absent = TernaryKey.from_string("0" * KEY_LENGTH)
+        report = engine.apply_updates([("delete", absent)])
+        assert report.deleted == 0 and report.missing_deletes == 1
+        assert len(engine.matcher) == len(entries)
+        # an all-miss transaction does not count as applied updates
+        assert engine.updates_applied == 0
+        assert engine.update_batches == 1
+
+    def test_update_batch_context_manager(self):
+        entries = random_entries(15, KEY_LENGTH, seed=26)
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH))
+        extra = TernaryEntry(TernaryKey.exact(5, KEY_LENGTH), 77, 777)
+        with engine.update_batch() as batch:
+            batch.insert(extra)
+            batch.delete(entries[0].key)
+            # nothing is applied until the block exits
+            assert engine.update_batches == 0
+        assert batch.report is not None
+        assert batch.report.inserted == 1 and batch.report.deleted == 1
+        assert engine.update_batches == 1
+        assert_same_result(engine.lookup(5), extra)
+
+    def test_update_batch_aborts_on_exception(self):
+        entries = random_entries(15, KEY_LENGTH, seed=27)
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH))
+        with pytest.raises(RuntimeError):
+            with engine.update_batch() as batch:
+                batch.insert(TernaryEntry(TernaryKey.exact(5, KEY_LENGTH), 1, 1))
+                raise RuntimeError("abort")
+        assert batch.report is None
+        assert engine.update_batches == 0
+        assert engine.lookup(5) is None or engine.lookup(5).value != 1
+
+    @pytest.mark.parametrize("auto_freeze", [False, True])
+    def test_direct_matcher_mutation_never_serves_stale(self, auto_freeze):
+        """The silent-stale hazard: callers mutating ``engine.matcher``
+        directly must still get fresh verdicts (generation check)."""
+        entries = random_entries(30, KEY_LENGTH, seed=28)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, KEY_LENGTH),
+            cache_size=64,
+            auto_freeze=auto_freeze,
+        )
+        queries = _queries(50, seed=29)
+        engine.lookup_batch(queries)  # warm cache (and freeze the plane)
+        if auto_freeze:
+            assert engine.report()["frozen_plane_active"]
+        override = TernaryEntry(TernaryKey.wildcard(KEY_LENGTH), 12345, 10**6)
+        engine.matcher.insert(override)  # behind the engine's back
+        for query in queries:
+            got = engine.lookup(query)
+            assert got is not None and got.value == 12345
+        assert engine.report()["lazy_invalidations"] >= 1
+
+    def test_lazy_invalidation_above_threshold(self):
+        entries = random_entries(20, KEY_LENGTH, seed=30)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, KEY_LENGTH),
+            cache_size=256,
+            invalidation_threshold=4,
+        )
+        queries = list(dict.fromkeys(_queries(64, seed=31)))
+        engine.lookup_batch(queries)
+        assert len(engine.cache) > 4
+        report = engine.apply_updates(
+            [TernaryEntry(TernaryKey.wildcard(KEY_LENGTH), 1, -1)]
+        )
+        assert report.deferred_invalidation
+        assert report.cache_rows_invalidated == 0
+        # the deferred sweep lands at the next lookup, in one clear
+        engine.lookup(queries[0])
+        assert engine.report()["lazy_invalidations"] == 1
+        assert len(engine.cache) == 1  # only the re-resolved query
+
+    def test_threshold_none_always_sweeps_targeted(self):
+        entries = random_entries(20, KEY_LENGTH, seed=32)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, KEY_LENGTH),
+            cache_size=256,
+            invalidation_threshold=None,
+        )
+        queries = list(dict.fromkeys(_queries(64, seed=33)))
+        engine.lookup_batch(queries)
+        rows = len(engine.cache)
+        report = engine.apply_updates(
+            [TernaryEntry(TernaryKey.wildcard(KEY_LENGTH), 1, -1)]
+        )
+        assert not report.deferred_invalidation
+        assert report.cache_rows_invalidated == rows  # wildcard hits every row
+        assert engine.report()["targeted_invalidations"] == 1
+        assert engine.report()["lazy_invalidations"] == 0
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            ClassificationEngine(
+                build_matcher("sorted-list", table1_entries(), 8),
+                invalidation_threshold=-1,
+            )
+
+    def test_replace_matcher_preserves_cumulative_stats(self):
+        entries = random_entries(20, KEY_LENGTH, seed=34)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, KEY_LENGTH), cache_size=32
+        )
+        queries = _queries(40, seed=35)
+        engine.lookup_batch(queries)
+        lookups_before = engine.stats.lookups
+        last_batch = engine.last_batch
+        replacement = random_entries(10, KEY_LENGTH, seed=36)
+        engine.replace_matcher(build_matcher("palmtrie-plus", replacement, KEY_LENGTH))
+        assert engine.stats.lookups == lookups_before
+        assert engine.last_batch is last_batch
+        assert engine.policy_swaps == 1
+        assert len(engine.cache) == 0
+        for query in queries:
+            assert_same_result(oracle_lookup(replacement, query), engine.lookup(query))
+
+    def test_replace_matcher_rejects_non_matcher(self):
+        engine = ClassificationEngine(build_matcher("sorted-list", table1_entries(), 8))
+        with pytest.raises(TypeError):
+            engine.replace_matcher(object())
+
+    def test_refresh_pays_deferred_work_eagerly(self):
+        entries = random_entries(20, KEY_LENGTH, seed=37)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, KEY_LENGTH), auto_freeze=True
+        )
+        engine.lookup(0)  # freeze the plane
+        engine.apply_updates([TernaryEntry(TernaryKey.exact(9, KEY_LENGTH), 1, 1)])
+        assert not engine.report()["frozen_plane_active"]
+        engine.refresh()
+        assert engine.report()["frozen_plane_active"]
+        assert not engine.matcher._dirty
+
+    def test_report_exposes_update_metrics(self):
+        entries = random_entries(10, KEY_LENGTH, seed=38)
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH))
+        engine.apply_updates([TernaryEntry(TernaryKey.exact(1, KEY_LENGTH), 1, 1)])
+        report = engine.report()
+        for field in (
+            "updates_applied", "update_batches", "cache_rows_invalidated",
+            "targeted_invalidations", "lazy_invalidations", "policy_swaps",
+            "invalidation_threshold", "generation", "plane_generation",
+        ):
+            assert field in report
+        assert report["updates_applied"] == 1
+        assert report["update_batches"] == 1
+        assert report["generation"] == engine.matcher.generation
+
+    def test_generation_bumps_on_content_changes_only(self):
+        matcher = build_matcher(
+            "palmtrie-plus", random_entries(10, KEY_LENGTH, seed=39), KEY_LENGTH
+        )
+        generation = matcher.generation
+        matcher.compile()
+        assert matcher.generation == generation  # recompiles don't bump
+        matcher.insert(TernaryEntry(TernaryKey.exact(2, KEY_LENGTH), 1, 1))
+        assert matcher.generation == generation + 1
+        assert not matcher.delete(TernaryKey.from_string("1" * KEY_LENGTH))
+        assert matcher.generation == generation + 1  # failed delete: no bump
+        assert matcher.delete(TernaryKey.exact(2, KEY_LENGTH))
+        assert matcher.generation == generation + 2
+
+    def test_qps_clamps_instead_of_reporting_zero(self):
+        from repro.engine import BatchReport
+
+        sub_tick = BatchReport(queries=100, matcher_queries=1, cache_hits=99, seconds=0.0)
+        assert sub_tick.queries_per_second > 0
+        empty = BatchReport(queries=0, matcher_queries=0, cache_hits=0, seconds=0.0)
+        assert empty.queries_per_second == 0.0
+        engine = ClassificationEngine(build_matcher("sorted-list", table1_entries(), 8))
+        assert engine.queries_per_second() == 0.0  # nothing batched yet
+        engine.lookup_batch([1])
+        engine.elapsed_seconds = 0.0  # force the sub-tick case
+        assert engine.queries_per_second() > 0
 
 
 # ----------------------------------------------------------------------

@@ -92,3 +92,23 @@ class TestPolicySwap:
         assert firewall.check(_web()) is Action.DENY
         assert firewall.rule_hits(0) == 1  # fresh counters for fresh rules
         assert len(firewall.counters()) == 2
+
+    def test_replace_policy_resets_decode_errors(self, firewall):
+        firewall.check_bytes(b"\xff\xff")
+        assert firewall.decode_errors == 1
+        firewall.replace_policy(parse_acl("permit ip any any\n"))
+        assert firewall.decode_errors == 0
+        assert firewall.default_hits == 0
+
+    def test_replace_policy_preserves_engine_stats(self, firewall):
+        firewall.check(_web())
+        firewall.check_batch([_web(), _web()])
+        lookups_before = firewall.engine.stats.lookups
+        assert lookups_before == 3
+        firewall.replace_policy(parse_acl("permit ip any any\n"))
+        # The swap is atomic on the existing engine: cumulative serving
+        # stats survive, the flow cache does not, and the swap is logged.
+        assert firewall.engine.stats.lookups == lookups_before
+        assert firewall.engine.policy_swaps == 1
+        assert len(firewall.engine.cache) == 0
+        assert firewall.check(_web()) is Action.PERMIT

@@ -219,6 +219,21 @@ class TestLazyRefreeze:
             (e.key, e.priority) for e in entries
         }
 
+    def test_build_freezes_exactly_once(self):
+        """The constructor defers the empty first freeze; ``build``
+        therefore compiles the plane exactly once."""
+        frozen = FrozenMatcher.build(random_entries(10, KEY_LENGTH, seed=25), KEY_LENGTH)
+        assert frozen.freeze_count == 1
+
+    def test_fresh_instance_defers_freeze_until_first_read(self):
+        frozen = FrozenMatcher(KEY_LENGTH)
+        assert frozen.freeze_count == 0
+        for entry in random_entries(10, KEY_LENGTH, seed=26):
+            frozen.insert(entry)
+        assert frozen.freeze_count == 0  # no wasted empty freeze
+        frozen.lookup(0)
+        assert frozen.freeze_count == 1
+
 
 # ----------------------------------------------------------------------
 # PLMF wire format

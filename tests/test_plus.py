@@ -111,6 +111,26 @@ class TestIncrementalUpdate:
         assert isinstance(plus.source, MultibitPalmtrie)
         assert plus.source.stride == 3
 
+    def test_build_compiles_exactly_once(self):
+        """The constructor defers the empty first compile; ``build``
+        therefore pays the §3.6 compile cost exactly once."""
+        plus = PalmtriePlus.build(table1_entries(), 8, stride=3)
+        assert plus.compile_count == 1
+
+    def test_fresh_instance_defers_compile_until_first_read(self):
+        plus = PalmtriePlus(8, stride=3)
+        assert plus.compile_count == 0
+        for entry in table1_entries():
+            plus.insert(entry)
+        assert plus.compile_count == 0  # still no wasted empty compile
+        assert plus.lookup(0b10110011).value == 4
+        assert plus.compile_count == 1
+
+    def test_empty_lookup_compiles_lazily(self):
+        plus = PalmtriePlus(8, stride=3)
+        assert plus.lookup(0b10101010) is None
+        assert plus.compile_count == 1
+
 
 class TestEmptyAndEdgeCases:
     def test_empty_lookup(self):
