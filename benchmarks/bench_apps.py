@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import QUERY_COUNT
 from repro.acl.rule import Action
 from repro.apps.conntrack import StatefulFirewall
 from repro.apps.firewall import Firewall

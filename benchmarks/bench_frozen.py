@@ -37,6 +37,7 @@ from pathlib import Path
 import pytest
 
 from conftest import KEY_LENGTH, run_queries
+from repro.bench.harness import clamp_seconds, safe_rate
 from repro.bench.memory import deep_sizeof
 from repro.core import PalmtriePlus
 from repro.core.frozen import freeze
@@ -106,11 +107,11 @@ def _measure(entries, queries, stride: int = 8) -> dict:
     frozen_batch = _best(lambda: frozen.lookup_batch(queries))
     row = {
         "queries": n,
-        "interpreted_scalar_qps": n / interpreted_scalar,
-        "frozen_scalar_qps": n / frozen_scalar,
-        "frozen_batch_qps": n / frozen_batch,
-        "scalar_speedup": interpreted_scalar / frozen_scalar,
-        "batch_speedup": interpreted_scalar / frozen_batch,
+        "interpreted_scalar_qps": safe_rate(n, interpreted_scalar),
+        "frozen_scalar_qps": safe_rate(n, frozen_scalar),
+        "frozen_batch_qps": safe_rate(n, frozen_batch),
+        "scalar_speedup": clamp_seconds(interpreted_scalar) / clamp_seconds(frozen_scalar),
+        "batch_speedup": clamp_seconds(interpreted_scalar) / clamp_seconds(frozen_batch),
         "batch_uses_numpy": numpy is not None,
         "frozen_memory_bytes": frozen.memory_bytes(),
         "interpreted_python_bytes": deep_sizeof(interpreted),
@@ -119,7 +120,7 @@ def _measure(entries, queries, stride: int = 8) -> dict:
         # the pure-python fallback walk, for the numpy-less story
         unique = list(dict.fromkeys(queries))
         python_batch = _best(lambda: frozen._batch_walk_python(unique))
-        row["frozen_batch_python_qps"] = len(unique) / python_batch
+        row["frozen_batch_python_qps"] = safe_rate(len(unique), python_batch)
 
     # coherence guard: a benchmark over wrong answers is meaningless
     sample = queries[:: max(1, n // 200)]
@@ -130,7 +131,9 @@ def _measure(entries, queries, stride: int = 8) -> dict:
     return row
 
 
-def main(smoke: bool = False) -> None:
+def main(smoke: bool = False) -> dict[str, float]:
+    """Run the comparison; returns the smoke-ratio metrics the unified
+    ``benchmarks/run_smokes.py`` records in the perf trajectory."""
     from repro.bench.report import Table, format_rate
 
     profiles = ("acl",) if smoke else ("acl", "fw", "ipc")
@@ -178,6 +181,10 @@ def main(smoke: bool = False) -> None:
     print(table.render())
 
     table4 = results["profiles"][profiles[0]]
+    metrics = {
+        "frozen_batch_speedup": table4["batch_speedup"],
+        "frozen_scalar_speedup": table4["scalar_speedup"],
+    }
     if smoke:
         # CI bar: the batch path has several-x margin, so shared-runner
         # noise cannot flake the gate; the scalar bar is asserted (and
@@ -191,7 +198,7 @@ def main(smoke: bool = False) -> None:
             f"frozen smoke benchmark: batch {table4['batch_speedup']:.2f}x, "
             f"scalar {table4['scalar_speedup']:.2f}x over interpreted"
         )
-        return
+        return metrics
 
     worst_scalar = min(r["scalar_speedup"] for r in results["profiles"].values())
     results["table4_scalar_speedup_min"] = worst_scalar
@@ -203,6 +210,7 @@ def main(smoke: bool = False) -> None:
             "interpreted Palmtrie+ on the Table-4 workload"
         )
     print(f"frozen benchmark: >= {worst_scalar:.2f}x scalar speedup on every profile")
+    return metrics
 
 
 if __name__ == "__main__":

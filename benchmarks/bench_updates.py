@@ -122,9 +122,12 @@ def test_batched_updates_preserve_verdicts(churn_setup):
         assert (expected and expected.priority) == (got and got.priority)
 
 
-def main(smoke: bool = False) -> None:
+def main(smoke: bool = False) -> dict[str, float]:
+    """Run the comparison; returns the smoke-ratio metrics the unified
+    ``benchmarks/run_smokes.py`` records in the perf trajectory."""
     import timeit
 
+    from repro.bench.harness import clamp_seconds, safe_rate
     from repro.bench.report import Table
     from repro.workloads.campus import campus_acl
 
@@ -149,7 +152,7 @@ def main(smoke: bool = False) -> None:
     batched_engine = warm(threshold)
     per_op = timeit.timeit(lambda: _apply_per_op(per_op_engine, ops), number=repeats)
     batched = timeit.timeit(lambda: batched_engine.apply_updates(ops), number=repeats)
-    ratio = per_op / batched
+    ratio = clamp_seconds(per_op) / clamp_seconds(batched)
 
     table = Table(
         f"policy churn ({pairs} insert+delete pairs, {len(per_op_engine.cache)}-row "
@@ -157,11 +160,16 @@ def main(smoke: bool = False) -> None:
         ["update path", "seconds", "ops/s", "speedup"],
     )
     total_ops = len(ops) * repeats
-    table.add_row("per-op invalidation", f"{per_op:.4f}", f"{total_ops / per_op:,.0f}", "1.0x")
+    table.add_row(
+        "per-op invalidation",
+        f"{per_op:.4f}",
+        f"{safe_rate(total_ops, per_op):,.0f}",
+        "1.0x",
+    )
     table.add_row(
         "apply_updates (transactional)",
         f"{batched:.4f}",
-        f"{total_ops / batched:,.0f}",
+        f"{safe_rate(total_ops, batched):,.0f}",
         f"{ratio:.1f}x",
     )
     print(table.render())
@@ -180,6 +188,7 @@ def main(smoke: bool = False) -> None:
         )
     if smoke:
         print(f"update smoke benchmark: transactional churn {ratio:.1f}x faster")
+    return {"update_batch_speedup": ratio}
 
 
 if __name__ == "__main__":

@@ -1,0 +1,227 @@
+"""Unified CI smoke runner and perf-trajectory gate.
+
+Runs every benchmark smoke in one process (``bench_engine_cache``,
+``bench_frozen``, ``bench_updates``), collects the headline ratios each
+``main(smoke=True)`` returns, and writes them as a *trajectory*: one
+record per metric, stamped with the current commit SHA and a UTC
+timestamp, so CI artifacts accumulate into a per-commit history of the
+repo's performance story.
+
+The gate (``--gate``) compares the fresh trajectory against the
+committed ``benchmarks/BENCH_baseline.json`` and fails when any smoke
+ratio degrades by more than ``--tolerance`` (default 20 %).  All
+tracked metrics are higher-is-better speedup/overhead ratios, so the
+check is one-sided: ``fresh >= baseline * (1 - tolerance)``.
+
+Re-baselining (after a deliberate trade-off or a hardware change on
+the runners): run ``python benchmarks/run_smokes.py --rebaseline`` on
+a quiet machine and commit the updated baseline alongside the change
+that moved the numbers — the diff then documents the new expectation.
+See docs/observability.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+TRAJECTORY_SCHEMA = "palmtrie-repro/bench-trajectory/v1"
+BASELINE_PATH = HERE / "BENCH_baseline.json"
+DEFAULT_OUT = HERE.parent / "BENCH_trajectory.json"
+DEFAULT_TOLERANCE = 0.20
+
+#: module name -> human label, in run order (cheapest first)
+SMOKES = (
+    ("bench_engine_cache", "flow-cache serving path"),
+    ("bench_frozen", "frozen lookup plane"),
+    ("bench_updates", "transactional update plane"),
+)
+
+
+def _git_commit() -> str:
+    """Current commit SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=HERE,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_all_smokes() -> dict[str, float]:
+    """Run every smoke; returns the merged {metric: ratio} dict.
+
+    A smoke that fails its own acceptance bar raises SystemExit, which
+    propagates — the runner never papers over a failing smoke.
+    """
+    sys.path.insert(0, str(HERE))
+    try:
+        metrics: dict[str, float] = {}
+        for module_name, label in SMOKES:
+            print(f"=== {label} ({module_name} --smoke) ===")
+            module = __import__(module_name)
+            result = module.main(smoke=True) or {}
+            overlap = set(result) & set(metrics)
+            if overlap:
+                raise SystemExit(
+                    f"{module_name} re-reported metrics {sorted(overlap)}"
+                )
+            metrics.update(result)
+            print()
+        return metrics
+    finally:
+        sys.path.remove(str(HERE))
+
+
+def build_trajectory(metrics: dict[str, float]) -> dict:
+    """One record per metric, stamped with commit + timestamp."""
+    commit = _git_commit()
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "commit": commit,
+        "timestamp": timestamp,
+        "records": [
+            {
+                "metric": name,
+                "value": value,
+                "commit": commit,
+                "timestamp": timestamp,
+            }
+            for name, value in sorted(metrics.items())
+        ],
+    }
+
+
+def trajectory_metrics(trajectory: dict) -> dict[str, float]:
+    """Flatten a trajectory document back into {metric: value}."""
+    return {
+        record["metric"]: record["value"]
+        for record in trajectory.get("records", [])
+    }
+
+
+def check_trajectory(
+    fresh: dict[str, float],
+    baseline: dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Compare fresh ratios against the baseline; returns failures.
+
+    Every baseline metric must be present in the fresh run and must not
+    have degraded below ``baseline * (1 - tolerance)``.  Metrics the
+    fresh run reports but the baseline does not are fine (new metrics
+    get baselined on the next ``--rebaseline``).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures = []
+    for name, expected in sorted(baseline.items()):
+        got = fresh.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        floor = expected * (1.0 - tolerance)
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.3f} < {floor:.3f} "
+                f"(baseline {expected:.3f} - {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run all benchmark smokes; write and gate the perf trajectory"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"trajectory output path (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help=f"committed baseline to gate against (default {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail when any smoke ratio degrades past the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional degradation before the gate fails (default 0.20)",
+    )
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="overwrite the committed baseline with this run's ratios",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the trajectory already written at --out instead of re-running "
+        "the smokes (implies --gate)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        if not args.out.exists():
+            print(f"check: no trajectory at {args.out}", file=sys.stderr)
+            return 2
+        metrics = trajectory_metrics(json.loads(args.out.read_text()))
+        args.gate = True
+    else:
+        metrics = run_all_smokes()
+        trajectory = build_trajectory(metrics)
+        args.out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out} ({len(metrics)} metrics @ {trajectory['commit'][:12]})")
+
+    if args.rebaseline:
+        args.baseline.write_text(
+            json.dumps({"metrics": metrics}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"rebaselined {args.baseline}")
+        return 0
+
+    if args.gate:
+        if not args.baseline.exists():
+            print(f"gate: no baseline at {args.baseline}", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text()).get("metrics", {})
+        failures = check_trajectory(metrics, baseline, args.tolerance)
+        if failures:
+            print("perf trajectory gate FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            print(
+                "(deliberate change? rerun with --rebaseline on a quiet machine "
+                "and commit the new baseline — see docs/observability.md)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf trajectory gate passed: {len(baseline)} metrics within "
+            f"{args.tolerance:.0%} of baseline"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from ..core.table import TernaryEntry
 from ..core.ternary import TernaryKey
 from .layout import LAYOUT_V4, KeyLayout
 from .ranges import ANY_PORT, range_to_keys
-from .rule import AclRule, Action, Protocol
+from .rule import AclRule, Action
 
 __all__ = ["CompiledAcl", "compile_acl", "compile_rule"]
 

@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..acl.compiler import CompiledAcl
 from ..acl.rule import Action
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryMatcher
 from ..engine import ClassificationEngine
+from ..obs.metrics import MetricsRegistry
 from ..packet.headers import PROTO_TCP, PacketHeader
 
 __all__ = ["ConnState", "Connection", "StatefulFirewall"]
@@ -80,6 +81,7 @@ class StatefulFirewall:
         max_connections: int = 1_000_000,
         cache_size: int = 4096,
         auto_freeze: bool = False,
+        metrics: Union[None, bool, MetricsRegistry] = None,
     ) -> None:
         if idle_timeout <= 0 or closing_timeout <= 0:
             raise ValueError("timeouts must be positive")
@@ -90,6 +92,7 @@ class StatefulFirewall:
             matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
             cache_size=cache_size,
             auto_freeze=auto_freeze,
+            metrics=metrics,
         )
         self.idle_timeout = idle_timeout
         self.closing_timeout = closing_timeout
@@ -98,6 +101,29 @@ class StatefulFirewall:
         self.fast_path_hits = 0
         self.acl_evaluations = 0
         self.table_full_drops = 0
+        registry = self.engine.metrics
+        if registry is not None:
+            registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Mirror the connection-tracking counters at export time."""
+        registry = self.engine.metrics
+        assert registry is not None
+        registry.counter(
+            "conntrack_fast_path_hits_total",
+            "Packets permitted by the flow table without an ACL walk.",
+        ).set_total(self.fast_path_hits)
+        registry.counter(
+            "conntrack_acl_evaluations_total",
+            "Flow-table misses that consulted the stateless ACL.",
+        ).set_total(self.acl_evaluations)
+        registry.counter(
+            "conntrack_table_full_drops_total",
+            "Packets denied because the flow table was full (fail closed).",
+        ).set_total(self.table_full_drops)
+        registry.gauge(
+            "conntrack_connections", "Flows currently tracked."
+        ).set(len(self._table))
 
     @property
     def matcher(self) -> TernaryMatcher:

@@ -10,13 +10,14 @@ source-trie updates + recompilation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..acl.compiler import CompiledAcl, compile_acl
 from ..acl.parser import parse_acl
 from ..acl.rule import AclRule, Action
 from ..core.plus import PalmtriePlus
 from ..engine import ClassificationEngine
+from ..obs.metrics import MetricsRegistry
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -42,6 +43,7 @@ class Firewall:
         default_action: Action = Action.DENY,
         cache_size: int = 4096,
         auto_freeze: bool = False,
+        metrics: Union[None, bool, MetricsRegistry] = None,
     ) -> None:
         self.acl = acl
         self.default_action = default_action
@@ -49,10 +51,47 @@ class Firewall:
             PalmtriePlus.build(acl.entries, acl.layout.length, stride=stride),
             cache_size=cache_size,
             auto_freeze=auto_freeze,
+            metrics=metrics,
         )
         self._counters = [RuleCounter(rule) for rule in acl.rules]
         self.default_hits = 0
         self.decode_errors = 0
+        registry = self.engine.metrics
+        if registry is not None:
+            registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Mirror the firewall's verdict counters at export time."""
+        registry = self.engine.metrics
+        assert registry is not None
+        permits = denies = 0
+        for counter in self._counters:
+            if counter.rule.action is Action.PERMIT:
+                permits += counter.packets
+            else:
+                denies += counter.packets
+        if self.default_action is Action.PERMIT:
+            permits += self.default_hits
+        else:
+            denies += self.default_hits
+        help_text = "Firewall verdicts, by action (includes the implicit default)."
+        registry.counter(
+            "firewall_verdicts_total", help_text, labels={"action": "permit"}
+        ).set_total(permits)
+        registry.counter(
+            "firewall_verdicts_total", help_text, labels={"action": "deny"}
+        ).set_total(denies + self.decode_errors)
+        registry.counter(
+            "firewall_default_verdicts_total",
+            "Packets that matched no rule and took the default action.",
+        ).set_total(self.default_hits)
+        registry.counter(
+            "firewall_decode_errors_total",
+            "Undecodable frames denied by check_bytes (fail closed).",
+        ).set_total(self.decode_errors)
+        registry.gauge(
+            "firewall_rules", "Rules in the active policy."
+        ).set(len(self._counters))
 
     @property
     def _matcher(self) -> PalmtriePlus:

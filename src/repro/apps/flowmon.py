@@ -14,12 +14,13 @@ Palmtrie+ is the default, and the classes are arbitrary rule values
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Union
 
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryEntry, TernaryMatcher
 from ..engine import ClassificationEngine
+from ..obs.metrics import MetricsRegistry
 from ..packet.headers import PacketHeader
 
 __all__ = ["FlowKey", "FlowRecord", "FlowMonitor"]
@@ -75,6 +76,7 @@ class FlowMonitor:
         default_class: Any = None,
         cache_size: int = 4096,
         auto_freeze: bool = False,
+        metrics: Union[None, bool, MetricsRegistry] = None,
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError(f"idle timeout must be positive, got {idle_timeout}")
@@ -83,6 +85,7 @@ class FlowMonitor:
             matcher or PalmtriePlus.build(entries, key_length, stride=8),
             cache_size=cache_size,
             auto_freeze=auto_freeze,
+            metrics=metrics,
         )
         self.idle_timeout = idle_timeout
         self.default_class = default_class
@@ -90,6 +93,27 @@ class FlowMonitor:
         self._clock = 0.0
         self.packets_seen = 0
         self.octets_seen = 0
+        self.flows_exported = 0
+        registry = self.engine.metrics
+        if registry is not None:
+            registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Mirror the monitor's aggregation counters at export time."""
+        registry = self.engine.metrics
+        assert registry is not None
+        registry.counter(
+            "flowmon_packets_total", "Packets accounted into flow records."
+        ).set_total(self.packets_seen)
+        registry.counter(
+            "flowmon_octets_total", "Octets accounted into flow records."
+        ).set_total(self.octets_seen)
+        registry.counter(
+            "flowmon_exported_flows_total", "Expired flows exported (IPFIX-style)."
+        ).set_total(self.flows_exported)
+        registry.gauge(
+            "flowmon_active_flows", "Flow records currently tracked."
+        ).set(len(self._flows))
 
     @property
     def matcher(self) -> TernaryMatcher:
@@ -175,4 +199,5 @@ class FlowMonitor:
         for record in self.expired(now):
             del self._flows[record.key]
             exported.append(record.to_ipfix_dict())
+        self.flows_exported += len(exported)
         return exported

@@ -19,7 +19,7 @@ tracking, no ARP — next hops are port indices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 from ..acl.compiler import CompiledAcl
 from ..acl.rule import Action
@@ -27,6 +27,7 @@ from ..core.plus import PalmtriePlus
 from ..core.poptrie import Poptrie
 from ..core.table import TernaryMatcher
 from ..engine import ClassificationEngine
+from ..obs.metrics import MetricsRegistry
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -68,6 +69,7 @@ class L3Forwarder:
         default_action: Action = Action.DENY,
         cache_size: int = 4096,
         auto_freeze: bool = False,
+        metrics: Union[None, bool, MetricsRegistry] = None,
     ) -> None:
         """``routes`` are ``(prefix_bits, prefix_len, out_port)`` over the
         destination address; ``acl`` decides permit/deny first."""
@@ -76,10 +78,38 @@ class L3Forwarder:
             matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
             cache_size=cache_size,
             auto_freeze=auto_freeze,
+            metrics=metrics,
         )
         self.rib = Poptrie.build(routes, key_length=32)
         self.default_action = default_action
         self.stats = ForwardingStats()
+        registry = self.engine.metrics
+        if registry is not None:
+            registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Mirror the pipeline's verdict counters at export time."""
+        registry = self.engine.metrics
+        assert registry is not None
+        stats = self.stats
+        help_text = "Pipeline outcomes, by verdict."
+        for verdict, total in (
+            ("forward", stats.forwarded),
+            ("acl-drop", stats.acl_dropped),
+            ("no-route", stats.no_route),
+            ("error", stats.decode_errors),
+        ):
+            registry.counter(
+                "l3fwd_packets_total", help_text, labels={"verdict": verdict}
+            ).set_total(total)
+        registry.counter(
+            "l3fwd_received_total", "Packets entering the pipeline."
+        ).set_total(stats.received)
+        for port, sent in sorted(stats.per_port_tx.items()):
+            registry.counter(
+                "l3fwd_tx_total", "Packets transmitted, by output port.",
+                labels={"port": str(port)},
+            ).set_total(sent)
 
     @property
     def matcher(self) -> TernaryMatcher:

@@ -38,7 +38,6 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional, Sequence
 
 from ..core.table import TernaryEntry, TernaryMatcher
-from ..core.ternary import TernaryKey
 
 __all__ = ["DpdkStyleAcl", "BuildExplosionError"]
 

@@ -18,7 +18,7 @@ at scale.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

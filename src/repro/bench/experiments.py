@@ -28,7 +28,7 @@ from ..core.multibit import MultibitPalmtrie
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryEntry, TernaryMatcher
 from ..core.ternary import TernaryKey
-from ..workloads.campus import ENTRIES_PER_PREFIX, campus_acl
+from ..workloads.campus import campus_acl
 from ..workloads.classbench import PROFILES, classbench_acl
 from ..workloads.traffic import pareto_trace, reverse_byte_scan, uniform_traffic
 from .costmodel import modeled_mlps

@@ -26,6 +26,13 @@ from typing import Callable, Sequence
 from ..core.table import TernaryMatcher
 from ..engine import ClassificationEngine
 
+# Canonical timer helpers live in the zero-dependency repro.obs.timing
+# (the engine imports them too); re-exported here because the harness
+# is the benchmarks' shared entry point for rate math.  Dividing a
+# work count by raw elapsed time reports 0 (or raises) when the work
+# finished between two clock ticks — always go through safe_rate.
+from ..obs.timing import TIMER_RESOLUTION, clamp_seconds, safe_rate
+
 __all__ = [
     "LookupMeasurement",
     "EngineMeasurement",
@@ -33,6 +40,9 @@ __all__ = [
     "measure_engine_rate",
     "measure_build",
     "BuildMeasurement",
+    "TIMER_RESOLUTION",
+    "clamp_seconds",
+    "safe_rate",
 ]
 
 
@@ -79,7 +89,7 @@ def measure_lookup_rate(
             now = time.perf_counter()
             if now >= deadline:
                 break
-        rates.append(done / (now - start))
+        rates.append(safe_rate(done, now - start))
     counted = getattr(matcher, "profile_lookup", None)
     visits = comparisons = 0.0
     if counted is not None:
@@ -149,7 +159,7 @@ def measure_engine_rate(
             now = time.perf_counter()
             if now >= deadline:
                 break
-        rates.append(done / (now - start))
+        rates.append(safe_rate(done, now - start))
     return EngineMeasurement(
         matcher=engine.name,
         lookups_per_second=statistics.fmean(rates),

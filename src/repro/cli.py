@@ -24,7 +24,12 @@ Subcommands:
 
 ``replay``
     Replay a binary trace or pcap file through an ACL and report
-    verdicts and the sustained lookup rate.
+    verdicts and the sustained lookup rate; ``--metrics-out`` writes a
+    JSON metrics snapshot of the run.
+
+``metrics``
+    Replay a trace with metrics enabled and dump (or serve, one-shot)
+    the Prometheus text exposition or the JSON snapshot.
 
 ``diff``
     Compare two ACL files: added/removed/moved rules plus a sampled
@@ -213,12 +218,46 @@ def _matcher_kwargs(kind: str, args: argparse.Namespace) -> dict:
     return {"stride": args.stride} if "stride" in params else {}
 
 
+def _read_queries(input_path: str, compiled) -> Optional[list[int]]:
+    """Queries from a ``.trace`` or ``.pcap`` file, or None (with the
+    reason on stderr) when the input cannot be replayed."""
+    from .workloads.io import load_trace
+
+    if input_path.endswith(".pcap"):
+        from .packet.codec import PacketDecodeError, decode_packet
+        from .packet.pcap import read_pcap
+
+        queries = []
+        errors = 0
+        for packet in read_pcap(input_path):
+            try:
+                queries.append(decode_packet(packet.data).to_query(compiled.layout))
+            except PacketDecodeError:
+                errors += 1
+        if errors:
+            print(f"skipped {errors} undecodable packets", file=sys.stderr)
+    else:
+        queries, key_length = load_trace(input_path)
+        if key_length != compiled.layout.length:
+            print(
+                f"error: trace keys are {key_length} bits, ACL keys are "
+                f"{compiled.layout.length}",
+                file=sys.stderr,
+            )
+            return None
+    if not queries:
+        print("no packets to replay", file=sys.stderr)
+        return None
+    return queries
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import time
 
     from .core.table import build_matcher
     from .engine import ClassificationEngine
-    from .workloads.io import load_acl, load_trace
+    from .obs.timing import safe_rate
+    from .workloads.io import load_acl
 
     if args.cache_size < 0:
         print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
@@ -230,32 +269,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         **_matcher_kwargs(args.matcher, args),
     )
     engine = ClassificationEngine(
-        matcher, cache_size=args.cache_size, auto_freeze=args.freeze
+        matcher,
+        cache_size=args.cache_size,
+        auto_freeze=args.freeze,
+        metrics=bool(args.metrics_out),
     )
-    if args.input.endswith(".pcap"):
-        from .packet.codec import PacketDecodeError, decode_packet
-        from .packet.pcap import read_pcap
-
-        queries = []
-        errors = 0
-        for packet in read_pcap(args.input):
-            try:
-                queries.append(decode_packet(packet.data).to_query(compiled.layout))
-            except PacketDecodeError:
-                errors += 1
-        if errors:
-            print(f"skipped {errors} undecodable packets", file=sys.stderr)
-    else:
-        queries, key_length = load_trace(args.input)
-        if key_length != compiled.layout.length:
-            print(
-                f"error: trace keys are {key_length} bits, ACL keys are "
-                f"{compiled.layout.length}",
-                file=sys.stderr,
-            )
-            return 2
-    if not queries:
-        print("no packets to replay", file=sys.stderr)
+    queries = _read_queries(args.input, compiled)
+    if queries is None:
         return 2
     if args.update_rate < 0:
         print("error: --update-rate must be >= 0", file=sys.stderr)
@@ -317,7 +337,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
     total = len(queries)
     print(f"replayed {total} packets through {engine.name} in {elapsed:.2f} s "
-          f"({total / elapsed:,.0f} lookups/s)")
+          f"({safe_rate(total, elapsed):,.0f} lookups/s)")
     for verdict, count in verdicts.items():
         print(f"  {verdict:14} {count:8}  ({100 * count / total:.1f} %)")
     report = engine.report()
@@ -339,6 +359,93 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.freeze:
         state = "active" if report["frozen_plane_active"] else "unavailable"
         print(f"  frozen plane   {state} ({report['freezes']} freezes)")
+    if args.metrics_out:
+        from .obs.export import write_snapshot
+
+        registry = engine.metrics
+        assert registry is not None
+        write_snapshot(registry, args.metrics_out)
+        latency = report.get("latency", {})
+        p99 = latency.get("batch_seconds", {}).get("p99")
+        note = "" if p99 is None or p99 != p99 else f" (batch p99 {p99 * 1e6:,.0f} us)"
+        print(f"  metrics        snapshot written to {args.metrics_out}{note}")
+    return 0
+
+
+def _serve_once(text: str, port: int) -> int:
+    """Serve ``text`` for exactly one HTTP request, then exit.
+
+    The one-shot shape keeps the CLI a batch tool: point a scraper (or
+    ``curl``) at it once to validate an exporter pipeline, no daemon to
+    clean up afterwards.  Port 0 picks a free port.
+    """
+    import http.server
+
+    body = text.encode("utf-8")
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self) -> None:
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *_args: object) -> None:
+            pass
+
+    with http.server.HTTPServer(("127.0.0.1", port), Handler) as server:
+        bound = server.server_address[1]
+        print(
+            f"serving one scrape at http://127.0.0.1:{bound}/metrics",
+            file=sys.stderr,
+        )
+        server.handle_request()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.table import build_matcher
+    from .engine import ClassificationEngine
+    from .obs.export import render_prometheus, snapshot
+    from .workloads.io import load_acl
+
+    if args.cache_size < 0:
+        print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
+        return 2
+    rules = load_acl(args.acl)
+    compiled = compile_acl(rules)
+    matcher = build_matcher(
+        args.matcher, compiled.entries, compiled.layout.length,
+        **_matcher_kwargs(args.matcher, args),
+    )
+    engine = ClassificationEngine(
+        matcher, cache_size=args.cache_size, auto_freeze=args.freeze, metrics=True
+    )
+    queries = _read_queries(args.input, compiled)
+    if queries is None:
+        return 2
+    batch = max(1, args.batch_size)
+    for offset in range(0, len(queries), batch):
+        engine.lookup_batch(queries[offset : offset + batch])
+    registry = engine.metrics
+    assert registry is not None
+    if args.format == "json":
+        text = json.dumps(snapshot(registry), indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_prometheus(registry)
+    if args.serve is not None:
+        return _serve_once(text, args.serve)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -470,7 +577,51 @@ def build_parser() -> argparse.ArgumentParser:
              "each batch applies one transactional update of low-priority "
              "canary rules, exercising the update plane under load",
     )
+    p_replay.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a JSON metrics snapshot of the run to PATH "
+             "(enables the engine's metrics registry)",
+    )
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="replay a trace with metrics on; dump or serve the exposition",
+    )
+    p_metrics.add_argument("acl", help="ACL file in the Table 2 dialect")
+    p_metrics.add_argument("input", help="a .trace (palmtrie-repro generate) or .pcap file")
+    p_metrics.add_argument(
+        "--matcher",
+        default="palmtrie-plus",
+        choices=tuple(sorted(matcher_kinds())),
+    )
+    p_metrics.add_argument("--stride", type=int, default=8)
+    p_metrics.add_argument(
+        "--batch-size", type=int, default=32,
+        help="packets per lookup_batch burst (1 = scalar path)",
+    )
+    p_metrics.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="flow cache capacity (0 disables the cache)",
+    )
+    p_metrics.add_argument(
+        "--freeze", action="store_true",
+        help="serve from the frozen struct-of-arrays plane",
+    )
+    p_metrics.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="text exposition format 0.0.4, or the JSON snapshot schema",
+    )
+    p_metrics.add_argument(
+        "-o", "--out", metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    p_metrics.add_argument(
+        "--serve", type=int, metavar="PORT", default=None,
+        help="serve the exposition over HTTP for exactly one scrape, "
+             "then exit (0 picks a free port)",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_diff = sub.add_parser("diff", help="compare two ACL files")
     p_diff.add_argument("old")

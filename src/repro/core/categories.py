@@ -15,7 +15,7 @@ feature exists for.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional, Sequence
+from typing import Any, Hashable, Iterable, Optional
 
 from .plus import PalmtriePlus
 from .table import TernaryEntry, TernaryMatcher

@@ -47,6 +47,7 @@ source until the first mutation.
 
 from __future__ import annotations
 
+import time
 from array import array
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
@@ -81,7 +82,7 @@ def _ternary_slots(stride: int) -> list[tuple[int, ...]]:
     slots = _SLOT_CACHE.get(stride)
     if slots is None:
         slots = [
-            tuple((i >> (stride - l)) + (1 << l) - 1 for l in range(stride))
+            tuple((i >> (stride - plen)) + (1 << plen) - 1 for plen in range(stride))
             for i in range(1 << stride)
         ]
         _SLOT_CACHE[stride] = slots
@@ -105,6 +106,17 @@ class FrozenMatcher(TernaryMatcher):
     """
 
     name = "frozen"
+
+    # Work/latency counters for the observability plane.  Class-level
+    # defaults on purpose: deserialized planes (and ``from_matcher``)
+    # construct via ``__new__`` and must still read as zero; ``+=``
+    # shadows them with instance attributes on first update.
+    #: cumulative seconds spent in the freeze compiler
+    freeze_seconds_total = 0.0
+    #: seconds the most recent refreeze took
+    last_freeze_seconds = 0.0
+    #: (node, query) pairs processed by batch walks after skipping
+    batch_walk_node_visits = 0
 
     def __init__(self, key_length: int, stride: int = 8, subtree_skipping: bool = True) -> None:
         super().__init__(key_length)
@@ -211,6 +223,7 @@ class FrozenMatcher(TernaryMatcher):
 
     def _refreeze(self) -> None:
         """Recompile the arrays from the source trie."""
+        freeze_start = time.perf_counter()
         source = self._hydrate_source()
         stride = self.stride
         slots_of = _ternary_slots(stride)
@@ -351,6 +364,8 @@ class FrozenMatcher(TernaryMatcher):
         self._np_cache: Optional[dict[str, Any]] = None
         self._dirty = False
         self._freeze_count += 1
+        self.last_freeze_seconds = time.perf_counter() - freeze_start
+        self.freeze_seconds_total += self.last_freeze_seconds
 
     # ------------------------------------------------------------------
     # Lookup: an iterative loop over array indices
@@ -510,6 +525,7 @@ class FrozenMatcher(TernaryMatcher):
             maxp, bits, dispatch, push, data, care, best_of,
             first_leaf, stride, chunk_mask, skipping,
         ) = self._hot
+        visits = 0
         stack: list[tuple[int, list[int]]] = [(0, list(range(len(unique))))]
         while stack:
             x, group = stack.pop()
@@ -518,6 +534,7 @@ class FrozenMatcher(TernaryMatcher):
                 group = [g for g in group if best_priority[g] <= mp]
                 if not group:
                     continue
+            visits += len(group)
             if x >= first_leaf:
                 j = x - first_leaf
                 leaf_data = data[j]
@@ -545,6 +562,7 @@ class FrozenMatcher(TernaryMatcher):
                     base = packed >> _COUNT_BITS
                     for t in range(base, base + c):
                         stack.append((push[t], bucket))
+        self.batch_walk_node_visits += visits
         return best
 
     # -- numpy fast path -------------------------------------------------
@@ -604,6 +622,7 @@ class FrozenMatcher(TernaryMatcher):
         best_leaf = np.full(n, -1, dtype=np.int64)
         nodes = np.zeros(n, dtype=np.int64)  # frontier starts at the root
         qidx = np.arange(n, dtype=np.int64)
+        visits = 0
         while nodes.size:
             mp = maxp[nodes]
             if skipping:
@@ -614,6 +633,7 @@ class FrozenMatcher(TernaryMatcher):
                     mp = mp[keep]
                 if not nodes.size:
                     break
+            visits += int(nodes.size)
             leaf_mask = nodes >= first_leaf
             if leaf_mask.any():
                 lj = nodes[leaf_mask] - first_leaf
@@ -677,6 +697,7 @@ class FrozenMatcher(TernaryMatcher):
             nodes = np.concatenate(next_nodes)
             qidx = np.concatenate(next_qidx)
 
+        self.batch_walk_node_visits += visits
         best_of = self._leaf_best
         return [best_of[j] if j >= 0 else None for j in best_leaf.tolist()]
 

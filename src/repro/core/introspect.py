@@ -16,7 +16,7 @@ from typing import Union
 from .basic import BasicPalmtrie, _DC
 from .basic import _Internal as _BasicInternal
 from .basic import _Leaf as _BasicLeaf
-from .multibit import EXACT, MultibitPalmtrie
+from .multibit import MultibitPalmtrie
 from .multibit import _Internal as _MultibitInternal
 from .multibit import _Leaf as _MultibitLeaf
 

@@ -167,7 +167,7 @@ class MultibitPalmtrie(TernaryMatcher):
         # Ternary slot indices per chunk value: slots for prefixes of
         # lengths 0..k-1 of the chunk, i.e. (i >> (k-l)) + 2**l - 1.
         self._ternary_slots = [
-            tuple((i >> (stride - l)) + (1 << l) - 1 for l in range(stride))
+            tuple((i >> (stride - plen)) + (1 << plen) - 1 for plen in range(stride))
             for i in range(1 << stride)
         ]
 

@@ -22,6 +22,7 @@ popcount on line 21 uses ``bitmap_t``).  This implementation uses
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Any, Iterable, Iterator, Optional, Union
 
@@ -71,6 +72,13 @@ class PalmtriePlus(TernaryMatcher):
     """Palmtrie+_k: Palmtrie_k compiled into bitmap-indexed node arrays."""
 
     name = "palmtrie-plus"
+
+    # Compile-cost counters for the observability plane (class-level
+    # defaults so every construction path starts at zero).
+    #: cumulative seconds spent in :meth:`compile`
+    compile_seconds_total = 0.0
+    #: seconds the most recent :meth:`compile` took
+    last_compile_seconds = 0.0
 
     def __init__(self, key_length: int, stride: int = 8, subtree_skipping: bool = True) -> None:
         super().__init__(key_length)
@@ -189,6 +197,7 @@ class PalmtriePlus(TernaryMatcher):
     def compile(self) -> None:
         """Rebuild the node array from the source trie (compilation part
         of the update procedure, measured separately in Fig. 11/Table 5)."""
+        compile_start = time.perf_counter()
         self._hydrate_source()
         nodes: list[_PlusNode] = []
         root = self._compile_shallow(self._source._root)
@@ -220,6 +229,8 @@ class PalmtriePlus(TernaryMatcher):
         self._root = root
         self._dirty = False
         self._compile_count += 1
+        self.last_compile_seconds = time.perf_counter() - compile_start
+        self.compile_seconds_total += self.last_compile_seconds
 
     @property
     def compile_count(self) -> int:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import abc
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence, Type, Union
 
 from .ternary import TernaryKey

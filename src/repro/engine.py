@@ -59,16 +59,13 @@ from typing import Any, Iterable, Optional, Sequence, Union
 
 from .core.table import LookupStats, TernaryEntry, TernaryMatcher
 from .core.ternary import TernaryKey
+from .obs.metrics import MetricsRegistry, geometric_buckets
+from .obs.timing import TIMER_RESOLUTION as _TIMER_TICK
 
 __all__ = ["FlowCache", "BatchReport", "UpdateReport", "ClassificationEngine"]
 
 #: distinguishes "not cached" from a cached no-match (None) result
 _MISSING = object()
-
-#: smallest measurable perf_counter interval; timing shorter than this
-#: reads as 0.0, so throughput math clamps to it instead of reporting
-#: a rate of zero for work that completed between two clock ticks.
-_TIMER_TICK = time.get_clock_info("perf_counter").resolution or 1e-9
 
 
 class FlowCache:
@@ -239,6 +236,135 @@ class _UpdateBatch:
         return False
 
 
+class _EngineInstruments:
+    """Metric handles for one engine; exists only while metrics are on.
+
+    The split keeps the disabled hot path at a single attribute-load +
+    ``is None`` test (the <2 % budget in docs/observability.md):
+    everything costly lives behind this object.  Latency histograms
+    are *pushed* — once per batch / update / freeze, never per query —
+    while every plain counter the engine already maintains is *pulled*
+    into the registry by :meth:`sync` at export time.
+    """
+
+    __slots__ = (
+        "registry",
+        "batch_seconds",
+        "batch_size",
+        "query_seconds",
+        "update_seconds",
+        "freeze_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        histogram = registry.histogram
+        self.batch_seconds = histogram(
+            "engine_batch_seconds",
+            "Wall-clock seconds per lookup_batch call.",
+        )
+        self.batch_size = histogram(
+            "engine_batch_size",
+            "Queries per lookup_batch call.",
+            buckets=geometric_buckets(1, 2.0, 16),
+        )
+        self.query_seconds = histogram(
+            "engine_query_seconds",
+            "Per-query latency, batch-amortised (mean over each batch, "
+            "weighted by batch size).",
+        )
+        self.update_seconds = histogram(
+            "engine_update_seconds",
+            "Wall-clock seconds per apply_updates transaction.",
+        )
+        self.freeze_seconds = histogram(
+            "engine_freeze_seconds",
+            "Wall-clock seconds per frozen-plane (re)compile.",
+        )
+
+    def sync(self, engine: "ClassificationEngine") -> None:
+        """Mirror the engine's plain counters into the registry.
+
+        Runs as a registry collector at export time, so the lookup
+        path never touches a metric object for these.
+        """
+        registry = self.registry
+        stats = engine.stats
+        counter = registry.counter
+        counter(
+            "engine_lookups_total", "Queries answered, by cache outcome.",
+            labels={"result": "hit"},
+        ).set_total(stats.cache_hits)
+        counter(
+            "engine_lookups_total", "Queries answered, by cache outcome.",
+            labels={"result": "miss"},
+        ).set_total(stats.cache_misses)
+        counter(
+            "engine_cache_evictions_total", "Flow-cache rows evicted (LRU + invalidation)."
+        ).set_total(stats.cache_evictions)
+        counter(
+            "engine_batches_total", "lookup_batch calls served."
+        ).set_total(engine.batches)
+        counter(
+            "engine_updates_applied_total", "Matcher entries inserted or deleted."
+        ).set_total(engine.updates_applied)
+        counter(
+            "engine_update_batches_total", "apply_updates transactions."
+        ).set_total(engine.update_batches)
+        counter(
+            "engine_cache_invalidated_rows_total",
+            "Cache rows dropped because a policy change could re-verdict them.",
+        ).set_total(engine.cache_rows_invalidated)
+        counter(
+            "engine_invalidations_total", "Cache invalidation sweeps, by strategy.",
+            labels={"strategy": "targeted"},
+        ).set_total(engine.targeted_invalidations)
+        counter(
+            "engine_invalidations_total", "Cache invalidation sweeps, by strategy.",
+            labels={"strategy": "lazy"},
+        ).set_total(engine.lazy_invalidations)
+        counter(
+            "engine_policy_swaps_total", "Atomic replace_matcher calls."
+        ).set_total(engine.policy_swaps)
+        counter(
+            "engine_freezes_total", "Frozen-plane compiles."
+        ).set_total(engine.freezes)
+        registry.gauge(
+            "engine_cache_entries", "Flow-cache rows currently held."
+        ).set(len(engine.cache))
+        registry.gauge(
+            "engine_cache_capacity", "Flow-cache capacity (rows)."
+        ).set(engine.cache.capacity)
+        generation = getattr(engine.matcher, "generation", None)
+        registry.gauge(
+            "engine_generation", "Matcher content generation (-1: untracked)."
+        ).set(-1 if generation is None else generation)
+        registry.gauge(
+            "engine_frozen_plane_active", "1 while lookups are served from the frozen plane."
+        ).set(1 if engine._plane is not None else 0)
+        compile_seconds = getattr(engine.matcher, "compile_seconds_total", None)
+        if compile_seconds is not None:
+            counter(
+                "matcher_compile_seconds_total",
+                "Seconds spent recompiling the Palmtrie+ node array.",
+            ).set_total(compile_seconds)
+        # Frozen-plane work counters live on whichever frozen object is
+        # serving: the auto-freeze plane, or the matcher itself.
+        plane = engine._plane if engine._plane is not None else engine.matcher
+        visits = getattr(plane, "batch_walk_node_visits", None)
+        if visits is not None:
+            counter(
+                "frozen_batch_node_visits_total",
+                "(node, query) pairs processed by frozen-plane batch walks.",
+            ).set_total(visits)
+        freeze_seconds = getattr(plane, "freeze_seconds_total", None)
+        if freeze_seconds is not None:
+            counter(
+                "frozen_freeze_seconds_total",
+                "Seconds spent in the frozen-plane freeze compiler.",
+            ).set_total(freeze_seconds)
+
+
 class ClassificationEngine:
     """Serving layer: flow cache + batched lookups over any matcher.
 
@@ -276,6 +402,7 @@ class ClassificationEngine:
         cache_size: int = 4096,
         auto_freeze: bool = False,
         invalidation_threshold: Optional[int] = 1024,
+        metrics: Union[None, bool, MetricsRegistry] = None,
     ) -> None:
         if not callable(getattr(matcher, "lookup", None)):
             raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
@@ -306,6 +433,39 @@ class ClassificationEngine:
         self.lazy_invalidations = 0
         self.policy_swaps = 0
         self.last_update: Optional[UpdateReport] = None
+        self.freeze_seconds_total = 0.0
+        self._instruments: Optional[_EngineInstruments] = None
+        if metrics:
+            self.enable_metrics(metrics if isinstance(metrics, MetricsRegistry) else None)
+
+    # -- metrics ---------------------------------------------------------
+
+    def enable_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Attach a metrics registry (idempotent); returns it.
+
+        With no argument a fresh per-engine registry is created; pass
+        one to share a registry across engines or apps.  Counters the
+        engine already keeps are mirrored in at export time by a
+        collector, so enabling metrics leaves the scalar ``lookup``
+        path untouched and adds one histogram observation per
+        ``lookup_batch`` / ``apply_updates`` / freeze.
+        """
+        if self._instruments is not None:
+            return self._instruments.registry
+        if registry is None:
+            registry = MetricsRegistry()
+        instruments = _EngineInstruments(registry)
+        registry.add_collector(lambda: instruments.sync(self))
+        self._instruments = instruments
+        return registry
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached registry, or None while metrics are disabled."""
+        instruments = self._instruments
+        return None if instruments is None else instruments.registry
 
     @property
     def name(self) -> str:
@@ -322,14 +482,20 @@ class ClassificationEngine:
         if self._plane is None:
             from .core.frozen import freeze
 
+            start = time.perf_counter()
             try:
                 self._plane = freeze(self.matcher)
             except TypeError:
                 # Not a freezable structure; remember and stop trying.
                 self._unfreezable = True
                 return self.matcher
+            elapsed = time.perf_counter() - start
             self.freezes += 1
+            self.freeze_seconds_total += elapsed
             self._plane_generation = getattr(self.matcher, "generation", None)
+            instruments = self._instruments
+            if instruments is not None:
+                instruments.freeze_seconds.observe(elapsed)
         return self._plane
 
     # -- generation coherence -------------------------------------------
@@ -442,6 +608,13 @@ class ClassificationEngine:
         self.batches += 1
         self.batched_queries += n
         self.elapsed_seconds += seconds
+        instruments = self._instruments
+        if instruments is not None and n:
+            # One bisect each per batch; the per-query latency series
+            # is the batch mean weighted by the batch size.
+            instruments.batch_seconds.observe(seconds)
+            instruments.batch_size.observe(n)
+            instruments.query_seconds.observe(seconds / n, n)
         self.last_batch = BatchReport(
             queries=n,
             matcher_queries=len(miss_positions),
@@ -545,6 +718,9 @@ class ClassificationEngine:
             generation=getattr(matcher, "generation", None),
         )
         self.last_update = report
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.update_seconds.observe(report.seconds)
         return report
 
     def update_batch(self) -> _UpdateBatch:
@@ -621,10 +797,22 @@ class ClassificationEngine:
         # rate stays finite (see _TIMER_TICK).
         return self.batched_queries / max(self.elapsed_seconds, _TIMER_TICK)
 
+    def latency_summary(self) -> Optional[dict[str, dict[str, float]]]:
+        """p50/p90/p99/p999 of the batch, per-query and update latency
+        histograms; None while metrics are disabled."""
+        instruments = self._instruments
+        if instruments is None:
+            return None
+        return {
+            "batch_seconds": instruments.batch_seconds.quantiles(),
+            "query_seconds": instruments.query_seconds.quantiles(),
+            "update_seconds": instruments.update_seconds.quantiles(),
+        }
+
     def report(self) -> dict[str, Any]:
         """Engine counters in one dict (CLI / harness consumption)."""
         stats = self.stats
-        return {
+        summary: dict[str, Any] = {
             "matcher": getattr(self.matcher, "name", type(self.matcher).__name__),
             "lookups": stats.lookups,
             "cache_size": self.cache.capacity,
@@ -647,7 +835,13 @@ class ClassificationEngine:
             "invalidation_threshold": self.invalidation_threshold,
             "generation": getattr(self.matcher, "generation", None),
             "plane_generation": self._plane_generation,
+            "freeze_seconds_total": self.freeze_seconds_total,
+            "metrics_enabled": self._instruments is not None,
         }
+        latency = self.latency_summary()
+        if latency is not None:
+            summary["latency"] = latency
+        return summary
 
     def reset_stats(self) -> None:
         self.stats.reset()

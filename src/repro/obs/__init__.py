@@ -1,0 +1,41 @@
+"""Observability plane: metric primitives, exporters, timing helpers.
+
+See docs/observability.md for the metric catalogue and the <2 %
+instrumentation budget this package is designed around.
+"""
+
+from .export import (
+    SNAPSHOT_SCHEMA,
+    render_prometheus,
+    snapshot,
+    validate_snapshot,
+    write_snapshot,
+)
+from .metrics import (
+    COUNTER_WIDTH,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    geometric_buckets,
+)
+from .timing import TIMER_RESOLUTION, clamp_seconds, safe_rate
+
+__all__ = [
+    "COUNTER_WIDTH",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SNAPSHOT_SCHEMA",
+    "TIMER_RESOLUTION",
+    "clamp_seconds",
+    "geometric_buckets",
+    "render_prometheus",
+    "safe_rate",
+    "snapshot",
+    "validate_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,225 @@
+"""Exporters: Prometheus text exposition and a stable JSON snapshot.
+
+Two consumers, two formats:
+
+* ``render_prometheus`` emits the text exposition format (version
+  0.0.4) a Prometheus scrape expects — ``# HELP``/``# TYPE`` headers,
+  cumulative ``_bucket{le=...}`` series, ``_sum``/``_count`` — for the
+  CLI's ``metrics`` subcommand and its one-shot ``--serve`` mode.
+* ``snapshot`` emits a JSON document under the versioned schema id
+  :data:`SNAPSHOT_SCHEMA` for machine consumers: ``replay
+  --metrics-out``, the benchmark trajectory, and tests.  The schema is
+  append-only — new metric entries may appear, existing fields never
+  change meaning — so downstream diffing stays valid across PRs.
+
+``validate_snapshot`` is the schema check the end-to-end tests (and
+any external consumer) use; it returns a list of human-readable
+problems, empty when the document conforms.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Optional
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "render_prometheus",
+    "snapshot",
+    "write_snapshot",
+    "validate_snapshot",
+]
+
+#: schema identifier stamped into every JSON snapshot; bump only on an
+#: incompatible change (consumers reject unknown majors).
+SNAPSHOT_SCHEMA = "palmtrie-repro/metrics-snapshot/v1"
+
+_QUANTILE_KEYS = ("p50", "p90", "p99", "p999")
+
+
+def _format_value(value: float) -> str:
+    """A number in Prometheus exposition spelling."""
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(pairs: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label(value)}"' for key, value in pairs]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state as text exposition format 0.0.4.
+
+    Runs the registry's collectors first, so mirrored counters are
+    fresh at scrape time.  Families are emitted in name order with one
+    ``# HELP``/``# TYPE`` header each; label sets within a family are
+    emitted in sorted order, so the output is deterministic.
+    """
+    prefix = f"{registry.namespace}_" if registry.namespace else ""
+    families: dict[str, list[Any]] = {}
+    for metric in registry.collect():
+        families.setdefault(metric.name, []).append(metric)
+
+    lines: list[str] = []
+    for name in sorted(families):
+        members = families[name]
+        head = members[0]
+        full = f"{prefix}{name}"
+        if head.help:
+            lines.append(f"# HELP {full} {_escape_help(head.help)}")
+        lines.append(f"# TYPE {full} {head.kind}")
+        for metric in members:
+            if isinstance(metric, Histogram):
+                for bound, cum in metric.cumulative():
+                    le = _render_labels(
+                        metric.labels, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{full}_bucket{le} {cum}")
+                labels = _render_labels(metric.labels)
+                lines.append(f"{full}_sum{labels} {_format_value(metric.sum)}")
+                lines.append(f"{full}_count{labels} {metric.count}")
+            else:
+                labels = _render_labels(metric.labels)
+                lines.append(f"{full}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricsRegistry) -> dict[str, Any]:
+    """The registry's current state as a schema-stable JSON document.
+
+    Histograms carry both the raw cumulative buckets (lossless, what a
+    re-exporter would need) and the derived p50/p90/p99/p999 summary
+    (what the CI trajectory and humans read).
+    """
+    metrics: list[dict[str, Any]] = []
+    for metric in registry.collect():
+        entry: dict[str, Any] = {
+            "name": metric.name,
+            "type": metric.kind,
+            "labels": dict(metric.labels),
+        }
+        if metric.help:
+            entry["help"] = metric.help
+        if isinstance(metric, Histogram):
+            entry["count"] = metric.count
+            entry["sum"] = metric.sum
+            entry["buckets"] = [
+                {"le": "+Inf" if math.isinf(bound) else bound, "count": cum}
+                for bound, cum in metric.cumulative()
+            ]
+            quantiles = metric.quantiles()
+            entry["quantiles"] = {
+                key: (None if math.isnan(value) else value)
+                for key, value in quantiles.items()
+            }
+        else:
+            entry["value"] = metric.value
+        metrics.append(entry)
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "namespace": registry.namespace,
+        "metrics": metrics,
+    }
+
+
+def write_snapshot(registry: MetricsRegistry, path: str) -> dict[str, Any]:
+    """Serialise :func:`snapshot` to ``path``; returns the document."""
+    document = snapshot(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def _check_histogram(entry: dict[str, Any], where: str, problems: list[str]) -> None:
+    for field_name in ("count", "sum", "buckets", "quantiles"):
+        if field_name not in entry:
+            problems.append(f"{where}: histogram missing {field_name!r}")
+    buckets = entry.get("buckets")
+    if isinstance(buckets, list) and buckets:
+        last_count: Optional[int] = None
+        for index, bucket in enumerate(buckets):
+            if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+                problems.append(f"{where}: bucket {index} malformed")
+                return
+            count = bucket["count"]
+            if last_count is not None and count < last_count:
+                problems.append(f"{where}: bucket counts not cumulative at {index}")
+            last_count = count
+        if buckets[-1]["le"] != "+Inf":
+            problems.append(f"{where}: last bucket must be +Inf")
+        elif "count" in entry and buckets[-1]["count"] != entry["count"]:
+            problems.append(f"{where}: +Inf bucket != total count")
+    elif buckets is not None and not isinstance(buckets, list):
+        problems.append(f"{where}: buckets must be a list")
+    quantiles = entry.get("quantiles")
+    if isinstance(quantiles, dict):
+        for key in _QUANTILE_KEYS:
+            if key not in quantiles:
+                problems.append(f"{where}: quantiles missing {key!r}")
+    elif quantiles is not None:
+        problems.append(f"{where}: quantiles must be an object")
+
+
+def validate_snapshot(document: Any) -> list[str]:
+    """Structural check of a snapshot document.
+
+    Returns a list of problems; an empty list means the document
+    conforms to :data:`SNAPSHOT_SCHEMA`.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["snapshot must be a JSON object"]
+    if document.get("schema") != SNAPSHOT_SCHEMA:
+        problems.append(
+            f"schema mismatch: expected {SNAPSHOT_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if "namespace" not in document:
+        problems.append("missing 'namespace'")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list):
+        problems.append("'metrics' must be a list")
+        return problems
+    for index, entry in enumerate(metrics):
+        where = f"metrics[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing metric name")
+            continue
+        where = f"metrics[{index}] ({name})"
+        kind = entry.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where}: unknown type {kind!r}")
+            continue
+        if not isinstance(entry.get("labels"), dict):
+            problems.append(f"{where}: labels must be an object")
+        if kind == "histogram":
+            _check_histogram(entry, where, problems)
+        elif not isinstance(entry.get("value"), (int, float)):
+            problems.append(f"{where}: missing numeric value")
+    return problems

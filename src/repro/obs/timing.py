@@ -1,0 +1,46 @@
+"""Shared wall-clock helpers for throughput math.
+
+Every timed path in this repo — engine batches, benchmark smokes, the
+CLI replay loop — divides a work count by an elapsed ``perf_counter``
+interval.  Work that completes between two clock ticks reads as 0.0
+seconds, which turns into a rate of zero (or a ZeroDivisionError) and
+poisons ratio-based regression gates.  The engine grew a private clamp
+for this in PR 3; this module is the one canonical home for it, so the
+benchmarks and the metrics plane divide the same way the engine does.
+
+Zero-dependency on purpose: ``repro.engine`` and ``repro.bench`` both
+import from here, and this module must never import back.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["TIMER_RESOLUTION", "clamp_seconds", "safe_rate"]
+
+#: smallest measurable perf_counter interval; timing shorter than this
+#: reads as 0.0, so throughput math clamps to it instead of reporting
+#: a rate of zero for work that completed between two clock ticks.
+TIMER_RESOLUTION = time.get_clock_info("perf_counter").resolution or 1e-9
+
+
+def clamp_seconds(seconds: float) -> float:
+    """``seconds``, floored at the perf_counter tick.
+
+    Use on any elapsed interval that feeds a division: a sub-tick
+    measurement is "faster than the clock can see", not infinitely
+    fast.
+    """
+    return seconds if seconds > TIMER_RESOLUTION else TIMER_RESOLUTION
+
+
+def safe_rate(count: float, seconds: float) -> float:
+    """``count / seconds`` with the elapsed time clamped to the tick.
+
+    Zero work is a rate of zero regardless of how little time it took;
+    nonzero work over a sub-tick interval is clamped rather than
+    reported as infinite or zero.
+    """
+    if count <= 0:
+        return 0.0
+    return count / clamp_seconds(seconds)

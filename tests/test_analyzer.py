@@ -1,7 +1,5 @@
 """Unit tests for ACL analysis (repro.acl.analyzer)."""
 
-import pytest
-
 from repro.acl.analyzer import (
     equivalent_on_samples,
     find_conflicts,

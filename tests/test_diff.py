@@ -1,7 +1,5 @@
 """Unit tests for ACL diffing (repro.acl.diff)."""
 
-import pytest
-
 from repro.acl.diff import diff_acls
 from repro.acl.parser import parse_acl
 

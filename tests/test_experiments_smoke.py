@@ -5,8 +5,6 @@ paper's artifact would.  Kept tiny — the real sizes come from the CLI
 at the REPRO_SCALE presets; these tests guard the plumbing.
 """
 
-import pytest
-
 from repro.bench.experiments import (
     fig07_optimizations,
     fig08_stride,
@@ -80,8 +78,6 @@ def test_ipv6_micro():
 
 
 def test_run_experiment_appends_timing():
-    from repro.bench.experiments import run_experiment
-
     # run_experiment reads the env scale; call the cheapest driver via
     # the registry only for the error path (timing suffix checked here
     # through a direct micro call instead).

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.acl.analyzer import equivalent_on_samples, remove_redundant
 from repro.acl.compiler import compile_acl
 from repro.acl.rule import Action
@@ -63,7 +61,6 @@ class TestOptimizedPolicyDeployment:
         assert equivalent_on_samples(bloated, optimized, samples=500) is None
         original = Firewall(compile_acl(bloated))
         slim = Firewall(compile_acl(optimized))
-        rng = random.Random(12)
         queries = uniform_traffic(compile_acl(bloated).entries, 300)
         for query in queries:
             header = PacketHeader.from_query(query)

@@ -5,8 +5,6 @@ intricate part of the structure; these tests construct key sets that
 force each split scenario and verify structure invariants afterwards.
 """
 
-import pytest
-
 from helpers import assert_same_result, oracle_lookup
 from repro.core.multibit import EXACT, TERNARY, MultibitPalmtrie, _Internal, _Leaf, key_path
 from repro.core.table import TernaryEntry

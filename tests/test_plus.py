@@ -4,7 +4,7 @@ import pytest
 
 from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
 from repro.core.multibit import MultibitPalmtrie
-from repro.core.plus import PalmtriePlus, _PlusInternal, _PlusLeaf
+from repro.core.plus import PalmtriePlus, _PlusLeaf
 from repro.core.table import TernaryEntry
 from repro.core.ternary import TernaryKey
 

@@ -6,7 +6,6 @@ supporting properties pin down the key algebra and the key-path
 decomposition the multi-bit stride relies on.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from helpers import assert_same_result, oracle_lookup
@@ -106,13 +105,12 @@ def test_key_path_reconstructs_key(key, stride):
             for offset in range(stride):
                 set_digit(bit + offset, str((index >> offset) & 1))
         else:
-            prefix_len = index.bit_length() if index else 0
-            # invert: index = 2**l + p - 1 with p in [0, 2**l)
-            l = (index + 1).bit_length() - 1
-            p = index + 1 - (1 << l)
-            star_position = bit + stride - 1 - l
+            # invert: index = 2**plen + p - 1 with p in [0, 2**plen)
+            plen = (index + 1).bit_length() - 1
+            p = index + 1 - (1 << plen)
+            star_position = bit + stride - 1 - plen
             set_digit(star_position, "*")
-            for offset in range(l):
+            for offset in range(plen):
                 set_digit(
                     star_position + 1 + offset, str((p >> offset) & 1)
                 )
