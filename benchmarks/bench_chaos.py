@@ -1,0 +1,258 @@
+"""Chaos smoke — the resilience plane under seeded fault injection.
+
+Four fault classes run against a guarded :class:`ClassificationEngine`,
+each over the same differential trace whose ground truth comes from the
+linear-scan reference matcher:
+
+* ``frozen-walk`` — injected exceptions inside the frozen plane; the
+  guard must degrade to the interpreted matcher and the breaker must
+  open, with every verdict unchanged;
+* ``cache-poison`` — live flow-cache rows overwritten with wrong
+  verdicts; shadow verification (sample 1.0) must repair every lie and
+  quarantine the fast path;
+* ``checkpoint-corrupt`` — seeded bit flips in a policy checkpoint;
+  startup recovery must reject it (checksum) and rebuild from source;
+* ``update-fault`` — a raise mid-``apply_updates``; the transaction
+  must report the error and leave the engine serving correct answers.
+
+The acceptance bar (the paper's correctness contract under failure):
+**zero wrong answers** across every class, each fault demonstrably
+fired, and the degraded serving rate at least half the unguarded
+baseline (``chaos_degraded_rate_ratio`` in the perf trajectory).
+
+``main()`` prints the scenario table; ``main(smoke=True)`` is the CI
+entry point (same scenarios, smaller trace).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import timeit
+
+from conftest import KEY_LENGTH
+from repro.core.plus import PalmtriePlus
+from repro.core.table import build_matcher
+from repro.engine import ClassificationEngine
+from repro.obs.timing import clamp_seconds
+from repro.resilience import FaultInjector, GuardRail, injected
+from repro.workloads.campus import campus_acl
+from repro.workloads.traffic import zipf_trace
+
+#: flows in the Zipf population (matches bench_engine_cache)
+FLOWS = 64
+#: packets per lookup_batch burst during the differential replay
+BATCH = 64
+
+
+def _priority(entry) -> object:
+    return None if entry is None else entry.priority
+
+
+def _verdicts(engine: ClassificationEngine, queries: list[int]) -> list[object]:
+    """The engine's winning priorities over the trace, batch by batch."""
+    out: list[object] = []
+    for offset in range(0, len(queries), BATCH):
+        out.extend(
+            _priority(e) for e in engine.lookup_batch(queries[offset : offset + BATCH])
+        )
+    return out
+
+
+def _mismatches(got: list[object], truth: list[object]) -> int:
+    return sum(1 for a, b in zip(got, truth) if a != b)
+
+
+def _scenario_frozen_walk(acl, queries, truth):
+    """Injected frozen-plane exceptions: degrade, open the breaker,
+    never change an answer.  Returns (mismatches, fired, engine)."""
+    injector = FaultInjector(seed=7)
+    injector.arm("frozen_walk", rate=1.0, count=3)
+    guard = GuardRail(injector=injector, backoff_seconds=60.0, max_backoff_seconds=600.0)
+    engine = ClassificationEngine(
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        cache_size=0,
+        auto_freeze=True,
+        resilience=guard,
+    )
+    with injected(injector):
+        got = _verdicts(engine, queries)
+    fired = injector.fired["frozen_walk"]
+    if fired == 0:
+        raise SystemExit("chaos: frozen-walk faults never fired")
+    if guard.breaker.state.value != "open":
+        raise SystemExit(
+            f"chaos: breaker is {guard.breaker.state.value!r} after "
+            f"{fired} frozen-plane faults (expected open)"
+        )
+    return _mismatches(got, truth), fired, engine
+
+
+def _scenario_cache_poison(acl, queries, truth):
+    """Poisoned flow-cache rows: shadow verification (sample 1.0) must
+    catch and repair every wrong cached verdict."""
+    injector = FaultInjector(seed=13)
+    injector.arm("cache", rate=0.5)
+    guard = GuardRail(shadow_sample=1.0, injector=injector)
+    engine = ClassificationEngine(
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        cache_size=4 * FLOWS,
+        resilience=guard,
+    )
+    got = _verdicts(engine, queries)
+    fired = injector.fired["cache"]
+    if fired == 0:
+        raise SystemExit("chaos: cache poisoning never fired")
+    return _mismatches(got, truth), fired, engine
+
+
+def _scenario_checkpoint_corrupt(acl, queries, truth):
+    """Bit-flipped checkpoint: recovery must reject it (sha-256) and
+    rebuild the policy from ACL source, then serve correct answers."""
+    injector = FaultInjector(seed=11)
+    source = ClassificationEngine(
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8)
+    )
+    handle, path = tempfile.mkstemp(suffix=".plmc")
+    os.close(handle)
+    try:
+        source.checkpoint(path)
+        with open(path, "rb") as reader:
+            blob = reader.read()
+        with open(path, "wb") as writer:
+            writer.write(injector.corrupt(blob, flips=4))
+        engine = ClassificationEngine.from_checkpoint(
+            path,
+            rebuild=lambda: PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        )
+    finally:
+        os.unlink(path)
+    if engine.checkpoint_rebuilds != 1 or engine.last_recovery.error is None:
+        raise SystemExit("chaos: corrupt checkpoint was not rejected")
+    got = _verdicts(engine, queries)
+    return _mismatches(got, truth), 1, engine
+
+
+def _scenario_update_fault(acl, queries, truth):
+    """A raise mid-transaction: apply_updates must surface the error in
+    its report and leave the engine serving the pre-transaction policy."""
+    from repro.core.table import TernaryEntry
+    from repro.core.ternary import TernaryKey
+
+    injector = FaultInjector(seed=5)
+    injector.arm("update", rate=1.0, count=1)
+    guard = GuardRail(injector=injector)
+    engine = ClassificationEngine(
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        cache_size=4 * FLOWS,
+        resilience=guard,
+    )
+    engine.lookup_batch(queries[: 4 * BATCH])  # warm the cache pre-fault
+    canary = TernaryEntry(
+        key=TernaryKey.exact(queries[0], KEY_LENGTH), value=-1, priority=-1
+    )
+    report = engine.apply_updates([("insert", canary)])
+    if report.error is None or injector.fired["update"] != 1:
+        raise SystemExit("chaos: update fault did not surface in the report")
+    got = _verdicts(engine, queries)
+    return _mismatches(got, truth), 1, engine
+
+
+def _degraded_rate_ratio(acl, queries, rounds: int = 5) -> float:
+    """Degraded-over-baseline batched rate.
+
+    Baseline is an unguarded engine on the interpreted matcher; the
+    degraded engine wanted the frozen plane but lost it to injected
+    faults (breaker open, long backoff) and serves the same interpreted
+    tier through the guard.  Interleaved min-of-rounds, as in
+    ``bench_engine_cache._metrics_overhead_ratio``.
+    """
+    baseline = ClassificationEngine(
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8), cache_size=0
+    )
+    injector = FaultInjector(seed=7)
+    injector.arm("frozen_walk", rate=1.0, count=3)
+    guard = GuardRail(injector=injector, backoff_seconds=300.0, max_backoff_seconds=600.0)
+    degraded = ClassificationEngine(
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        cache_size=0,
+        auto_freeze=True,
+        resilience=guard,
+    )
+    with injected(injector):
+        for _ in range(4):  # burn the fault budget; the breaker opens
+            degraded.lookup_batch(queries[:BATCH])
+    if guard.breaker.state.value != "open":
+        raise SystemExit("chaos: degraded engine failed to reach open-breaker state")
+    best_baseline = float("inf")
+    best_degraded = float("inf")
+    for _ in range(rounds):
+        best_baseline = min(
+            best_baseline, timeit.timeit(lambda: baseline.lookup_batch(queries), number=1)
+        )
+        best_degraded = min(
+            best_degraded, timeit.timeit(lambda: degraded.lookup_batch(queries), number=1)
+        )
+    return clamp_seconds(best_baseline) / clamp_seconds(best_degraded)
+
+
+SCENARIOS = (
+    ("frozen-walk", _scenario_frozen_walk),
+    ("cache-poison", _scenario_cache_poison),
+    ("checkpoint-corrupt", _scenario_checkpoint_corrupt),
+    ("update-fault", _scenario_update_fault),
+)
+
+
+def main(smoke: bool = False) -> dict[str, float]:
+    """Run every fault class; returns the smoke-ratio metrics for the
+    unified ``benchmarks/run_smokes.py`` perf trajectory."""
+    from repro.bench.report import Table
+
+    acl = campus_acl(2 if smoke else 4)
+    count = 4_000 if smoke else 10_000
+    queries = zipf_trace(acl.entries, count, flows=FLOWS)
+    reference = build_matcher("sorted-list", acl.entries, KEY_LENGTH)
+    truth = [_priority(reference.lookup(q)) for q in queries]
+
+    table = Table(
+        f"chaos differential ({count} packets vs linear-scan reference)",
+        ["fault class", "fired", "mismatches", "health", "serving plane"],
+    )
+    total_mismatches = 0
+    for name, scenario in SCENARIOS:
+        mismatches, fired, engine = scenario(acl, queries, truth)
+        total_mismatches += mismatches
+        guard = engine.resilience
+        table.add_row(
+            name,
+            str(fired),
+            str(mismatches),
+            engine.health,
+            (guard.last_plane if guard is not None else None) or "matcher",
+        )
+    print(table.render())
+    if total_mismatches:
+        raise SystemExit(
+            f"chaos differential FAILED: {total_mismatches} wrong answers "
+            f"across {len(SCENARIOS)} fault classes (must be 0)"
+        )
+
+    ratio = _degraded_rate_ratio(acl, queries[: 2_000 if smoke else len(queries)])
+    metrics = {"chaos_degraded_rate_ratio": ratio}
+    if ratio < 0.5:
+        raise SystemExit(
+            f"chaos throughput regression: degraded engine runs at "
+            f"{ratio:.3f}x the unguarded baseline (floor 0.5x)"
+        )
+    print(
+        f"chaos smoke: 0 wrong answers across {len(SCENARIOS)} fault classes; "
+        f"degraded rate {ratio:.3f}x baseline (floor 0.5x)"
+    )
+    return metrics
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(smoke="--smoke" in sys.argv)

@@ -108,6 +108,42 @@ def _metrics_overhead_ratio(acl, queries, rounds: int = 7) -> float:
     return clamp_seconds(best_disabled) / clamp_seconds(best_enabled)
 
 
+def _guard_overhead_ratio(acl, queries, rounds: int = 9) -> float:
+    """Guarded-over-unguarded lookup rate on the batched serving path.
+
+    Same interleaved min-of-rounds protocol as
+    :func:`_metrics_overhead_ratio`.  The healthy-path cost of the
+    resilience plane is a handful of ``is None`` tests per batch, so
+    the enforced budget is the same 0.98 (docs/resilience.md).
+    """
+    import timeit
+
+    from repro.core.table import build_matcher
+    from repro.resilience.guard import GuardRail
+
+    plain = ClassificationEngine(
+        build_matcher("palmtrie-plus", acl.entries, KEY_LENGTH),
+        cache_size=4 * FLOWS,
+    )
+    guarded = ClassificationEngine(
+        build_matcher("palmtrie-plus", acl.entries, KEY_LENGTH),
+        cache_size=4 * FLOWS,
+        resilience=GuardRail(),
+    )
+    plain.lookup_batch(queries)  # warm both caches before timing
+    guarded.lookup_batch(queries)
+    best_plain = float("inf")
+    best_guarded = float("inf")
+    for _ in range(rounds):
+        best_plain = min(
+            best_plain, timeit.timeit(lambda: plain.lookup_batch(queries), number=10)
+        )
+        best_guarded = min(
+            best_guarded, timeit.timeit(lambda: guarded.lookup_batch(queries), number=10)
+        )
+    return clamp_seconds(best_plain) / clamp_seconds(best_guarded)
+
+
 def main(smoke: bool = False) -> dict[str, float]:
     """Run the comparison; returns the smoke-ratio metrics the unified
     ``benchmarks/run_smokes.py`` records in the perf trajectory."""
@@ -158,9 +194,18 @@ def main(smoke: bool = False) -> dict[str, float]:
                 f"instrumentation overhead regression: metrics-enabled engine "
                 f"runs at {overhead:.3f}x the disabled rate (budget >= 0.98x)"
             )
+        guard = _guard_overhead_ratio(acl, queries)
+        metrics["guard_overhead_ratio"] = guard
+        if guard < 0.98:
+            raise SystemExit(
+                f"resilience overhead regression: guarded engine runs at "
+                f"{guard:.3f}x the unguarded rate on the healthy path "
+                f"(budget >= 0.98x)"
+            )
         print(
             f"engine smoke benchmark: warm cache beats uncached scalar; "
-            f"metrics-enabled rate {overhead:.3f}x disabled (budget >= 0.98x)"
+            f"metrics-enabled rate {overhead:.3f}x disabled, guarded rate "
+            f"{guard:.3f}x unguarded (budgets >= 0.98x)"
         )
     return metrics
 

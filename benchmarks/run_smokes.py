@@ -1,7 +1,8 @@
 """Unified CI smoke runner and perf-trajectory gate.
 
 Runs every benchmark smoke in one process (``bench_engine_cache``,
-``bench_frozen``, ``bench_updates``), collects the headline ratios each
+``bench_frozen``, ``bench_updates``, ``bench_chaos``), collects the
+headline ratios each
 ``main(smoke=True)`` returns, and writes them as a *trajectory*: one
 record per metric, stamped with the current commit SHA and a UTC
 timestamp, so CI artifacts accumulate into a per-commit history of the
@@ -40,6 +41,7 @@ SMOKES = (
     ("bench_engine_cache", "flow-cache serving path"),
     ("bench_frozen", "frozen lookup plane"),
     ("bench_updates", "transactional update plane"),
+    ("bench_chaos", "resilience chaos plane"),
 )
 
 

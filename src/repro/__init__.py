@@ -59,6 +59,15 @@ from .core import (
 from .core.table import matcher_kinds
 from .engine import BatchReport, ClassificationEngine, FlowCache, UpdateReport
 from .packet import PacketHeader, decode_packet, encode_packet
+from .resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    GuardRail,
+    InjectedFault,
+    read_checkpoint,
+    recover,
+    write_checkpoint,
+)
 
 #: public registry of matcher kinds: ``{kind name: matcher class}``.
 #: ``build_matcher`` accepts either the kind string or the class itself.
@@ -72,14 +81,18 @@ __all__ = [
     "AdaptiveMatcher",
     "BasicPalmtrie",
     "BatchReport",
+    "CircuitBreaker",
     "ClassificationEngine",
     "CompiledAcl",
     "DpdkStyleAcl",
     "EffiCutsClassifier",
+    "FaultInjector",
     "FlowCache",
     "FlowMonitor",
     "FlowRecord",
     "FrozenMatcher",
+    "GuardRail",
+    "InjectedFault",
     "FrozenPoptrie",
     "LAYOUT_V4",
     "LAYOUT_V6",
@@ -107,6 +120,9 @@ __all__ = [
     "load_frozen",
     "matcher_kinds",
     "parse_acl",
+    "read_checkpoint",
+    "recover",
     "save_frozen",
+    "write_checkpoint",
     "__version__",
 ]

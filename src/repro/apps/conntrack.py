@@ -33,6 +33,7 @@ from ..core.plus import PalmtriePlus
 from ..core.table import TernaryMatcher
 from ..engine import ClassificationEngine
 from ..obs.metrics import MetricsRegistry
+from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PROTO_TCP, PacketHeader
 
 __all__ = ["ConnState", "Connection", "StatefulFirewall"]
@@ -82,6 +83,7 @@ class StatefulFirewall:
         cache_size: int = 4096,
         auto_freeze: bool = False,
         metrics: Union[None, bool, MetricsRegistry] = None,
+        resilience: Union[None, bool, object] = None,
     ) -> None:
         if idle_timeout <= 0 or closing_timeout <= 0:
             raise ValueError("timeouts must be positive")
@@ -93,6 +95,7 @@ class StatefulFirewall:
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
+            resilience=resilience,
         )
         self.idle_timeout = idle_timeout
         self.closing_timeout = closing_timeout
@@ -101,6 +104,7 @@ class StatefulFirewall:
         self.fast_path_hits = 0
         self.acl_evaluations = 0
         self.table_full_drops = 0
+        self.decode_errors = 0
         registry = self.engine.metrics
         if registry is not None:
             registry.add_collector(self._collect_metrics)
@@ -121,6 +125,10 @@ class StatefulFirewall:
             "conntrack_table_full_drops_total",
             "Packets denied because the flow table was full (fail closed).",
         ).set_total(self.table_full_drops)
+        registry.counter(
+            "conntrack_decode_errors_total",
+            "Undecodable frames denied by check_bytes (fail closed).",
+        ).set_total(self.decode_errors)
         registry.gauge(
             "conntrack_connections", "Flows currently tracked."
         ).set(len(self._table))
@@ -178,6 +186,20 @@ class StatefulFirewall:
             state=state, last_seen=timestamp, packets=1, rule_index=rule_index
         )
         return Action.PERMIT
+
+    def check_bytes(self, frame: bytes, timestamp: float = 0.0) -> Action:
+        """Decode a raw IPv4 packet and apply stateful policy.
+
+        Undecodable frames are counted and denied (fail closed) — the
+        same contract as ``Firewall.check_bytes``; a malformed frame
+        never reaches the flow table or the ACL.
+        """
+        try:
+            header = decode_packet(frame)
+        except PacketDecodeError:
+            self.decode_errors += 1
+            return Action.DENY
+        return self.check(header, timestamp=timestamp)
 
     def _advance_tcp(self, connection: Connection, header: PacketHeader) -> None:
         if header.proto != PROTO_TCP:

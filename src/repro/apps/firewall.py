@@ -44,6 +44,7 @@ class Firewall:
         cache_size: int = 4096,
         auto_freeze: bool = False,
         metrics: Union[None, bool, MetricsRegistry] = None,
+        resilience: Union[None, bool, object] = None,
     ) -> None:
         self.acl = acl
         self.default_action = default_action
@@ -52,6 +53,7 @@ class Firewall:
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
+            resilience=resilience,
         )
         self._counters = [RuleCounter(rule) for rule in acl.rules]
         self.default_hits = 0

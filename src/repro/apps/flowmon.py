@@ -21,6 +21,7 @@ from ..core.plus import PalmtriePlus
 from ..core.table import TernaryEntry, TernaryMatcher
 from ..engine import ClassificationEngine
 from ..obs.metrics import MetricsRegistry
+from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
 __all__ = ["FlowKey", "FlowRecord", "FlowMonitor"]
@@ -77,6 +78,7 @@ class FlowMonitor:
         cache_size: int = 4096,
         auto_freeze: bool = False,
         metrics: Union[None, bool, MetricsRegistry] = None,
+        resilience: Union[None, bool, object] = None,
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError(f"idle timeout must be positive, got {idle_timeout}")
@@ -86,6 +88,7 @@ class FlowMonitor:
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
+            resilience=resilience,
         )
         self.idle_timeout = idle_timeout
         self.default_class = default_class
@@ -94,6 +97,7 @@ class FlowMonitor:
         self.packets_seen = 0
         self.octets_seen = 0
         self.flows_exported = 0
+        self.decode_errors = 0
         registry = self.engine.metrics
         if registry is not None:
             registry.add_collector(self._collect_metrics)
@@ -111,6 +115,10 @@ class FlowMonitor:
         registry.counter(
             "flowmon_exported_flows_total", "Expired flows exported (IPFIX-style)."
         ).set_total(self.flows_exported)
+        registry.counter(
+            "flowmon_decode_errors_total",
+            "Undecodable frames skipped by observe_bytes (not accounted).",
+        ).set_total(self.decode_errors)
         registry.gauge(
             "flowmon_active_flows", "Flow records currently tracked."
         ).set(len(self._flows))
@@ -171,6 +179,20 @@ class FlowMonitor:
         record.last_seen = max(record.last_seen, timestamp)
         record.tcp_flags_or |= header.tcp_flags
         return record
+
+    def observe_bytes(self, frame: bytes, timestamp: float = 0.0) -> Optional[FlowRecord]:
+        """Decode a raw IPv4 packet and account it.
+
+        Undecodable frames are counted and skipped (returns None) — a
+        monitor must not crash, and must not attribute garbage octets
+        to any flow.
+        """
+        try:
+            header = decode_packet(frame)
+        except PacketDecodeError:
+            self.decode_errors += 1
+            return None
+        return self.observe(header, length=len(frame), timestamp=timestamp)
 
     # ------------------------------------------------------------------
 

@@ -70,6 +70,7 @@ class L3Forwarder:
         cache_size: int = 4096,
         auto_freeze: bool = False,
         metrics: Union[None, bool, MetricsRegistry] = None,
+        resilience: Union[None, bool, object] = None,
     ) -> None:
         """``routes`` are ``(prefix_bits, prefix_len, out_port)`` over the
         destination address; ``acl`` decides permit/deny first."""
@@ -79,6 +80,7 @@ class L3Forwarder:
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
+            resilience=resilience,
         )
         self.rib = Poptrie.build(routes, key_length=32)
         self.default_action = default_action
@@ -105,6 +107,10 @@ class L3Forwarder:
         registry.counter(
             "l3fwd_received_total", "Packets entering the pipeline."
         ).set_total(stats.received)
+        registry.counter(
+            "l3fwd_decode_errors_total",
+            "Undecodable frames dropped by process_bytes (fail closed).",
+        ).set_total(stats.decode_errors)
         for port, sent in sorted(stats.per_port_tx.items()):
             registry.counter(
                 "l3fwd_tx_total", "Packets transmitted, by output port.",

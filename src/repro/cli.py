@@ -23,13 +23,20 @@ Subcommands:
     Lint an ACL file: shadowed rules, conflicts, redundancy.
 
 ``replay``
-    Replay a binary trace or pcap file through an ACL and report
-    verdicts and the sustained lookup rate; ``--metrics-out`` writes a
-    JSON metrics snapshot of the run.
+    Replay a binary trace or pcap file through an ACL (or a compiled
+    ``.plm``/``.plmf`` policy) and report verdicts and the sustained
+    lookup rate; ``--metrics-out`` writes a JSON metrics snapshot of
+    the run.
 
 ``metrics``
     Replay a trace with metrics enabled and dump (or serve, one-shot)
     the Prometheus text exposition or the JSON snapshot.
+
+``health``
+    Replay a trace through a guarded engine (the resilience plane) and
+    report health, the serving plane, breaker state, fault counters and
+    shadow-verification stats; exit code 0 ok / 1 degraded / 2
+    quarantined.  ``--checkpoint`` also validates a policy checkpoint.
 
 ``diff``
     Compare two ACL files: added/removed/moved rules plus a sampled
@@ -135,9 +142,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     from .core.serialize import save_frozen, save_plus
-    from .workloads.io import load_acl
 
-    rules = load_acl(args.acl)
+    rules = _load_rules(args.acl)
+    if rules is None:
+        return 2
     compiled = compile_acl(rules)
     entries = list(compiled.entries)
     note = ""
@@ -218,12 +226,22 @@ def _matcher_kwargs(kind: str, args: argparse.Namespace) -> dict:
     return {"stride": args.stride} if "stride" in params else {}
 
 
-def _read_queries(input_path: str, compiled) -> Optional[list[int]]:
+def _read_queries(input_path: str, layout, expected_length: int) -> Optional[list[int]]:
     """Queries from a ``.trace`` or ``.pcap`` file, or None (with the
-    reason on stderr) when the input cannot be replayed."""
+    reason on stderr) when the input cannot be replayed.  ``layout``
+    maps decoded pcap headers to queries (None when replaying a binary
+    policy whose key length matches no known layout — traces still
+    work); ``expected_length`` is the policy's key length in bits."""
     from .workloads.io import load_trace
 
     if input_path.endswith(".pcap"):
+        if layout is None:
+            print(
+                f"error: cannot decode pcap packets into {expected_length}-bit "
+                "keys (unknown layout); replay a .trace instead",
+                file=sys.stderr,
+            )
+            return None
         from .packet.codec import PacketDecodeError, decode_packet
         from .packet.pcap import read_pcap
 
@@ -231,17 +249,17 @@ def _read_queries(input_path: str, compiled) -> Optional[list[int]]:
         errors = 0
         for packet in read_pcap(input_path):
             try:
-                queries.append(decode_packet(packet.data).to_query(compiled.layout))
+                queries.append(decode_packet(packet.data).to_query(layout))
             except PacketDecodeError:
                 errors += 1
         if errors:
             print(f"skipped {errors} undecodable packets", file=sys.stderr)
     else:
         queries, key_length = load_trace(input_path)
-        if key_length != compiled.layout.length:
+        if key_length != expected_length:
             print(
-                f"error: trace keys are {key_length} bits, ACL keys are "
-                f"{compiled.layout.length}",
+                f"error: trace keys are {key_length} bits, policy keys are "
+                f"{expected_length}",
                 file=sys.stderr,
             )
             return None
@@ -251,30 +269,114 @@ def _read_queries(input_path: str, compiled) -> Optional[list[int]]:
     return queries
 
 
+#: compiled-policy magics the CLI recognizes (see repro.core.serialize)
+_POLICY_MAGICS = {b"PLM+": "Palmtrie+ table", b"PLMF": "frozen plane"}
+
+
+def _sniff_magic(path: str) -> Optional[bytes]:
+    """The 4-byte policy magic at the head of ``path``, or None."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(4)
+    except OSError:
+        return None
+    return magic if magic in _POLICY_MAGICS else None
+
+
+def _load_binary_policy(path: str, magic: bytes):
+    """A matcher from a compiled ``.plm``/``.plmf`` file, or None with a
+    one-line error + re-compile hint on stderr (never a traceback) —
+    corrupt and truncated tables must fail closed at the CLI edge."""
+    from .core.serialize import FormatError, load_frozen, load_plus
+
+    loader = load_plus if magic == b"PLM+" else load_frozen
+    try:
+        return loader(path)
+    except FormatError as exc:
+        print(f"error: {path}: corrupt {_POLICY_MAGICS[magic]}: {exc}", file=sys.stderr)
+        print(
+            "hint: the file is corrupt or truncated; re-compile it with "
+            "`palmtrie-repro compile <acl> -o <file>`",
+            file=sys.stderr,
+        )
+        return None
+    except OSError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _load_rules(path: str):
+    """ACL rules from a text file, or None with a one-line error on
+    stderr when the file is binary (a compiled table does not parse as
+    ACL text and must not produce a UnicodeDecodeError traceback)."""
+    from .workloads.io import load_acl
+
+    try:
+        return load_acl(path)
+    except UnicodeDecodeError:
+        magic = _sniff_magic(path)
+        if magic is not None:
+            print(
+                f"error: {path} is a compiled {_POLICY_MAGICS[magic]}, "
+                "not ACL text",
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: {path}: not an ACL text file (binary data)", file=sys.stderr)
+        return None
+    except OSError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _layout_for(key_length: int):
+    """The packet layout matching a binary policy's key length, or None."""
+    from .acl.layout import LAYOUT_V4, LAYOUT_V6
+
+    for layout in (LAYOUT_V4, LAYOUT_V6):
+        if layout.length == key_length:
+            return layout
+    return None
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import time
 
     from .core.table import build_matcher
     from .engine import ClassificationEngine
     from .obs.timing import safe_rate
-    from .workloads.io import load_acl
 
     if args.cache_size < 0:
         print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
         return 2
-    rules = load_acl(args.acl)
-    compiled = compile_acl(rules)
-    matcher = build_matcher(
-        args.matcher, compiled.entries, compiled.layout.length,
-        **_matcher_kwargs(args.matcher, args),
-    )
+    magic = _sniff_magic(args.acl)
+    if magic is not None:
+        # A compiled .plm/.plmf policy: replay it directly (corrupt
+        # files exit with a one-line FormatError + re-compile hint).
+        matcher = _load_binary_policy(args.acl, magic)
+        if matcher is None:
+            return 2
+        compiled = None
+        layout = _layout_for(matcher.key_length)
+        key_length = matcher.key_length
+    else:
+        rules = _load_rules(args.acl)
+        if rules is None:
+            return 2
+        compiled = compile_acl(rules)
+        matcher = build_matcher(
+            args.matcher, compiled.entries, compiled.layout.length,
+            **_matcher_kwargs(args.matcher, args),
+        )
+        layout = compiled.layout
+        key_length = compiled.layout.length
     engine = ClassificationEngine(
         matcher,
         cache_size=args.cache_size,
         auto_freeze=args.freeze,
         metrics=bool(args.metrics_out),
     )
-    queries = _read_queries(args.input, compiled)
+    queries = _read_queries(args.input, layout, key_length)
     if queries is None:
         return 2
     if args.update_rate < 0:
@@ -288,7 +390,6 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from .core.table import TernaryEntry
     from .core.ternary import TernaryKey
 
-    key_length = compiled.layout.length
     canary_cursor = 0
     previous_canaries: list[TernaryKey] = []
     churn_budget = 0.0
@@ -312,7 +413,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         engine.apply_updates(ops)
         previous_canaries = canaries
 
-    verdicts = {"permit": 0, "deny": 0, "implicit-deny": 0}
+    # With a compiled ACL, entry values map to rules and their actions;
+    # a binary policy carries values but no rule table, so verdicts
+    # collapse to matched / implicit-deny.
+    if compiled is not None:
+        verdicts = {"permit": 0, "deny": 0, "implicit-deny": 0}
+    else:
+        verdicts = {"match": 0, "implicit-deny": 0}
     batch = max(1, args.batch_size)
     start = time.perf_counter()
     for offset in range(0, len(queries), batch):
@@ -332,6 +439,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 # Canary rules (value -1) permit nothing; count their
                 # hits with the implicit denies.
                 verdicts["implicit-deny"] += 1
+            elif compiled is None:
+                verdicts["match"] += 1
             else:
                 verdicts[compiled.rules[entry.value].action.value] += 1
     elapsed = time.perf_counter() - start
@@ -412,12 +521,13 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from .core.table import build_matcher
     from .engine import ClassificationEngine
     from .obs.export import render_prometheus, snapshot
-    from .workloads.io import load_acl
 
     if args.cache_size < 0:
         print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
         return 2
-    rules = load_acl(args.acl)
+    rules = _load_rules(args.acl)
+    if rules is None:
+        return 2
     compiled = compile_acl(rules)
     matcher = build_matcher(
         args.matcher, compiled.entries, compiled.layout.length,
@@ -426,7 +536,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     engine = ClassificationEngine(
         matcher, cache_size=args.cache_size, auto_freeze=args.freeze, metrics=True
     )
-    queries = _read_queries(args.input, compiled)
+    queries = _read_queries(args.input, compiled.layout, compiled.layout.length)
     if queries is None:
         return 2
     batch = max(1, args.batch_size)
@@ -447,6 +557,101 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(text)
     return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Replay traffic through a guarded engine and report its health.
+
+    Exit code is the health verdict: 0 ok, 1 degraded, 2 quarantined
+    (or an invalid checkpoint) — scriptable as a readiness probe.
+    """
+    from .core.table import build_matcher
+    from .engine import ClassificationEngine
+    from .resilience.guard import GuardRail
+
+    if args.cache_size < 0:
+        print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.shadow_sample <= 1.0:
+        print("error: --shadow-sample must be in [0, 1]", file=sys.stderr)
+        return 2
+    checkpoint_invalid = False
+    if args.checkpoint:
+        from .core.serialize import FormatError
+        from .resilience.checkpoint import read_checkpoint
+
+        try:
+            snapshot = read_checkpoint(args.checkpoint)
+        except (FormatError, OSError) as exc:
+            print(
+                f"checkpoint     {args.checkpoint}: INVALID "
+                f"({type(exc).__name__}: {exc})"
+            )
+            checkpoint_invalid = True
+        else:
+            print(
+                f"checkpoint     {args.checkpoint}: valid "
+                f"(epoch {snapshot.epoch}, generation {snapshot.generation}, "
+                f"{len(snapshot.matcher)} entries)"
+            )
+    magic = _sniff_magic(args.acl)
+    if magic is not None:
+        matcher = _load_binary_policy(args.acl, magic)
+        if matcher is None:
+            return 2
+        layout = _layout_for(matcher.key_length)
+        key_length = matcher.key_length
+    else:
+        rules = _load_rules(args.acl)
+        if rules is None:
+            return 2
+        compiled = compile_acl(rules)
+        matcher = build_matcher(
+            args.matcher, compiled.entries, compiled.layout.length,
+            **_matcher_kwargs(args.matcher, args),
+        )
+        layout = compiled.layout
+        key_length = compiled.layout.length
+    guard = GuardRail(shadow_sample=args.shadow_sample)
+    engine = ClassificationEngine(
+        matcher,
+        cache_size=args.cache_size,
+        auto_freeze=args.freeze,
+        resilience=guard,
+    )
+    queries = _read_queries(args.input, layout, key_length)
+    if queries is None:
+        return 2
+    batch = max(1, args.batch_size)
+    for offset in range(0, len(queries), batch):
+        engine.lookup_batch(queries[offset : offset + batch])
+    report = guard.report()
+    breaker = report["breaker"]
+    print(f"health         {engine.health}")
+    print(f"serving plane  {report['last_plane'] or 'none'}")
+    print(
+        f"breaker        {breaker['state']} "
+        f"({breaker['opens']} opens, {breaker['probes']} probes, "
+        f"{breaker['recoveries']} recoveries, "
+        f"backoff {breaker['backoff_seconds']:.2g} s)"
+    )
+    faults = report["faults"]
+    listed = ", ".join(f"{site}={n}" for site, n in sorted(faults.items())) or "none"
+    print(f"faults         {listed}")
+    print(
+        f"degraded       {report['degraded_lookups']} lookups below the "
+        f"frozen plane, {report['reference_lookups']} on the reference tier"
+    )
+    if args.shadow_sample > 0.0:
+        print(
+            f"shadow verify  {report['shadow_checks']} checks, "
+            f"{report['shadow_mismatches']} mismatches "
+            f"(sample {args.shadow_sample:g})"
+        )
+    if report["quarantined"]:
+        print(f"quarantine     {report['last_fault']}")
+    code = {"ok": 0, "degraded": 1, "quarantined": 2}[engine.health]
+    return max(code, 2 if checkpoint_invalid else 0)
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -622,6 +827,42 @@ def build_parser() -> argparse.ArgumentParser:
              "then exit (0 picks a free port)",
     )
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_health = sub.add_parser(
+        "health",
+        help="replay through a guarded engine and report resilience health",
+    )
+    p_health.add_argument("acl", help="uncompiled ACL text, or a compiled .plm/.plmf policy")
+    p_health.add_argument("input", help="a .trace (palmtrie-repro generate) or .pcap file")
+    p_health.add_argument(
+        "--matcher",
+        default="palmtrie-plus",
+        choices=tuple(sorted(matcher_kinds())),
+    )
+    p_health.add_argument("--stride", type=int, default=8)
+    p_health.add_argument(
+        "--batch-size", type=int, default=32,
+        help="packets per lookup_batch burst (1 = scalar path)",
+    )
+    p_health.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="flow cache capacity (0 disables the cache)",
+    )
+    p_health.add_argument(
+        "--freeze", action="store_true",
+        help="serve from the frozen struct-of-arrays plane",
+    )
+    p_health.add_argument(
+        "--shadow-sample", type=float, default=0.01,
+        help="fraction of answers cross-checked against the linear-scan "
+             "reference (0 disables shadow verification, 1 checks every answer)",
+    )
+    p_health.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="also validate a policy checkpoint written by "
+             "ClassificationEngine.checkpoint (invalid => exit 2)",
+    )
+    p_health.set_defaults(func=_cmd_health)
 
     p_diff = sub.add_parser("diff", help="compare two ACL files")
     p_diff.add_argument("old")

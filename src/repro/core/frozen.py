@@ -117,6 +117,10 @@ class FrozenMatcher(TernaryMatcher):
     last_freeze_seconds = 0.0
     #: (node, query) pairs processed by batch walks after skipping
     batch_walk_node_visits = 0
+    #: resilience-plane hook: a :class:`~repro.resilience.faults.FaultInjector`
+    #: installed class-wide (so deserialized planes built via ``__new__``
+    #: see it too); None in production — one identity test per walk
+    _fault_injector = None
 
     def __init__(self, key_length: int, stride: int = 8, subtree_skipping: bool = True) -> None:
         super().__init__(key_length)
@@ -374,6 +378,9 @@ class FrozenMatcher(TernaryMatcher):
     def lookup(self, query: int) -> Optional[TernaryEntry]:
         if self._dirty:
             self._refreeze()
+        injector = self._fault_injector
+        if injector is not None:
+            injector.check("frozen_walk")
         (
             maxp, bits, dispatch, push, data, care, best_of,
             first_leaf, stride, chunk_mask, skipping,
@@ -501,6 +508,12 @@ class FrozenMatcher(TernaryMatcher):
     def lookup_batch(self, queries: Sequence[int]) -> list[Optional[TernaryEntry]]:
         if self._dirty:
             self._refreeze()
+        injector = self._fault_injector
+        if injector is not None:
+            # One check per unique query, so a rate-armed injector can
+            # fault a batch "mid-walk" the way a real corruption would.
+            for _ in set(queries):
+                injector.check("frozen_walk")
         results: list[Optional[TernaryEntry]] = [None] * len(queries)
         if not queries or not self._leaf_best:
             return results

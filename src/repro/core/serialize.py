@@ -77,6 +77,33 @@ class FormatError(ValueError):
     """Raised when bytes do not decode as a Palmtrie+ table."""
 
 
+#: resilience-plane hook: a ``bytes -> bytes`` callable applied to wire
+#: data before decoding (the fault injector's corruption point, see
+#: :func:`repro.resilience.faults.install`); None in production
+_deserialize_hook = None
+
+
+def _guarded_decode(data: bytes, decoder: Any) -> Any:
+    """Run one decoder body behind the injection hook, failing closed.
+
+    Whatever a corrupt byte stream provokes inside the decoder —
+    ``struct.error`` on a torn field, ``IndexError``/``OverflowError``
+    on a lying length, ``UnicodeDecodeError`` on a mangled string value
+    — surfaces as :class:`FormatError`, so callers need exactly one
+    except clause and fuzzed inputs can never escape as internal
+    exception types.
+    """
+    hook = _deserialize_hook
+    if hook is not None:
+        data = hook(data)
+    try:
+        return decoder(data)
+    except FormatError:
+        raise
+    except (struct.error, IndexError, OverflowError, UnicodeDecodeError, ValueError) as exc:
+        raise FormatError(f"corrupt table data ({type(exc).__name__}: {exc})") from exc
+
+
 def _leaf_tag(stride: int) -> int:
     # The paper uses -inf for leaves; in fixed-width fields, any value
     # outside the legal internal range (> -k) works.  We use -(k + 1).
@@ -170,7 +197,12 @@ def deserialize_plus(data: bytes) -> PalmtriePlus:
     The node array is reconstructed exactly (offsets, bitmaps, order);
     the retained source trie is rebuilt by reinserting the leaf
     entries, so incremental updates keep working after a round-trip.
+    Any corruption raises :class:`FormatError`.
     """
+    return _guarded_decode(data, _deserialize_plus)
+
+
+def _deserialize_plus(data: bytes) -> PalmtriePlus:
     if len(data) < _HEADER.size:
         raise FormatError("truncated header")
     magic, version, stride, flags, key_length, count, root_index, blob_len = _HEADER.unpack_from(data)
@@ -338,8 +370,13 @@ def deserialize_frozen(data: bytes) -> "TernaryMatcher":
     no recompilation.  The mutable source trie is *not* built: the
     decoded entries are parked as pending and only hydrated on the
     first ``insert``/``delete``, so pure-lookup data planes skip the
-    whole incremental-update machinery.
+    whole incremental-update machinery.  Any corruption raises
+    :class:`FormatError`.
     """
+    return _guarded_decode(data, _deserialize_frozen)
+
+
+def _deserialize_frozen(data: bytes) -> "TernaryMatcher":
     from .frozen import _COUNT_BITS, _COUNT_MASK, FrozenMatcher
 
     if len(data) < _FROZEN_HEADER.size:

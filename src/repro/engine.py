@@ -44,7 +44,21 @@ half of that story:
 * :meth:`replace_matcher` swaps in a rebuilt policy atomically — new
   matcher, fresh plane, cleared cache — while cumulative lookup
   statistics carry over (the apps' ``replace_policy`` paths route
-  through it).
+  through it).  Every swap also bumps the engine *epoch*, stamped
+  alongside the generation, so a replacement matcher that happens to
+  start at the same generation value can never revive stale state
+  (``engine.matcher = new`` routes through the same path).
+
+The *resilience plane* (``resilience=True`` or a configured
+:class:`~repro.resilience.guard.GuardRail`) turns faults into degraded
+service instead of tracebacks: a fault in the frozen plane degrades to
+the interpreted matcher (with a circuit breaker pacing re-freeze
+attempts), a fault in the matcher degrades to a linear-scan reference
+rebuilt from its own entries, and an optional sampled shadow-verify
+cross-checks answers against that reference, quarantining on mismatch.
+:meth:`checkpoint` / :meth:`from_checkpoint` round-trip the policy and
+its coherence stamps through crash-safe checksummed files
+(``docs/resilience.md``).
 
 The apps layer (``Firewall``, ``FlowMonitor``, ``L3Forwarder``,
 ``StatefulFirewall``) classifies through this engine.
@@ -199,6 +213,10 @@ class UpdateReport:
     #: matcher generation after the transaction (None when the matcher
     #: does not expose one)
     generation: Optional[int]
+    #: one-line fault description when a guarded transaction failed
+    #: mid-batch (None on success; only a resilience-enabled engine
+    #: absorbs the exception instead of propagating it)
+    error: Optional[str] = None
 
     @property
     def ops(self) -> int:
@@ -363,6 +381,62 @@ class _EngineInstruments:
                 "frozen_freeze_seconds_total",
                 "Seconds spent in the frozen-plane freeze compiler.",
             ).set_total(freeze_seconds)
+        registry.gauge(
+            "engine_epoch", "Policy epoch (bumped on every replace_matcher)."
+        ).set(engine.epoch)
+        counter(
+            "engine_checkpoint_recoveries_total", "Startup recoveries, by path.",
+            labels={"path": "restored"},
+        ).set_total(engine.checkpoint_restores)
+        counter(
+            "engine_checkpoint_recoveries_total", "Startup recoveries, by path.",
+            labels={"path": "rebuilt"},
+        ).set_total(engine.checkpoint_rebuilds)
+        guard = engine._guard
+        health = engine.health
+        for state in ("ok", "degraded", "quarantined"):
+            registry.gauge(
+                "engine_health", "Engine health, one-hot by state.",
+                labels={"state": state},
+            ).set(1 if health == state else 0)
+        if guard is None:
+            return
+        breaker = guard.breaker
+        for site, count in sorted(guard.faults.items()):
+            counter(
+                "engine_guard_faults_total", "Faults absorbed by the guard, by site.",
+                labels={"site": site},
+            ).set_total(count)
+        counter(
+            "engine_degraded_lookups_total",
+            "Misses resolved by the interpreted matcher while the frozen "
+            "plane was wanted but unavailable.",
+        ).set_total(guard.degraded_lookups)
+        counter(
+            "engine_reference_lookups_total",
+            "Misses resolved by the linear-scan reference tier.",
+        ).set_total(guard.reference_lookups)
+        counter(
+            "engine_shadow_checks_total", "Answers cross-checked against the reference."
+        ).set_total(guard.shadow_checks)
+        counter(
+            "engine_shadow_mismatches_total",
+            "Shadow checks that caught the fast path lying.",
+        ).set_total(guard.shadow_mismatches)
+        counter(
+            "engine_breaker_opens_total", "Circuit-breaker open transitions."
+        ).set_total(breaker.opens)
+        counter(
+            "engine_breaker_probes_total", "Half-open probes admitted."
+        ).set_total(breaker.probes)
+        counter(
+            "engine_breaker_recoveries_total", "Breaker closes after a successful probe."
+        ).set_total(breaker.recoveries)
+        for state in ("closed", "open", "half-open"):
+            registry.gauge(
+                "engine_breaker_state", "Breaker state, one-hot.",
+                labels={"state": state},
+            ).set(1 if breaker.state.value == state else 0)
 
 
 class ClassificationEngine:
@@ -403,6 +477,7 @@ class ClassificationEngine:
         auto_freeze: bool = False,
         invalidation_threshold: Optional[int] = 1024,
         metrics: Union[None, bool, MetricsRegistry] = None,
+        resilience: Union[None, bool, Any] = None,
     ) -> None:
         if not callable(getattr(matcher, "lookup", None)):
             raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
@@ -410,7 +485,7 @@ class ClassificationEngine:
             raise ValueError(
                 f"invalidation_threshold must be >= 0 or None, got {invalidation_threshold}"
             )
-        self.matcher = matcher
+        self._matcher = matcher
         self.cache = FlowCache(cache_size)
         self.auto_freeze = auto_freeze
         self.invalidation_threshold = invalidation_threshold
@@ -420,6 +495,21 @@ class ClassificationEngine:
         self._seen_generation: Optional[int] = getattr(matcher, "generation", None)
         #: matcher generation the frozen plane was compiled from
         self._plane_generation: Optional[int] = None
+        #: bumped on every policy swap; stamped alongside the generation
+        #: so a replacement matcher with a coincidentally-equal
+        #: generation can never revive stale cached state
+        self.epoch = 0
+        self._guard: Optional[Any] = None
+        if resilience:
+            from .resilience.guard import GuardRail
+
+            self._guard = resilience if isinstance(resilience, GuardRail) else GuardRail()
+        #: lazily built linear-scan reference (the degradation floor)
+        self._reference: Optional[Any] = None
+        self._reference_stamp: Optional[tuple] = None
+        self.checkpoint_restores = 0
+        self.checkpoint_rebuilds = 0
+        self.last_recovery: Optional[Any] = None
         self.freezes = 0
         self.stats = LookupStats()
         self.batches = 0
@@ -471,28 +561,103 @@ class ClassificationEngine:
     def name(self) -> str:
         return f"engine({getattr(self.matcher, 'name', type(self.matcher).__name__)})"
 
+    @property
+    def matcher(self) -> Any:
+        """The serving matcher.  Assigning routes through
+        :meth:`replace_matcher`, so ``engine.matcher = rebuilt`` gets
+        the full swap (plane dropped, cache cleared, epoch bumped) even
+        when the new matcher starts at the same generation value —
+        a bare attribute write used to leave all of that stale."""
+        return self._matcher
+
+    @matcher.setter
+    def matcher(self, matcher: Union[TernaryMatcher, Any]) -> None:
+        self.replace_matcher(matcher)
+
+    # -- resilience -------------------------------------------------------
+
+    @property
+    def resilience(self) -> Optional[Any]:
+        """The attached :class:`~repro.resilience.guard.GuardRail`, or
+        None when the engine runs unguarded."""
+        return self._guard
+
+    @property
+    def health(self) -> str:
+        """``ok`` / ``degraded`` / ``quarantined`` (always ``ok`` when
+        no guard is attached — an unguarded engine propagates faults
+        instead of degrading)."""
+        guard = self._guard
+        return "ok" if guard is None else guard.health
+
+    def _reference_matcher(self) -> Any:
+        """The linear-scan reference tier, rebuilt lazily from the
+        matcher's own entries whenever the (epoch, generation) stamp
+        moves.  Raises TypeError when the matcher exposes neither
+        ``entries()`` nor iteration — no reference tier exists then."""
+        stamp = (self.epoch, getattr(self._matcher, "generation", None))
+        if self._reference is not None and self._reference_stamp == stamp:
+            return self._reference
+        matcher = self._matcher
+        entries = getattr(matcher, "entries", None)
+        if callable(entries):
+            source: Any = entries()
+        else:
+            try:
+                source = iter(matcher)
+            except TypeError:
+                raise TypeError(
+                    f"{type(matcher).__name__} has no entries() and is not "
+                    "iterable; no linear-scan reference tier available"
+                ) from None
+        from .baselines.sorted_list import SortedListMatcher
+
+        reference = SortedListMatcher(matcher.key_length)
+        for entry in source:
+            reference.insert(entry)
+        self._reference = reference
+        self._reference_stamp = stamp
+        return reference
+
     # -- the frozen lookup plane ----------------------------------------
 
     def _lookup_target(self) -> Any:
         """The object cache misses are resolved against: the frozen
         plane when ``auto_freeze`` is on and the matcher freezes, the
-        matcher itself otherwise."""
+        matcher itself otherwise.  With a guard attached, a quarantined
+        engine resolves against the linear-scan reference, an open
+        breaker skips re-freeze attempts until its backoff elapses, and
+        a failing freeze degrades to the matcher instead of raising."""
+        guard = self._guard
+        if guard is not None and guard.quarantined:
+            return self._reference_matcher()
         if not self.auto_freeze or self._unfreezable:
-            return self.matcher
+            return self._matcher
         if self._plane is None:
+            if guard is not None and not guard.breaker.allow():
+                return self._matcher
             from .core.frozen import freeze
 
             start = time.perf_counter()
             try:
-                self._plane = freeze(self.matcher)
+                self._plane = freeze(self._matcher)
             except TypeError:
                 # Not a freezable structure; remember and stop trying.
                 self._unfreezable = True
-                return self.matcher
+                return self._matcher
+            except Exception as exc:
+                if guard is None:
+                    raise
+                # The re-freeze itself failed (e.g. a corrupt source):
+                # count it against the breaker and serve interpreted.
+                guard.record_fault(getattr(exc, "site", None) or "refreeze", exc)
+                guard.refreeze_faults += 1
+                guard.breaker.record_failure()
+                return self._matcher
             elapsed = time.perf_counter() - start
             self.freezes += 1
             self.freeze_seconds_total += elapsed
-            self._plane_generation = getattr(self.matcher, "generation", None)
+            self._plane_generation = getattr(self._matcher, "generation", None)
             instruments = self._instruments
             if instruments is not None:
                 instruments.freeze_seconds.observe(elapsed)
@@ -529,6 +694,7 @@ class ClassificationEngine:
         deferred)``.
         """
         self._plane = None  # re-freeze lazily on the next miss
+        self._reference = None  # rebuilt from entries() on next use
         generation = getattr(self.matcher, "generation", None)
         threshold = self.invalidation_threshold
         if (
@@ -554,12 +720,20 @@ class ClassificationEngine:
         self._sync()
         stats = self.stats
         stats.lookups += 1
+        guard = self._guard
         cached = self.cache.get(query)
         if cached is not _MISSING:
             stats.cache_hits += 1
+            if guard is not None and guard.shadow_roll():
+                return self._shadow_fix(query, cached)
             return cached
         stats.cache_misses += 1
-        result = self._lookup_target().lookup(query)
+        if guard is None:
+            result = self._lookup_target().lookup(query)
+        else:
+            result = self._guarded_resolve([query])[0]
+            if guard.shadow_roll():
+                result = self._shadow_fix(query, result)
         stats.cache_evictions += self.cache.put(query, result)
         return result
 
@@ -573,6 +747,17 @@ class ClassificationEngine:
         start = time.perf_counter()
         self._sync()
         stats = self.stats
+        guard = self._guard
+        if guard is not None:
+            injector = guard.injector
+            if injector is not None:
+                # Engine-level chaos sites: poison live cache rows and
+                # stall the burst (the frozen_walk site fires inside
+                # the plane itself).
+                if injector.armed("cache"):
+                    injector.poison_cache(self.cache)
+                if injector.armed("stall"):
+                    injector.check("stall")
         n = len(queries)
         stats.lookups += n
         results: list[Optional[TernaryEntry]] = [None] * n
@@ -591,12 +776,15 @@ class ClassificationEngine:
         stats.cache_misses += n - hits
         if miss_positions:
             unique = list(miss_positions)
-            target = self._lookup_target()
-            batch = getattr(target, "lookup_batch", None)
-            if batch is not None:
-                resolved = batch(unique)
-            else:  # duck-typed matcher with only a scalar lookup
-                resolved = [target.lookup(query) for query in unique]
+            if guard is None:
+                target = self._lookup_target()
+                batch = getattr(target, "lookup_batch", None)
+                if batch is not None:
+                    resolved = batch(unique)
+                else:  # duck-typed matcher with only a scalar lookup
+                    resolved = [target.lookup(query) for query in unique]
+            else:
+                resolved = self._guarded_resolve(unique)
             cache_put = self.cache.put
             evictions = 0
             for query, result in zip(unique, resolved):
@@ -604,6 +792,8 @@ class ClassificationEngine:
                 for index in miss_positions[query]:
                     results[index] = result
             stats.cache_evictions += evictions
+        if guard is not None and guard.shadow_sample > 0.0:
+            self._shadow_pass(queries, results)
         seconds = time.perf_counter() - start
         self.batches += 1
         self.batched_queries += n
@@ -622,6 +812,110 @@ class ClassificationEngine:
             seconds=seconds,
         )
         return results
+
+    # -- guarded resolution (the degradation ladder) ---------------------
+
+    @staticmethod
+    def _raw_resolve(target: Any, unique: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        batch = getattr(target, "lookup_batch", None)
+        if batch is not None:
+            return batch(unique)
+        lookup = target.lookup
+        return [lookup(query) for query in unique]
+
+    def _guarded_resolve(self, unique: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        """Resolve misses down the ladder: frozen plane → interpreted
+        matcher → linear-scan reference.  Each rung's fault is recorded
+        on the guard and service continues one rung down; only a fault
+        on the reference itself (or a matcher with no reference tier)
+        propagates."""
+        guard = self._guard
+        n = len(unique)
+        if guard.quarantined:
+            guard.reference_lookups += n
+            guard.last_plane = "reference"
+            guard.serving_fallback = True
+            return self._raw_resolve(self._reference_matcher(), unique)
+        wants_frozen = self.auto_freeze and not self._unfreezable
+        target = self._lookup_target()
+        plane = self._plane
+        if plane is not None and target is plane:
+            try:
+                resolved = self._raw_resolve(plane, unique)
+            except Exception as exc:
+                guard.record_fault(getattr(exc, "site", None) or "frozen_walk", exc)
+                guard.breaker.record_failure()
+                # Drop the faulty plane; the breaker paces re-freezes.
+                self._plane = None
+            else:
+                guard.breaker.record_success()
+                guard.last_plane = "frozen"
+                guard.serving_fallback = False
+                return resolved
+        matcher_exc: Optional[BaseException] = None
+        try:
+            resolved = self._raw_resolve(self._matcher, unique)
+        except Exception as exc:
+            guard.record_fault(getattr(exc, "site", None) or "matcher", exc)
+            matcher_exc = exc
+        else:
+            if wants_frozen:
+                # The engine wanted the frozen plane but is serving
+                # interpreted — that is the degraded rung.
+                guard.degraded_lookups += n
+            guard.last_plane = "matcher"
+            guard.serving_fallback = wants_frozen
+            return resolved
+        try:
+            reference = self._reference_matcher()
+        except TypeError:
+            # No reference tier to fall to; surface the matcher fault.
+            raise matcher_exc from None
+        guard.reference_lookups += n
+        guard.last_plane = "reference"
+        guard.serving_fallback = True
+        return self._raw_resolve(reference, unique)
+
+    def _shadow_fix(self, query: int, result: Optional[TernaryEntry]) -> Optional[TernaryEntry]:
+        """Cross-check one served answer against the reference; on
+        disagreement serve the truth, repair the cache row, and
+        quarantine (a lying fast path cannot be trusted twice)."""
+        guard = self._guard
+        guard.shadow_checks += 1
+        expected = self._reference_matcher().lookup(query)
+        if guard.answers_agree(result, expected):
+            return result
+        guard.shadow_mismatches += 1
+        guard.quarantine(
+            f"query {query:#x}: served "
+            f"{'no match' if result is None else f'priority {result.priority}'}, "
+            f"reference says "
+            f"{'no match' if expected is None else f'priority {expected.priority}'}"
+        )
+        self.cache.put(query, expected)
+        return expected
+
+    def _shadow_pass(
+        self, queries: Sequence[int], results: list[Optional[TernaryEntry]]
+    ) -> None:
+        """Sampled shadow verification over a whole batch — cache hits
+        included, because a poisoned cache row only ever surfaces as a
+        hit.  Mismatching positions are corrected in place."""
+        guard = self._guard
+        checked: dict[int, Optional[TernaryEntry]] = {}
+        for index, query in enumerate(queries):
+            if not guard.shadow_roll():
+                continue
+            if query in checked:
+                # Same query sampled twice in one burst: reuse the
+                # verified answer (fixes every position of a repaired
+                # row, not just the first).
+                guard.shadow_checks += 1
+                results[index] = checked[query]
+                continue
+            fixed = self._shadow_fix(query, results[index])
+            checked[query] = fixed
+            results[index] = fixed
 
     # -- updates (cache-invalidating proxies) ---------------------------
 
@@ -681,20 +975,37 @@ class ClassificationEngine:
         """
         start = time.perf_counter()
         normalized = [self._normalize_op(op) for op in ops]
-        matcher = self.matcher
-        bulk = getattr(matcher, "bulk_update", None)
-        if bulk is not None:
-            inserted, deleted, missing = bulk(normalized)
-        else:
+        matcher = self._matcher
+        guard = self._guard
+        ops_in: Iterable[tuple[str, Any]] = normalized
+        if guard is not None and guard.injector is not None and guard.injector.armed("update"):
+            ops_in = self._ops_with_faults(normalized, guard.injector)
+        error: Optional[str] = None
+        try:
+            bulk = getattr(matcher, "bulk_update", None)
+            if bulk is not None:
+                inserted, deleted, missing = bulk(ops_in)
+            else:
+                inserted = deleted = missing = 0
+                for kind, payload in ops_in:
+                    if kind == "insert":
+                        matcher.insert(payload)
+                        inserted += 1
+                    elif matcher.delete(payload):
+                        deleted += 1
+                    else:
+                        missing += 1
+        except Exception as exc:
+            if guard is None:
+                raise
+            # Mid-transaction fault: the source may be partially
+            # mutated *without* a dirty mark or generation bump (those
+            # land after a clean op loop).  Record the fault and force
+            # every derived layer to rebuild from actual content.
+            guard.record_fault(getattr(exc, "site", None) or "update", exc)
+            error = f"{type(exc).__name__}: {exc}"
+            self._recover_from_update_fault(matcher)
             inserted = deleted = missing = 0
-            for kind, payload in normalized:
-                if kind == "insert":
-                    matcher.insert(payload)
-                    inserted += 1
-                elif matcher.delete(payload):
-                    deleted += 1
-                else:
-                    missing += 1
         rows = 0
         deferred = False
         if inserted or deleted:
@@ -716,12 +1027,43 @@ class ClassificationEngine:
             deferred_invalidation=deferred,
             seconds=time.perf_counter() - start,
             generation=getattr(matcher, "generation", None),
+            error=error,
         )
         self.last_update = report
         instruments = self._instruments
         if instruments is not None:
             instruments.update_seconds.observe(report.seconds)
         return report
+
+    @staticmethod
+    def _ops_with_faults(
+        normalized: Sequence[tuple[str, Any]], injector: Any
+    ) -> Iterable[tuple[str, Any]]:
+        """Thread the update fault site through the op stream, so an
+        armed injector raises *mid-transaction* — inside the matcher's
+        own ``bulk_update`` loop, after some ops have applied."""
+        for op in normalized:
+            injector.check("update")
+            yield op
+
+    def _recover_from_update_fault(self, matcher: Any) -> None:
+        # The transaction may have applied a prefix of its ops before
+        # raising; mark the source dirty and move the generation so the
+        # recompile, the frozen plane, the flow cache and the reference
+        # all rebuild from what the source actually contains now.
+        if hasattr(matcher, "_dirty"):
+            matcher._dirty = True
+        generation = getattr(matcher, "generation", None)
+        if generation is not None:
+            matcher.generation = generation + 1
+        self._plane = None
+        self._plane_generation = None
+        self._reference = None
+        dropped = self.cache.clear()
+        self.stats.cache_evictions += dropped
+        self.cache_rows_invalidated += dropped
+        self.lazy_invalidations += 1
+        self._seen_generation = getattr(matcher, "generation", None)
 
     def update_batch(self) -> _UpdateBatch:
         """Transactional recorder::
@@ -741,22 +1083,68 @@ class ClassificationEngine:
         """Swap in a rebuilt policy atomically.
 
         The new matcher replaces the old one in one step — plane
-        dropped, cache cleared, generation stamps re-seeded — while the
-        engine's cumulative lookup statistics and batch history carry
-        over, so a policy swap does not erase the serving record the
-        way constructing a fresh engine would.
+        dropped, cache cleared, generation stamps re-seeded, epoch
+        bumped — while the engine's cumulative lookup statistics and
+        batch history carry over, so a policy swap does not erase the
+        serving record the way constructing a fresh engine would.
+        (``engine.matcher = new`` routes here too, so even a direct
+        assignment whose matcher starts at the same generation value
+        can never serve the old plane or cache.)  A guard's quarantine
+        and breaker describe the *old* policy, so they reset.
         """
         if not callable(getattr(matcher, "lookup", None)):
             raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
-        self.matcher = matcher
+        self._matcher = matcher
+        self.epoch += 1
         self._plane = None
         self._plane_generation = None
         self._unfreezable = False
+        self._reference = None
+        self._reference_stamp = None
         self._seen_generation = getattr(matcher, "generation", None)
         dropped = self.cache.clear()
         self.stats.cache_evictions += dropped
         self.cache_rows_invalidated += dropped
         self.policy_swaps += 1
+        guard = self._guard
+        if guard is not None:
+            guard.reset()
+
+    # -- crash-safe checkpoints ------------------------------------------
+
+    def checkpoint(self, path: Any) -> int:
+        """Write the current policy + coherence stamps (engine epoch,
+        matcher generation) to ``path`` atomically; returns the bytes
+        written.  See :mod:`repro.resilience.checkpoint`."""
+        from .resilience.checkpoint import write_checkpoint
+
+        return write_checkpoint(
+            path,
+            self._matcher,
+            epoch=self.epoch,
+            generation=getattr(self._matcher, "generation", 0) or 0,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls, path: Any, rebuild: Any, **kwargs: Any
+    ) -> "ClassificationEngine":
+        """Startup recovery: an engine from a checkpoint, or from the
+        ``rebuild`` callable (compile from ACL source) when the
+        checkpoint is missing or fails validation.  Which path was
+        taken lands in ``checkpoint_restores`` / ``checkpoint_rebuilds``
+        and ``last_recovery`` (and the metrics mirror)."""
+        from .resilience.checkpoint import recover
+
+        recovery = recover(path, rebuild)
+        engine = cls(recovery.matcher, **kwargs)
+        engine.epoch = recovery.epoch
+        if recovery.restored:
+            engine.checkpoint_restores += 1
+        else:
+            engine.checkpoint_rebuilds += 1
+        engine.last_recovery = recovery
+        return engine
 
     def refresh(self) -> None:
         """Eagerly pay the deferred update work.
@@ -835,9 +1223,16 @@ class ClassificationEngine:
             "invalidation_threshold": self.invalidation_threshold,
             "generation": getattr(self.matcher, "generation", None),
             "plane_generation": self._plane_generation,
+            "epoch": self.epoch,
             "freeze_seconds_total": self.freeze_seconds_total,
             "metrics_enabled": self._instruments is not None,
+            "health": self.health,
+            "checkpoint_restores": self.checkpoint_restores,
+            "checkpoint_rebuilds": self.checkpoint_rebuilds,
         }
+        guard = self._guard
+        if guard is not None:
+            summary["resilience"] = guard.report()
         latency = self.latency_summary()
         if latency is not None:
             summary["latency"] = latency

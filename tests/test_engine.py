@@ -466,6 +466,29 @@ class TestUpdatePlane:
         with pytest.raises(TypeError):
             engine.replace_matcher(object())
 
+    def test_matcher_assignment_is_a_policy_swap(self):
+        """``engine.matcher = B`` must behave exactly like
+        ``replace_matcher(B)``: epoch bump, flushed cache, no stale
+        verdicts — even when B's generation counter equals A's (the
+        generation stamp alone cannot distinguish two fresh policies)."""
+        entries = random_entries(20, KEY_LENGTH, seed=34)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", entries, KEY_LENGTH), cache_size=32
+        )
+        queries = _queries(40, seed=35)
+        engine.lookup_batch(queries)
+        replacement_entries = random_entries(10, KEY_LENGTH, seed=36)
+        replacement = build_matcher("palmtrie-plus", replacement_entries, KEY_LENGTH)
+        assert replacement.generation == engine.matcher.generation
+        engine.matcher = replacement
+        assert engine.epoch == 1
+        assert engine.policy_swaps == 1
+        assert len(engine.cache) == 0
+        for query in queries:
+            assert_same_result(
+                oracle_lookup(replacement_entries, query), engine.lookup(query)
+            )
+
     def test_refresh_pays_deferred_work_eagerly(self):
         entries = random_entries(20, KEY_LENGTH, seed=37)
         engine = ClassificationEngine(

@@ -12,8 +12,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.acl.parser import AclParseError, parse_acl, parse_rule
+from repro.core.frozen import freeze
 from repro.core.plus import PalmtriePlus
-from repro.core.serialize import FormatError, deserialize_plus, serialize_plus
+from repro.core.serialize import (
+    FormatError,
+    deserialize_frozen,
+    deserialize_plus,
+    serialize_frozen,
+    serialize_plus,
+)
 from repro.core.table import TernaryEntry
 from repro.core.ternary import TernaryKey
 from repro.packet.codec import PacketDecodeError, decode_packet, encode_packet
@@ -135,10 +142,104 @@ def test_deserialize_bit_flips_fail_closed(flip, data):
     blob[position // 8] ^= 1 << (position % 8)
     try:
         matcher = deserialize_plus(bytes(blob))
-    except (FormatError, UnicodeDecodeError):
+    except FormatError:
+        # FormatError only: the decode guard must wrap every low-level
+        # decoding exception (struct.error, UnicodeDecodeError, ...).
         return
     # A blob that still parses must at least answer lookups sanely.
     matcher.lookup(data.draw(st.integers(0, 255)))
+
+
+def _sample_frozen_blob():
+    entries = [
+        TernaryEntry(TernaryKey.from_string("01**10**"), i, i) for i in range(6)
+    ]
+    return serialize_frozen(freeze(PalmtriePlus.build(entries, 8, stride=3)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_deserialize_frozen_random_bytes_fails_closed(data):
+    try:
+        deserialize_frozen(data)
+    except FormatError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(flip=st.integers(0, 10_000), data=st.data())
+def test_deserialize_frozen_bit_flips_fail_closed(flip, data):
+    blob = bytearray(_sample_frozen_blob())
+    position = flip % (len(blob) * 8)
+    blob[position // 8] ^= 1 << (position % 8)
+    try:
+        matcher = deserialize_frozen(bytes(blob))
+    except FormatError:
+        return
+    matcher.lookup(data.draw(st.integers(0, 255)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(cut=st.integers(0, 10_000))
+def test_deserialize_frozen_truncation_fails_closed(cut):
+    blob = _sample_frozen_blob()
+    truncated = blob[: cut % len(blob)]
+    with pytest.raises(FormatError):
+        deserialize_frozen(truncated)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lie=st.integers(0, 2**31 - 1), offset=st.integers(8, 40))
+def test_deserialize_frozen_length_lies_fail_closed(lie, offset):
+    """Headers whose length fields lie about the payload must not
+    crash the decoder with IndexError/MemoryError — FormatError only."""
+    blob = bytearray(_sample_frozen_blob())
+    position = min(offset, len(blob) - 4)
+    blob[position : position + 4] = lie.to_bytes(4, "little")
+    try:
+        deserialize_frozen(bytes(blob))
+    except FormatError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Policy checkpoints (resilience plane)
+# ----------------------------------------------------------------------
+
+def _sample_checkpoint_blob():
+    from repro.resilience.checkpoint import serialize_checkpoint
+
+    entries = [
+        TernaryEntry(TernaryKey.from_string("01**10**"), i, i) for i in range(6)
+    ]
+    matcher = PalmtriePlus.build(entries, 8, stride=3)
+    return serialize_checkpoint(matcher, epoch=2, generation=5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_checkpoint_random_bytes_fail_closed(tmp_path_factory, data):
+    from repro.resilience.checkpoint import read_checkpoint
+
+    path = tmp_path_factory.mktemp("ckpt") / "c.plmc"
+    path.write_bytes(data)
+    with pytest.raises((FormatError, OSError)):
+        read_checkpoint(str(path))
+
+
+@settings(max_examples=100, deadline=None)
+@given(flip=st.integers(0, 10_000))
+def test_checkpoint_bit_flips_fail_closed(tmp_path_factory, flip):
+    """Any single flipped bit must be caught (sha-256 envelope)."""
+    from repro.resilience.checkpoint import read_checkpoint
+
+    blob = bytearray(_sample_checkpoint_blob())
+    position = flip % (len(blob) * 8)
+    blob[position // 8] ^= 1 << (position % 8)
+    path = tmp_path_factory.mktemp("ckpt") / "c.plmc"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(FormatError):
+        read_checkpoint(str(path))
 
 
 # ----------------------------------------------------------------------
