@@ -33,6 +33,7 @@ import timeit
 from conftest import KEY_LENGTH
 from repro.core.plus import PalmtriePlus
 from repro.core.table import build_matcher
+from repro.config import EngineConfig
 from repro.engine import ClassificationEngine
 from repro.obs.timing import clamp_seconds
 from repro.resilience import FaultInjector, GuardRail, injected
@@ -71,9 +72,7 @@ def _scenario_frozen_walk(acl, queries, truth):
     guard = GuardRail(injector=injector, backoff_seconds=60.0, max_backoff_seconds=600.0)
     engine = ClassificationEngine(
         PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-        cache_size=0,
-        auto_freeze=True,
-        resilience=guard,
+        EngineConfig(cache_size=0, auto_freeze=True, resilience=guard),
     )
     with injected(injector):
         got = _verdicts(engine, queries)
@@ -96,8 +95,7 @@ def _scenario_cache_poison(acl, queries, truth):
     guard = GuardRail(shadow_sample=1.0, injector=injector)
     engine = ClassificationEngine(
         PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-        cache_size=4 * FLOWS,
-        resilience=guard,
+        EngineConfig(cache_size=4 * FLOWS, resilience=guard),
     )
     got = _verdicts(engine, queries)
     fired = injector.fired["cache"]
@@ -144,8 +142,7 @@ def _scenario_update_fault(acl, queries, truth):
     guard = GuardRail(injector=injector)
     engine = ClassificationEngine(
         PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-        cache_size=4 * FLOWS,
-        resilience=guard,
+        EngineConfig(cache_size=4 * FLOWS, resilience=guard),
     )
     engine.lookup_batch(queries[: 4 * BATCH])  # warm the cache pre-fault
     canary = TernaryEntry(
@@ -168,16 +165,14 @@ def _degraded_rate_ratio(acl, queries, rounds: int = 5) -> float:
     ``bench_engine_cache._metrics_overhead_ratio``.
     """
     baseline = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8), cache_size=0
+        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8), EngineConfig(cache_size=0)
     )
     injector = FaultInjector(seed=7)
     injector.arm("frozen_walk", rate=1.0, count=3)
     guard = GuardRail(injector=injector, backoff_seconds=300.0, max_backoff_seconds=600.0)
     degraded = ClassificationEngine(
         PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-        cache_size=0,
-        auto_freeze=True,
-        resilience=guard,
+        EngineConfig(cache_size=0, auto_freeze=True, resilience=guard),
     )
     with injected(injector):
         for _ in range(4):  # burn the fault budget; the breaker opens

@@ -22,6 +22,7 @@ import pytest
 from conftest import KEY_LENGTH, run_queries
 from repro.bench.harness import clamp_seconds, safe_rate
 from repro.core import PalmtriePlus
+from repro.config import EngineConfig
 from repro.engine import ClassificationEngine
 from repro.workloads.traffic import zipf_trace
 
@@ -33,7 +34,7 @@ FLOWS = 64
 def zipf_setup(campus):
     queries = zipf_trace(campus.entries, 600, flows=FLOWS)
     matcher = PalmtriePlus.build(campus.entries, KEY_LENGTH, stride=8)
-    engine = ClassificationEngine(matcher, cache_size=4 * FLOWS)
+    engine = ClassificationEngine(matcher, EngineConfig(cache_size=4 * FLOWS))
     engine.lookup_batch(queries)  # warm the cache before timing
     return matcher, engine, queries
 
@@ -87,12 +88,11 @@ def _metrics_overhead_ratio(acl, queries, rounds: int = 7) -> float:
 
     disabled = ClassificationEngine(
         build_matcher("palmtrie-plus", acl.entries, KEY_LENGTH),
-        cache_size=4 * FLOWS,
+        EngineConfig(cache_size=4 * FLOWS),
     )
     enabled = ClassificationEngine(
         build_matcher("palmtrie-plus", acl.entries, KEY_LENGTH),
-        cache_size=4 * FLOWS,
-        metrics=True,
+        EngineConfig(cache_size=4 * FLOWS, metrics=True),
     )
     disabled.lookup_batch(queries)  # warm both caches before timing
     enabled.lookup_batch(queries)
@@ -123,12 +123,11 @@ def _guard_overhead_ratio(acl, queries, rounds: int = 9) -> float:
 
     plain = ClassificationEngine(
         build_matcher("palmtrie-plus", acl.entries, KEY_LENGTH),
-        cache_size=4 * FLOWS,
+        EngineConfig(cache_size=4 * FLOWS),
     )
     guarded = ClassificationEngine(
         build_matcher("palmtrie-plus", acl.entries, KEY_LENGTH),
-        cache_size=4 * FLOWS,
-        resilience=GuardRail(),
+        EngineConfig(cache_size=4 * FLOWS, resilience=GuardRail()),
     )
     plain.lookup_batch(queries)  # warm both caches before timing
     guarded.lookup_batch(queries)
@@ -166,7 +165,7 @@ def main(smoke: bool = False) -> dict[str, float]:
     metrics: dict[str, float] = {}
     for kind in kinds:
         matcher = build_matcher(kind, acl.entries, KEY_LENGTH)
-        engine = ClassificationEngine(matcher, cache_size=4 * FLOWS)
+        engine = ClassificationEngine(matcher, EngineConfig(cache_size=4 * FLOWS))
         engine.lookup_batch(queries)  # warm
         uncached = timeit.timeit(lambda: run_queries(matcher, queries), number=1)
         cached = timeit.timeit(lambda: run_queries(engine, queries), number=1)

@@ -31,6 +31,7 @@ from conftest import KEY_LENGTH
 from repro.core import PalmtriePlus
 from repro.core.table import TernaryEntry
 from repro.core.ternary import TernaryKey
+from repro.config import EngineConfig
 from repro.engine import ClassificationEngine
 from repro.workloads.traffic import uniform_traffic
 
@@ -60,8 +61,7 @@ def _canary_ops(queries: list[int], count: int) -> list[tuple[str, object]]:
 def _warm_engine(entries, queries, threshold) -> ClassificationEngine:
     engine = ClassificationEngine(
         PalmtriePlus.build(entries, KEY_LENGTH, stride=8),
-        cache_size=CACHE_ROWS,
-        invalidation_threshold=threshold,
+        EngineConfig(cache_size=CACHE_ROWS, invalidation_threshold=threshold),
     )
     engine.lookup_batch(queries)  # fill the flow cache before churning
     return engine
@@ -142,8 +142,7 @@ def main(smoke: bool = False) -> dict[str, float]:
     def warm(th):
         engine = ClassificationEngine(
             PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-            cache_size=rows,
-            invalidation_threshold=th,
+            EngineConfig(cache_size=rows, invalidation_threshold=th),
         )
         engine.lookup_batch(queries)
         return engine

@@ -1,8 +1,8 @@
 """Unified CI smoke runner and perf-trajectory gate.
 
 Runs every benchmark smoke in one process (``bench_engine_cache``,
-``bench_frozen``, ``bench_updates``, ``bench_chaos``), collects the
-headline ratios each
+``bench_frozen``, ``bench_updates``, ``bench_chaos``,
+``bench_shards``), collects the headline ratios each
 ``main(smoke=True)`` returns, and writes them as a *trajectory*: one
 record per metric, stamped with the current commit SHA and a UTC
 timestamp, so CI artifacts accumulate into a per-commit history of the
@@ -42,6 +42,7 @@ SMOKES = (
     ("bench_frozen", "frozen lookup plane"),
     ("bench_updates", "transactional update plane"),
     ("bench_chaos", "resilience chaos plane"),
+    ("bench_shards", "sharded multi-process data plane"),
 )
 
 

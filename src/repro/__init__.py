@@ -56,6 +56,7 @@ from .core import (
     load_frozen,
     save_frozen,
 )
+from .config import DEFAULT_CONFIG, EngineConfig, serve
 from .core.table import matcher_kinds
 from .engine import BatchReport, ClassificationEngine, FlowCache, UpdateReport
 from .packet import PacketHeader, decode_packet, encode_packet
@@ -68,6 +69,7 @@ from .resilience import (
     recover,
     write_checkpoint,
 )
+from .shard import ShardedEngine
 
 #: public registry of matcher kinds: ``{kind name: matcher class}``.
 #: ``build_matcher`` accepts either the kind string or the class itself.
@@ -84,7 +86,9 @@ __all__ = [
     "CircuitBreaker",
     "ClassificationEngine",
     "CompiledAcl",
+    "DEFAULT_CONFIG",
     "DpdkStyleAcl",
+    "EngineConfig",
     "EffiCutsClassifier",
     "FaultInjector",
     "FlowCache",
@@ -123,6 +127,8 @@ __all__ = [
     "read_checkpoint",
     "recover",
     "save_frozen",
+    "serve",
+    "ShardedEngine",
     "write_checkpoint",
     "__version__",
 ]

@@ -29,10 +29,10 @@ from typing import Optional, Union
 
 from ..acl.compiler import CompiledAcl
 from ..acl.rule import Action
+from ..config import _UNSET, EngineConfig, fold_legacy_kwargs
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryMatcher
 from ..engine import ClassificationEngine
-from ..obs.metrics import MetricsRegistry
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PROTO_TCP, PacketHeader
 
@@ -80,22 +80,33 @@ class StatefulFirewall:
         idle_timeout: float = 300.0,
         closing_timeout: float = 10.0,
         max_connections: int = 1_000_000,
-        cache_size: int = 4096,
-        auto_freeze: bool = False,
-        metrics: Union[None, bool, MetricsRegistry] = None,
-        resilience: Union[None, bool, object] = None,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache_size: Union[int, object] = _UNSET,
+        auto_freeze: Union[bool, object] = _UNSET,
+        metrics: object = _UNSET,
+        resilience: object = _UNSET,
     ) -> None:
         if idle_timeout <= 0 or closing_timeout <= 0:
             raise ValueError("timeouts must be positive")
         if max_connections <= 0:
             raise ValueError("max_connections must be positive")
-        self.acl = acl
-        self.engine = ClassificationEngine(
-            matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
+        config = fold_legacy_kwargs(
+            config,
+            owner="StatefulFirewall",
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
             resilience=resilience,
+        )
+        self.acl = acl
+        self.config = config
+        self.engine = ClassificationEngine.from_config(
+            matcher
+            or PalmtriePlus.build(
+                acl.entries, acl.layout.length, stride=config.stride or 8
+            ),
+            config,
         )
         self.idle_timeout = idle_timeout
         self.closing_timeout = closing_timeout

@@ -15,9 +15,9 @@ from typing import Optional, Sequence, Union
 from ..acl.compiler import CompiledAcl, compile_acl
 from ..acl.parser import parse_acl
 from ..acl.rule import AclRule, Action
+from ..config import _UNSET, EngineConfig, fold_legacy_kwargs
 from ..core.plus import PalmtriePlus
 from ..engine import ClassificationEngine
-from ..obs.metrics import MetricsRegistry
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -39,21 +39,33 @@ class Firewall:
     def __init__(
         self,
         acl: CompiledAcl,
-        stride: int = 8,
+        config: Optional[EngineConfig] = None,
+        *,
+        stride: Optional[int] = None,
         default_action: Action = Action.DENY,
-        cache_size: int = 4096,
-        auto_freeze: bool = False,
-        metrics: Union[None, bool, MetricsRegistry] = None,
-        resilience: Union[None, bool, object] = None,
+        cache_size: Union[int, object] = _UNSET,
+        auto_freeze: Union[bool, object] = _UNSET,
+        metrics: object = _UNSET,
+        resilience: object = _UNSET,
     ) -> None:
-        self.acl = acl
-        self.default_action = default_action
-        self.engine = ClassificationEngine(
-            PalmtriePlus.build(acl.entries, acl.layout.length, stride=stride),
+        config = fold_legacy_kwargs(
+            config,
+            owner="Firewall",
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
             resilience=resilience,
+        )
+        if stride is not None:
+            config = config.replace(stride=stride)
+        self.acl = acl
+        self.config = config
+        self.default_action = default_action
+        self.engine = ClassificationEngine.from_config(
+            PalmtriePlus.build(
+                acl.entries, acl.layout.length, stride=config.stride or 8
+            ),
+            config,
         )
         self._counters = [RuleCounter(rule) for rule in acl.rules]
         self.default_hits = 0

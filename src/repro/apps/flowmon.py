@@ -17,10 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Union
 
+from ..config import _UNSET, EngineConfig, fold_legacy_kwargs
 from ..core.plus import PalmtriePlus
 from ..core.table import TernaryEntry, TernaryMatcher
 from ..engine import ClassificationEngine
-from ..obs.metrics import MetricsRegistry
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -75,20 +75,29 @@ class FlowMonitor:
         matcher: Optional[TernaryMatcher] = None,
         idle_timeout: float = 60.0,
         default_class: Any = None,
-        cache_size: int = 4096,
-        auto_freeze: bool = False,
-        metrics: Union[None, bool, MetricsRegistry] = None,
-        resilience: Union[None, bool, object] = None,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache_size: Union[int, object] = _UNSET,
+        auto_freeze: Union[bool, object] = _UNSET,
+        metrics: object = _UNSET,
+        resilience: object = _UNSET,
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError(f"idle timeout must be positive, got {idle_timeout}")
-        entries = list(entries)
-        self.engine = ClassificationEngine(
-            matcher or PalmtriePlus.build(entries, key_length, stride=8),
+        config = fold_legacy_kwargs(
+            config,
+            owner="FlowMonitor",
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
             resilience=resilience,
+        )
+        entries = list(entries)
+        self.config = config
+        self.engine = ClassificationEngine.from_config(
+            matcher
+            or PalmtriePlus.build(entries, key_length, stride=config.stride or 8),
+            config,
         )
         self.idle_timeout = idle_timeout
         self.default_class = default_class

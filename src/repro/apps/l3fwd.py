@@ -23,11 +23,11 @@ from typing import Iterable, Optional, Sequence, Union
 
 from ..acl.compiler import CompiledAcl
 from ..acl.rule import Action
+from ..config import _UNSET, EngineConfig, fold_legacy_kwargs
 from ..core.plus import PalmtriePlus
 from ..core.poptrie import Poptrie
 from ..core.table import TernaryMatcher
 from ..engine import ClassificationEngine
-from ..obs.metrics import MetricsRegistry
 from ..packet.codec import PacketDecodeError, decode_packet
 from ..packet.headers import PacketHeader
 
@@ -67,20 +67,31 @@ class L3Forwarder:
         routes: Iterable[tuple[int, int, int]],
         matcher: Optional[TernaryMatcher] = None,
         default_action: Action = Action.DENY,
-        cache_size: int = 4096,
-        auto_freeze: bool = False,
-        metrics: Union[None, bool, MetricsRegistry] = None,
-        resilience: Union[None, bool, object] = None,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache_size: Union[int, object] = _UNSET,
+        auto_freeze: Union[bool, object] = _UNSET,
+        metrics: object = _UNSET,
+        resilience: object = _UNSET,
     ) -> None:
         """``routes`` are ``(prefix_bits, prefix_len, out_port)`` over the
         destination address; ``acl`` decides permit/deny first."""
-        self.acl = acl
-        self.engine = ClassificationEngine(
-            matcher or PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
+        config = fold_legacy_kwargs(
+            config,
+            owner="L3Forwarder",
             cache_size=cache_size,
             auto_freeze=auto_freeze,
             metrics=metrics,
             resilience=resilience,
+        )
+        self.acl = acl
+        self.config = config
+        self.engine = ClassificationEngine.from_config(
+            matcher
+            or PalmtriePlus.build(
+                acl.entries, acl.layout.length, stride=config.stride or 8
+            ),
+            config,
         )
         self.rib = Poptrie.build(routes, key_length=32)
         self.default_action = default_action

@@ -26,7 +26,8 @@ Subcommands:
     Replay a binary trace or pcap file through an ACL (or a compiled
     ``.plm``/``.plmf`` policy) and report verdicts and the sustained
     lookup rate; ``--metrics-out`` writes a JSON metrics snapshot of
-    the run.
+    the run; ``--shards N`` fans the replay across N worker processes
+    sharing one shared-memory plane.
 
 ``metrics``
     Replay a trace with metrics enabled and dump (or serve, one-shot)
@@ -210,22 +211,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if shadowed or correlations else 0
 
 
-def _matcher_kwargs(kind: str, args: argparse.Namespace) -> dict:
-    """CLI kwargs the registry class actually accepts.
-
-    Inspects the class ``__init__`` instead of keeping a hand-maintained
-    list of stride-taking kinds, so new registry entries pick up
-    ``--stride`` automatically.
-    """
-    import inspect
-
-    from .core.table import matcher_kinds
-
-    cls = matcher_kinds()[kind]
-    params = inspect.signature(cls.__init__).parameters
-    return {"stride": args.stride} if "stride" in params else {}
-
-
 def _read_queries(input_path: str, layout, expected_length: int) -> Optional[list[int]]:
     """Queries from a ``.trace`` or ``.pcap`` file, or None (with the
     reason on stderr) when the input cannot be replayed.  ``layout``
@@ -340,15 +325,24 @@ def _layout_for(key_length: int):
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    import time
-
+    from .config import EngineConfig
     from .core.table import build_matcher
     from .engine import ClassificationEngine
-    from .obs.timing import safe_rate
 
     if args.cache_size < 0:
         print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
         return 2
+    if args.shards < 0:
+        print("error: --shards must be >= 0 (0 serves in-process)", file=sys.stderr)
+        return 2
+    config = EngineConfig(
+        matcher=args.matcher,
+        stride=args.stride,
+        cache_size=args.cache_size,
+        auto_freeze=args.freeze,
+        metrics=bool(args.metrics_out),
+        shards=args.shards,
+    )
     magic = _sniff_magic(args.acl)
     if magic is not None:
         # A compiled .plm/.plmf policy: replay it directly (corrupt
@@ -364,18 +358,23 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if rules is None:
             return 2
         compiled = compile_acl(rules)
-        matcher = build_matcher(
-            args.matcher, compiled.entries, compiled.layout.length,
-            **_matcher_kwargs(args.matcher, args),
-        )
+        matcher = build_matcher(config, compiled.entries, compiled.layout.length)
         layout = compiled.layout
         key_length = compiled.layout.length
-    engine = ClassificationEngine(
-        matcher,
-        cache_size=args.cache_size,
-        auto_freeze=args.freeze,
-        metrics=bool(args.metrics_out),
-    )
+    engine = ClassificationEngine.from_config(matcher, config)
+    try:
+        return _run_replay(args, engine, compiled, layout, key_length)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+
+def _run_replay(args, engine, compiled, layout, key_length) -> int:
+    import time
+
+    from .obs.timing import safe_rate
+
     queries = _read_queries(args.input, layout, key_length)
     if queries is None:
         return 2
@@ -456,6 +455,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{report['cache_evictions']} evictions "
         f"(batch size {batch})"
     )
+    if args.shards:
+        shards = report["shards"]
+        print(
+            f"  shards         {shards['alive']}/{shards['count']} alive, "
+            f"plane stamp {shards['stamp']} ({shards['plane_bytes']} bytes shared), "
+            f"{shards['worker_deaths']} deaths / {shards['respawns']} respawns, "
+            f"{shards['local_fallback_lookups']} local-fallback lookups"
+        )
+        for worker in shards["workers"]:
+            print(
+                f"    shard {worker['shard']:3}  pid {worker['pid']}  "
+                f"{worker['lookups']:8} lookups, "
+                f"{100 * worker['cache_hit_ratio']:.1f} % cache hits, "
+                f"{worker['remaps']} remaps"
+            )
     if args.update_rate:
         print(
             f"  updates        {report['updates_applied']} applied in "
@@ -518,6 +532,7 @@ def _serve_once(text: str, port: int) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
+    from .config import EngineConfig
     from .core.table import build_matcher
     from .engine import ClassificationEngine
     from .obs.export import render_prometheus, snapshot
@@ -529,13 +544,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if rules is None:
         return 2
     compiled = compile_acl(rules)
-    matcher = build_matcher(
-        args.matcher, compiled.entries, compiled.layout.length,
-        **_matcher_kwargs(args.matcher, args),
+    config = EngineConfig(
+        matcher=args.matcher,
+        stride=args.stride,
+        cache_size=args.cache_size,
+        auto_freeze=args.freeze,
+        metrics=True,
     )
-    engine = ClassificationEngine(
-        matcher, cache_size=args.cache_size, auto_freeze=args.freeze, metrics=True
-    )
+    matcher = build_matcher(config, compiled.entries, compiled.layout.length)
+    engine = ClassificationEngine.from_config(matcher, config)
     queries = _read_queries(args.input, compiled.layout, compiled.layout.length)
     if queries is None:
         return 2
@@ -565,12 +582,16 @@ def _cmd_health(args: argparse.Namespace) -> int:
     Exit code is the health verdict: 0 ok, 1 degraded, 2 quarantined
     (or an invalid checkpoint) — scriptable as a readiness probe.
     """
+    from .config import EngineConfig
     from .core.table import build_matcher
     from .engine import ClassificationEngine
     from .resilience.guard import GuardRail
 
     if args.cache_size < 0:
         print("error: --cache-size must be >= 0 (0 disables the cache)", file=sys.stderr)
+        return 2
+    if args.shards < 0:
+        print("error: --shards must be >= 0 (0 serves in-process)", file=sys.stderr)
         return 2
     if not 0.0 <= args.shadow_sample <= 1.0:
         print("error: --shadow-sample must be in [0, 1]", file=sys.stderr)
@@ -594,6 +615,13 @@ def _cmd_health(args: argparse.Namespace) -> int:
                 f"(epoch {snapshot.epoch}, generation {snapshot.generation}, "
                 f"{len(snapshot.matcher)} entries)"
             )
+    config = EngineConfig(
+        matcher=args.matcher,
+        stride=args.stride,
+        cache_size=args.cache_size,
+        auto_freeze=args.freeze,
+        shards=args.shards,
+    )
     magic = _sniff_magic(args.acl)
     if magic is not None:
         matcher = _load_binary_policy(args.acl, magic)
@@ -606,29 +634,35 @@ def _cmd_health(args: argparse.Namespace) -> int:
         if rules is None:
             return 2
         compiled = compile_acl(rules)
-        matcher = build_matcher(
-            args.matcher, compiled.entries, compiled.layout.length,
-            **_matcher_kwargs(args.matcher, args),
-        )
+        matcher = build_matcher(config, compiled.entries, compiled.layout.length)
         layout = compiled.layout
         key_length = compiled.layout.length
     guard = GuardRail(shadow_sample=args.shadow_sample)
-    engine = ClassificationEngine(
-        matcher,
-        cache_size=args.cache_size,
-        auto_freeze=args.freeze,
-        resilience=guard,
-    )
-    queries = _read_queries(args.input, layout, key_length)
-    if queries is None:
-        return 2
-    batch = max(1, args.batch_size)
-    for offset in range(0, len(queries), batch):
-        engine.lookup_batch(queries[offset : offset + batch])
+    engine = ClassificationEngine.from_config(matcher, config.replace(resilience=guard))
+    try:
+        queries = _read_queries(args.input, layout, key_length)
+        if queries is None:
+            return 2
+        batch = max(1, args.batch_size)
+        for offset in range(0, len(queries), batch):
+            engine.lookup_batch(queries[offset : offset + batch])
+        shard_summary = engine.report().get("shards") if args.shards else None
+        health = engine.health
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     report = guard.report()
     breaker = report["breaker"]
-    print(f"health         {engine.health}")
+    print(f"health         {health}")
     print(f"serving plane  {report['last_plane'] or 'none'}")
+    if shard_summary is not None:
+        print(
+            f"shards         {shard_summary['alive']}/{shard_summary['count']} alive "
+            f"({shard_summary['worker_deaths']} deaths, "
+            f"{shard_summary['respawns']} respawns, "
+            f"{shard_summary['local_fallback_lookups']} local-fallback lookups)"
+        )
     print(
         f"breaker        {breaker['state']} "
         f"({breaker['opens']} opens, {breaker['probes']} probes, "
@@ -650,7 +684,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
         )
     if report["quarantined"]:
         print(f"quarantine     {report['last_fault']}")
-    code = {"ok": 0, "degraded": 1, "quarantined": 2}[engine.health]
+    code = {"ok": 0, "degraded": 1, "quarantined": 2}[health]
     return max(code, 2 if checkpoint_invalid else 0)
 
 
@@ -777,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
              "before replaying (Palmtrie family only; others fall back)",
     )
     p_replay.add_argument(
+        "--shards", type=int, default=0,
+        help="worker processes of the sharded data plane (0 = in-process): "
+             "the policy is published once into shared memory and the "
+             "trace is fanned out by flow hash",
+    )
+    p_replay.add_argument(
         "--update-rate", type=float, default=0.0,
         help="policy updates per replayed packet (e.g. 0.01 = 1%% churn): "
              "each batch applies one transactional update of low-priority "
@@ -851,6 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_health.add_argument(
         "--freeze", action="store_true",
         help="serve from the frozen struct-of-arrays plane",
+    )
+    p_health.add_argument(
+        "--shards", type=int, default=0,
+        help="also run the replay through N shard workers and fold their "
+             "liveness into the health verdict (0 = in-process)",
     )
     p_health.add_argument(
         "--shadow-sample", type=float, default=0.01,

@@ -1,0 +1,229 @@
+"""Typed engine configuration and the ``repro.serve`` facade.
+
+Five PRs grew the :class:`~repro.engine.ClassificationEngine` a knob at
+a time — ``cache_size``, then ``auto_freeze``, then
+``invalidation_threshold``, ``metrics``, ``resilience``, and now the
+sharded data plane's ``shards`` — and every app, benchmark and CLI path
+re-declared the same sprawl of keyword arguments.  This module replaces
+that sprawl with one typed, validated value object:
+
+* :class:`EngineConfig` — a frozen dataclass holding every serving knob
+  (and the matcher-shape knobs ``matcher``/``stride`` the build paths
+  need), validated at construction so a bad value fails where it was
+  written, not three layers down;
+* :meth:`ClassificationEngine.from_config` — builds the engine the
+  config describes; with ``shards > 0`` it returns the multi-process
+  :class:`~repro.shard.ShardedEngine` front-end instead (same serving
+  surface);
+* :func:`serve` — the one-call facade: ACL text (or parsed rules, or an
+  already-compiled ACL) plus a config in, a serving engine out.
+
+The legacy keyword knobs keep working on ``ClassificationEngine`` and
+the four apps through a shim that folds them into an
+:class:`EngineConfig` and emits :class:`DeprecationWarning`
+(``docs/api.md`` has the migration table); CI runs the test suite with
+``-W error::DeprecationWarning`` so deprecated call sites cannot creep
+back into this repo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Type, Union
+
+__all__ = ["EngineConfig", "serve", "DEFAULT_CONFIG"]
+
+#: sentinel distinguishing "knob not passed" from an explicit None
+_UNSET: Any = object()
+
+#: the engine knobs the legacy keyword shim accepts, in signature order
+LEGACY_ENGINE_KNOBS = (
+    "cache_size",
+    "auto_freeze",
+    "invalidation_threshold",
+    "metrics",
+    "resilience",
+    "shards",
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every serving knob of a classification engine, in one value.
+
+    The config is immutable; derive variants with
+    :meth:`replace` (a thin :func:`dataclasses.replace`).  Matcher-shape
+    knobs (``matcher``, ``stride``) are used by the *build* paths —
+    :func:`serve`, :func:`~repro.core.table.build_matcher`, the CLI and
+    the apps — and ignored by
+    :meth:`~repro.engine.ClassificationEngine.from_config`, which
+    receives an already-built matcher.
+
+    ``shards = 0`` (the default) serves in-process; ``shards = N`` runs
+    the shared-memory multi-process data plane with N worker processes
+    (:mod:`repro.shard`), which requires a matcher the frozen plane can
+    compile (the Palmtrie family).
+    """
+
+    #: registry kind (``repro.MATCHER_KINDS``) or matcher class used by
+    #: the build paths
+    matcher: Union[str, Type[Any]] = "palmtrie-plus"
+    #: trie stride for kinds that take one (None = the kind's default)
+    stride: Optional[int] = None
+    #: LRU flow-cache capacity in distinct queries (0 disables caching)
+    cache_size: int = 4096
+    #: compile and serve from the frozen struct-of-arrays plane
+    auto_freeze: bool = False
+    #: cache rows above which per-update invalidation defers to a lazy
+    #: whole-cache drop (None = always sweep)
+    invalidation_threshold: Optional[int] = 1024
+    #: True / a shared MetricsRegistry to instrument the engine
+    metrics: Union[None, bool, Any] = None
+    #: True / a configured GuardRail to enable guarded degradation
+    resilience: Union[None, bool, Any] = None
+    #: worker processes of the sharded data plane (0 = in-process)
+    shards: int = 0
+    #: seconds a shard worker may take to answer one burst before it is
+    #: declared dead and its traffic degrades to the local fallback
+    shard_timeout: float = 30.0
+    #: consecutive worker respawns per shard before the shard is
+    #: abandoned and served by the local fallback for good
+    shard_max_restarts: int = 3
+    #: extra keyword arguments forwarded to the matcher constructor by
+    #: the build paths (kind-specific knobs beyond ``stride``)
+    matcher_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.invalidation_threshold is not None and self.invalidation_threshold < 0:
+            raise ValueError(
+                "invalidation_threshold must be >= 0 or None, "
+                f"got {self.invalidation_threshold}"
+            )
+        if self.stride is not None and not 1 <= self.stride <= 30:
+            raise ValueError(f"stride must be in 1..30, got {self.stride}")
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be > 0, got {self.shard_timeout}")
+        if self.shard_max_restarts < 0:
+            raise ValueError(
+                f"shard_max_restarts must be >= 0, got {self.shard_max_restarts}"
+            )
+        if not (isinstance(self.matcher, str) or isinstance(self.matcher, type)):
+            raise TypeError(
+                f"matcher must be a registry kind or a matcher class, got {self.matcher!r}"
+            )
+
+    # -- derivation ------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with ``changes`` applied (validated like a fresh one)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- build helpers ---------------------------------------------------
+
+    def engine_kwargs(self) -> dict[str, Any]:
+        """The in-process engine knobs as plain keyword arguments —
+        what :class:`~repro.engine.ClassificationEngine` consumes."""
+        return {
+            "cache_size": self.cache_size,
+            "auto_freeze": self.auto_freeze,
+            "invalidation_threshold": self.invalidation_threshold,
+            "metrics": self.metrics,
+            "resilience": self.resilience,
+        }
+
+    def build_kwargs(self, cls: type) -> dict[str, Any]:
+        """Constructor kwargs for matcher class ``cls``: the config's
+        ``matcher_kwargs`` plus ``stride`` when the class accepts one
+        (the registry kinds differ; inspecting beats a hand-kept list).
+        """
+        import inspect
+
+        kwargs = dict(self.matcher_kwargs)
+        if self.stride is not None and "stride" not in kwargs:
+            params = inspect.signature(cls.__init__).parameters
+            if "stride" in params:
+                kwargs["stride"] = self.stride
+        return kwargs
+
+
+#: the all-defaults config (module-level so callers can compare against it)
+DEFAULT_CONFIG = EngineConfig()
+
+
+def fold_legacy_kwargs(
+    config: Optional[EngineConfig],
+    *,
+    owner: str,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> EngineConfig:
+    """Fold deprecated keyword knobs into an :class:`EngineConfig`.
+
+    ``legacy`` maps knob name -> value, where the module sentinel
+    ``_UNSET`` means "not passed".  Passing any knob emits one
+    :class:`DeprecationWarning` naming ``owner`` (the call surface being
+    migrated); combining legacy knobs with an explicit ``config`` is an
+    error — the caller cannot mean both.
+    """
+    passed = {name: value for name, value in legacy.items() if value is not _UNSET}
+    if not passed:
+        return config if config is not None else DEFAULT_CONFIG
+    if config is not None:
+        raise TypeError(
+            f"{owner}: pass EngineConfig or legacy keyword knobs, not both "
+            f"(got config= and {sorted(passed)})"
+        )
+    warnings.warn(
+        f"{owner}: the {', '.join(sorted(passed))} keyword knob"
+        f"{'s are' if len(passed) > 1 else ' is'} deprecated; pass "
+        f"config=EngineConfig({', '.join(f'{k}=...' for k in sorted(passed))}) "
+        "instead (docs/api.md has the migration table)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return DEFAULT_CONFIG.replace(**passed)
+
+
+def serve(rules: Any, config: Optional[EngineConfig] = None) -> Any:
+    """One-call facade: rules in, a serving engine out.
+
+    ``rules`` may be ACL configuration text (the Table 2 dialect), a
+    sequence of parsed :class:`~repro.acl.rule.AclRule` objects, an
+    already-compiled :class:`~repro.acl.compiler.CompiledAcl`, or a
+    bare matcher (anything with ``lookup``) to wrap as-is.  The matcher
+    kind, stride and every serving knob come from ``config``; the
+    returned engine is a :class:`~repro.engine.ClassificationEngine`,
+    or a :class:`~repro.shard.ShardedEngine` when ``config.shards > 0``
+    — both serve the same ``lookup`` / ``lookup_batch`` / ``report``
+    surface.
+
+    >>> engine = serve("permit ip any any", EngineConfig(cache_size=1024))
+    """
+    from .acl.compiler import CompiledAcl, compile_acl
+    from .acl.parser import parse_acl
+    from .core.table import build_matcher
+    from .engine import ClassificationEngine
+
+    config = config if config is not None else DEFAULT_CONFIG
+    if isinstance(rules, str):
+        compiled: Any = compile_acl(parse_acl(rules))
+    elif isinstance(rules, CompiledAcl):
+        compiled = rules
+    elif isinstance(rules, Sequence):
+        compiled = compile_acl(list(rules))
+    elif callable(getattr(rules, "lookup", None)):
+        # Already a matcher: wrap it without rebuilding.
+        return ClassificationEngine.from_config(rules, config)
+    else:
+        raise TypeError(
+            "serve() takes ACL text, AclRule sequences, a CompiledAcl or a "
+            f"matcher; got {type(rules).__name__}"
+        )
+    matcher = build_matcher(config, compiled.entries, compiled.layout.length)
+    return ClassificationEngine.from_config(matcher, config)

@@ -506,6 +506,20 @@ class FrozenMatcher(TernaryMatcher):
     # ------------------------------------------------------------------
 
     def lookup_batch(self, queries: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        indices = self.lookup_batch_indices(queries)
+        best_of = self._leaf_best
+        return [best_of[j] if j >= 0 else None for j in indices]
+
+    def lookup_batch_indices(self, queries: Sequence[int]) -> list[int]:
+        """Winning *leaf indices* for a batch (-1 where nothing matches).
+
+        Same walk as :meth:`lookup_batch`, but the answers are plain
+        ints indexing ``self._leaf_best`` / the per-leaf entry slices.
+        Leaf numbering is a pure function of the frozen image, so two
+        processes holding the same PLMF bytes agree on every index —
+        the sharded data plane ships these across process boundaries
+        and resolves entries locally instead of pickling entry objects.
+        """
         if self._dirty:
             self._refreeze()
         injector = self._fault_injector
@@ -514,7 +528,7 @@ class FrozenMatcher(TernaryMatcher):
             # fault a batch "mid-walk" the way a real corruption would.
             for _ in set(queries):
                 injector.check("frozen_walk")
-        results: list[Optional[TernaryEntry]] = [None] * len(queries)
+        results = [-1] * len(queries)
         if not queries or not self._leaf_best:
             return results
         positions: dict[int, list[int]] = {}
@@ -530,9 +544,9 @@ class FrozenMatcher(TernaryMatcher):
                 results[index] = best[g]
         return results
 
-    def _batch_walk_python(self, unique: Sequence[int]) -> list[Optional[TernaryEntry]]:
+    def _batch_walk_python(self, unique: Sequence[int]) -> list[int]:
         """Grouped node-major walk (the fallback without numpy)."""
-        best: list[Optional[TernaryEntry]] = [None] * len(unique)
+        best = [-1] * len(unique)
         best_priority = [-1] * len(unique)
         (
             maxp, bits, dispatch, push, data, care, best_of,
@@ -554,7 +568,7 @@ class FrozenMatcher(TernaryMatcher):
                 leaf_care = care[j]
                 for g in group:
                     if unique[g] & leaf_care == leaf_data and mp > best_priority[g]:
-                        best[g] = best_of[j]
+                        best[g] = j
                         best_priority[g] = mp
                 continue
             b = bits[x]
@@ -608,7 +622,7 @@ class FrozenMatcher(TernaryMatcher):
             self._np_cache = cache
         return cache
 
-    def _batch_walk_numpy(self, unique: Sequence[int]) -> list[Optional[TernaryEntry]]:
+    def _batch_walk_numpy(self, unique: Sequence[int]) -> list[int]:
         """Vectorized node-major frontier walk across the whole batch."""
         np = _np
         views = self._numpy_views()
@@ -711,8 +725,7 @@ class FrozenMatcher(TernaryMatcher):
             qidx = np.concatenate(next_qidx)
 
         self.batch_walk_node_visits += visits
-        best_of = self._leaf_best
-        return [best_of[j] if j >= 0 else None for j in best_leaf.tolist()]
+        return best_leaf.tolist()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -95,7 +95,7 @@ def _guarded_decode(data: bytes, decoder: Any) -> Any:
     """
     hook = _deserialize_hook
     if hook is not None:
-        data = hook(data)
+        data = hook(bytes(data))
     try:
         return decoder(data)
     except FormatError:
@@ -307,6 +307,22 @@ def _array_from(typecode: str, data: bytes) -> array:
     return arr
 
 
+def _typed_view(typecode: str, section: memoryview) -> Any:
+    """Reinterpret one wire section as a typed sequence of ints.
+
+    Little-endian hosts get a zero-copy ``memoryview.cast`` over the
+    caller's buffer — this is what lets shard workers serve straight
+    out of a shared-memory PLMF mapping without duplicating the arrays
+    per process.  Big-endian hosts fall back to a byte-swapped
+    :mod:`array` copy.  Both results index, slice, iterate and
+    ``tobytes()`` the same way, and :func:`numpy.frombuffer` reads
+    either without copying.
+    """
+    if sys.byteorder == "little":
+        return section.cast(typecode)
+    return _array_from(typecode, bytes(section))  # pragma: no cover
+
+
 def serialize_frozen(matcher: "TernaryMatcher") -> bytes:
     """Pack a frozen plane's arrays into the ``PLMF`` wire form.
 
@@ -363,22 +379,29 @@ def serialize_frozen(matcher: "TernaryMatcher") -> bytes:
     )
 
 
-def deserialize_frozen(data: bytes) -> "TernaryMatcher":
-    """Rebuild a :class:`~repro.core.frozen.FrozenMatcher` from bytes.
+def deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatcher":
+    """Rebuild a :class:`~repro.core.frozen.FrozenMatcher` from a buffer.
 
-    The plane's arrays are restored with buffer copies — no trie walk,
-    no recompilation.  The mutable source trie is *not* built: the
-    decoded entries are parked as pending and only hydrated on the
-    first ``insert``/``delete``, so pure-lookup data planes skip the
-    whole incremental-update machinery.  Any corruption raises
-    :class:`FormatError`.
+    ``data`` may be ``bytes`` or any read-only buffer — in particular a
+    ``memoryview`` over a ``multiprocessing.shared_memory`` mapping.
+    The plane's flat arrays become zero-copy typed views over the
+    caller's buffer (no wholesale copy is taken; the buffer must stay
+    alive and unchanged for the plane's lifetime), so N processes
+    mapping one PLMF image share one copy of the arrays.  The mutable
+    source trie is *not* built: the decoded entries are parked as
+    pending and only hydrated on the first ``insert``/``delete``, so
+    pure-lookup data planes skip the whole incremental-update
+    machinery.  Any corruption raises :class:`FormatError`.
     """
     return _guarded_decode(data, _deserialize_frozen)
 
 
-def _deserialize_frozen(data: bytes) -> "TernaryMatcher":
+def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatcher":
     from .frozen import _COUNT_BITS, _COUNT_MASK, FrozenMatcher
 
+    data = memoryview(data)
+    if data.format != "B":  # normalize exotic buffers to a byte view
+        data = data.cast("B")
     if len(data) < _FROZEN_HEADER.size:
         raise FormatError("truncated header")
     (
@@ -417,18 +440,17 @@ def _deserialize_frozen(data: bytes) -> "TernaryMatcher":
             f" got {len(data)}"
         )
 
-    view = memoryview(data)
     cursor = _FROZEN_HEADER.size
     sections = []
     for size in sizes:
-        sections.append(view[cursor : cursor + size])
+        sections.append(data[cursor : cursor + size])
         cursor += size
-    bit_arr = _array_from("i", sections[0])
-    maxp_arr = _array_from("q", sections[1])
-    dispatch = _array_from("I", sections[2])
-    push = _array_from("Q", sections[3])
-    entry_base = _array_from("Q", sections[5])
-    entry_count_arr = _array_from("Q", sections[6])
+    bit_arr = _typed_view("i", sections[0])
+    maxp_arr = _typed_view("q", sections[1])
+    dispatch = _typed_view("I", sections[2])
+    push = _typed_view("Q", sections[3])
+    entry_base = _typed_view("Q", sections[5])
+    entry_count_arr = _typed_view("Q", sections[6])
 
     for target in push:
         if target >= node_count:

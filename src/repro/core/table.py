@@ -271,23 +271,32 @@ def matcher_kinds() -> dict[str, Type[TernaryMatcher]]:
 
 
 def build_matcher(
-    kind: Union[str, Type[TernaryMatcher]],
+    kind: Union[str, Type[TernaryMatcher], Any],
     entries: Sequence[TernaryEntry],
     key_length: int,
     **kwargs: Any,
 ) -> TernaryMatcher:
-    """Factory used by the CLI and benchmarks.
+    """Factory used by the CLI, the apps and the benchmarks.
 
     ``kind`` is a registry name from :func:`matcher_kinds` —
     ``sorted-list``, ``palmtrie-basic``, ``palmtrie`` (multi-bit; pass
     ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``), ``frozen``
     (struct-of-arrays compiled plane; pass ``stride=k``), ``dpdk-acl``,
-    ``efficuts``, ``adaptive``, ``tcam``, ``vectorized`` — or a
-    :class:`TernaryMatcher` subclass itself, so callers never need to
-    reach into private modules.
+    ``efficuts``, ``adaptive``, ``tcam``, ``vectorized`` — a
+    :class:`TernaryMatcher` subclass itself, or an
+    :class:`~repro.config.EngineConfig`, whose ``matcher`` / ``stride``
+    / ``matcher_kwargs`` fields pick the class and its constructor
+    knobs (``stride`` is forwarded only to kinds that take one), so
+    every construction path in the repo builds matchers one way.
     """
+    from ..config import EngineConfig
+
     entries = list(entries)
     _check_entries(entries, key_length)
+    if isinstance(kind, EngineConfig):
+        config, kind = kind, kind.matcher
+    else:
+        config = None
     if isinstance(kind, type):
         if not issubclass(kind, TernaryMatcher):
             raise TypeError(f"{kind!r} is not a TernaryMatcher subclass")
@@ -300,4 +309,6 @@ def build_matcher(
             raise ValueError(
                 f"unknown matcher kind {kind!r}; choose from {sorted(kinds)}"
             ) from None
+    if config is not None:
+        kwargs = {**config.build_kwargs(cls), **kwargs}
     return cls.build(entries, key_length, **kwargs)

@@ -71,6 +71,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence, Union
 
+from .config import _UNSET, EngineConfig, fold_legacy_kwargs
 from .core.table import LookupStats, TernaryEntry, TernaryMatcher
 from .core.ternary import TernaryKey
 from .obs.metrics import MetricsRegistry, geometric_buckets
@@ -442,6 +443,18 @@ class _EngineInstruments:
 class ClassificationEngine:
     """Serving layer: flow cache + batched lookups over any matcher.
 
+    Construction takes the matcher plus one
+    :class:`~repro.config.EngineConfig` holding every serving knob::
+
+        engine = ClassificationEngine(matcher, EngineConfig(cache_size=1024))
+
+    (The pre-config keyword knobs — ``cache_size``, ``auto_freeze``,
+    ``invalidation_threshold``, ``metrics``, ``resilience`` — still
+    work through a shim that emits :class:`DeprecationWarning`; see
+    docs/api.md for the migration table.  :meth:`from_config` builds
+    the engine a config describes, returning the multi-process
+    :class:`~repro.shard.ShardedEngine` when ``config.shards > 0``.)
+
     ``cache_size`` is the LRU capacity in distinct binary queries
     (0 disables caching; batching still applies).  ``matcher`` is any
     :class:`TernaryMatcher` — or anything duck-typing its ``lookup`` /
@@ -473,18 +486,32 @@ class ClassificationEngine:
     def __init__(
         self,
         matcher: Union[TernaryMatcher, Any],
-        cache_size: int = 4096,
-        auto_freeze: bool = False,
-        invalidation_threshold: Optional[int] = 1024,
-        metrics: Union[None, bool, MetricsRegistry] = None,
-        resilience: Union[None, bool, Any] = None,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache_size: Any = _UNSET,
+        auto_freeze: Any = _UNSET,
+        invalidation_threshold: Any = _UNSET,
+        metrics: Any = _UNSET,
+        resilience: Any = _UNSET,
     ) -> None:
+        config = fold_legacy_kwargs(
+            config,
+            owner="ClassificationEngine",
+            cache_size=cache_size,
+            auto_freeze=auto_freeze,
+            invalidation_threshold=invalidation_threshold,
+            metrics=metrics,
+            resilience=resilience,
+        )
         if not callable(getattr(matcher, "lookup", None)):
             raise TypeError(f"{matcher!r} has no lookup(); not a matcher")
-        if invalidation_threshold is not None and invalidation_threshold < 0:
-            raise ValueError(
-                f"invalidation_threshold must be >= 0 or None, got {invalidation_threshold}"
-            )
+        #: the EngineConfig this engine was constructed from
+        self.config = config
+        cache_size = config.cache_size
+        auto_freeze = config.auto_freeze
+        invalidation_threshold = config.invalidation_threshold
+        metrics = config.metrics
+        resilience = config.resilience
         self._matcher = matcher
         self.cache = FlowCache(cache_size)
         self.auto_freeze = auto_freeze
@@ -527,6 +554,25 @@ class ClassificationEngine:
         self._instruments: Optional[_EngineInstruments] = None
         if metrics:
             self.enable_metrics(metrics if isinstance(metrics, MetricsRegistry) else None)
+
+    @classmethod
+    def from_config(
+        cls, matcher: Union[TernaryMatcher, Any], config: Optional[EngineConfig] = None
+    ) -> Any:
+        """The engine ``config`` describes, over an already-built matcher.
+
+        With ``config.shards == 0`` this is ``cls(matcher, config)``;
+        with ``shards > 0`` it returns the multi-process
+        :class:`~repro.shard.ShardedEngine` front-end instead — the
+        same ``lookup`` / ``lookup_batch`` / ``report`` surface, served
+        by worker processes over a shared-memory frozen plane.
+        """
+        config = config if config is not None else EngineConfig()
+        if config.shards:
+            from .shard import ShardedEngine
+
+            return ShardedEngine(matcher, config)
+        return cls(matcher, config)
 
     # -- metrics ---------------------------------------------------------
 

@@ -1,0 +1,210 @@
+"""The redesigned construction surface: EngineConfig, from_config,
+serve(), and the deprecated-keyword shim.
+
+CI runs this file (like the whole suite) under
+``-W error::DeprecationWarning``; the shim tests therefore catch the
+warning explicitly with ``pytest.warns`` — any *other* code path that
+still feeds legacy knobs fails the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import random_entries, table1_entries
+from repro import (
+    DEFAULT_CONFIG,
+    ClassificationEngine,
+    EngineConfig,
+    build_matcher,
+    compile_acl,
+    parse_acl,
+    serve,
+)
+from repro.apps.conntrack import StatefulFirewall
+from repro.apps.firewall import Firewall
+from repro.apps.flowmon import FlowMonitor
+from repro.apps.l3fwd import L3Forwarder
+
+KEY_LENGTH = 128
+
+ACL = """
+permit tcp 10.0.0.0/8 any range 1000 2000
+deny ip any 192.0.2.0/24
+permit ip any any
+"""
+
+
+class TestEngineConfig:
+    def test_defaults_match_module_constant(self):
+        assert EngineConfig() == DEFAULT_CONFIG
+        assert DEFAULT_CONFIG.cache_size == 4096
+        assert DEFAULT_CONFIG.shards == 0
+
+    def test_frozen_and_replace(self):
+        config = EngineConfig(cache_size=64)
+        with pytest.raises(Exception):  # frozen dataclass
+            config.cache_size = 128  # type: ignore[misc]
+        derived = config.replace(auto_freeze=True)
+        assert derived.cache_size == 64 and derived.auto_freeze is True
+        assert config.auto_freeze is False  # original untouched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cache_size": -1},
+            {"invalidation_threshold": -2},
+            {"stride": 0},
+            {"stride": 31},
+            {"shards": -1},
+            {"shard_timeout": 0.0},
+            {"shard_max_restarts": -1},
+        ],
+    )
+    def test_validation_fails_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_matcher_kind_must_be_string_or_class(self):
+        with pytest.raises(TypeError):
+            EngineConfig(matcher=42)  # type: ignore[arg-type]
+
+    def test_engine_kwargs_round_trip(self):
+        config = EngineConfig(cache_size=7, auto_freeze=True, metrics=True)
+        engine = ClassificationEngine(
+            build_matcher("palmtrie-plus", table1_entries(), 8), config
+        )
+        assert engine.config is config
+        assert engine.cache.capacity == 7
+        assert engine.auto_freeze is True
+        assert engine.metrics is not None
+
+    def test_build_kwargs_passes_stride_only_where_accepted(self):
+        entries = random_entries(10, KEY_LENGTH, seed=1)
+        strided = build_matcher(
+            EngineConfig(matcher="palmtrie-plus", stride=4), entries, KEY_LENGTH
+        )
+        assert strided.stride == 4
+        # sorted-list takes no stride; the config must not crash it
+        build_matcher(
+            EngineConfig(matcher="sorted-list", stride=4), entries, KEY_LENGTH
+        )
+
+
+class TestFromConfig:
+    def test_in_process_engine(self):
+        matcher = build_matcher("palmtrie-plus", table1_entries(), 8)
+        engine = ClassificationEngine.from_config(matcher, EngineConfig(cache_size=16))
+        assert isinstance(engine, ClassificationEngine)
+        assert engine.cache.capacity == 16
+
+    def test_none_config_uses_defaults(self):
+        matcher = build_matcher("palmtrie-plus", table1_entries(), 8)
+        engine = ClassificationEngine.from_config(matcher, None)
+        assert engine.config == DEFAULT_CONFIG
+
+    def test_sharded_front_end(self):
+        from repro.shard import ShardedEngine
+
+        matcher = build_matcher("palmtrie-plus", table1_entries(), 8)
+        engine = ClassificationEngine.from_config(
+            matcher, EngineConfig(cache_size=16, shards=1)
+        )
+        try:
+            assert isinstance(engine, ShardedEngine)
+            assert engine.shards_alive == 1
+        finally:
+            engine.close()
+
+
+class TestServeFacade:
+    def test_serve_from_text_and_lookup(self):
+        engine = serve(ACL, EngineConfig(cache_size=32))
+        # the all-zero query falls through to the catch-all permit
+        entry = engine.lookup(0)
+        assert entry is not None
+        assert engine.config.cache_size == 32
+
+    def test_serve_from_rules_and_compiled(self):
+        rules = parse_acl(ACL)
+        compiled = compile_acl(rules)
+        by_rules = serve(rules)
+        by_compiled = serve(compiled)
+        assert by_rules.lookup(0).value == by_compiled.lookup(0).value
+
+    def test_serve_wraps_bare_matcher(self):
+        matcher = build_matcher("palmtrie-plus", table1_entries(), 8)
+        engine = serve(matcher)
+        assert engine.matcher is matcher
+
+    def test_serve_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            serve(12345)
+
+
+class TestDeprecatedKeywordShim:
+    """Legacy keyword knobs still work, with one DeprecationWarning."""
+
+    def test_engine_legacy_kwargs_warn_and_apply(self):
+        matcher = build_matcher("palmtrie-plus", table1_entries(), 8)
+        with pytest.warns(DeprecationWarning, match="ClassificationEngine"):
+            engine = ClassificationEngine(matcher, cache_size=9, auto_freeze=True)
+        assert engine.cache.capacity == 9
+        assert engine.config.auto_freeze is True
+
+    def test_engine_rejects_config_plus_legacy(self):
+        matcher = build_matcher("palmtrie-plus", table1_entries(), 8)
+        with pytest.raises(TypeError, match="not both"):
+            ClassificationEngine(matcher, EngineConfig(), cache_size=9)
+
+    def test_legacy_engine_still_serves_correctly(self):
+        import random
+
+        entries = random_entries(30, KEY_LENGTH, seed=3)
+        matcher = build_matcher("palmtrie-plus", entries, KEY_LENGTH)
+        reference = build_matcher("sorted-list", entries, KEY_LENGTH)
+        with pytest.warns(DeprecationWarning):
+            engine = ClassificationEngine(matcher, cache_size=64)
+        rng = random.Random(41)
+        queries = [rng.getrandbits(KEY_LENGTH) for _ in range(50)]
+        for _ in range(2):  # second pass hits the cache
+            for query, entry in zip(queries, engine.lookup_batch(queries)):
+                expected = reference.lookup(query)
+                if expected is None:
+                    assert entry is None
+                else:
+                    assert entry.value == expected.value
+
+    @pytest.mark.parametrize(
+        "factory, owner",
+        [
+            (lambda acl, **kw: Firewall(acl, **kw), "Firewall"),
+            (
+                lambda acl, **kw: FlowMonitor(acl.entries, acl.layout.length, **kw),
+                "FlowMonitor",
+            ),
+            (
+                lambda acl, **kw: L3Forwarder(acl, [(0x0A, 8, 1)], **kw),
+                "L3Forwarder",
+            ),
+            (lambda acl, **kw: StatefulFirewall(acl, **kw), "StatefulFirewall"),
+        ],
+    )
+    def test_app_legacy_kwargs_warn(self, factory, owner):
+        acl = compile_acl(parse_acl(ACL))
+        with pytest.warns(DeprecationWarning, match=owner):
+            app = factory(acl, cache_size=8)
+        assert app.engine.cache.capacity == 8
+        assert app.config.cache_size == 8
+
+    def test_app_config_path_is_silent(self, recwarn):
+        acl = compile_acl(parse_acl(ACL))
+        for app in (
+            Firewall(acl, EngineConfig(cache_size=8)),
+            FlowMonitor(acl.entries, acl.layout.length,
+                        config=EngineConfig(cache_size=8)),
+            L3Forwarder(acl, [(0x0A, 8, 1)], config=EngineConfig(cache_size=8)),
+            StatefulFirewall(acl, config=EngineConfig(cache_size=8)),
+        ):
+            assert app.engine.cache.capacity == 8
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]

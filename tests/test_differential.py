@@ -20,6 +20,7 @@ from repro.core.basic import BasicPalmtrie
 from repro.core.multibit import MultibitPalmtrie
 from repro.core.plus import PalmtriePlus
 from repro.core.table import build_matcher, matcher_kinds
+from repro.config import EngineConfig
 from repro.engine import ClassificationEngine
 from repro.workloads.campus import campus_acl
 from repro.workloads.classbench import classbench_acl
@@ -136,12 +137,7 @@ def _fuzz_churn(kind, seed, *, auto_freeze=False, cache_size=256, steps=90):
     rng = random.Random(seed)
     live = random_entries(40, KEY_LENGTH, seed=seed)
     pool = random_entries(140, KEY_LENGTH, seed=seed + 1)
-    engine = ClassificationEngine(
-        build_matcher(kind, live, KEY_LENGTH),
-        cache_size=cache_size,
-        auto_freeze=auto_freeze,
-        invalidation_threshold=rng.choice([None, 0, 8]),
-    )
+    engine = ClassificationEngine(build_matcher(kind, live, KEY_LENGTH), EngineConfig(cache_size=cache_size, auto_freeze=auto_freeze, invalidation_threshold=rng.choice([None, 0, 8])))
 
     def check(count):
         for _ in range(count):

@@ -16,7 +16,7 @@ import pytest
 
 from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
 
-from repro import MATCHER_KINDS, ClassificationEngine, FlowCache, build_matcher
+from repro import MATCHER_KINDS, ClassificationEngine, EngineConfig, FlowCache, build_matcher
 from repro.core.plus import PalmtriePlus
 from repro.core.table import TernaryEntry, matcher_kinds
 from repro.core.ternary import TernaryKey
@@ -81,9 +81,7 @@ class TestEveryKind:
 
     def test_engine_paths_match_oracle(self, kind):
         entries = random_entries(60, KEY_LENGTH, seed=4)
-        engine = ClassificationEngine(
-            build_matcher(kind, entries, KEY_LENGTH), cache_size=64
-        )
+        engine = ClassificationEngine(build_matcher(kind, entries, KEY_LENGTH), EngineConfig(cache_size=64))
         queries = _queries(400, seed=5)
         # Twice through, so the second pass is served (partly) from cache.
         for _ in range(2):
@@ -97,9 +95,7 @@ class TestEveryKind:
         if kind in BUILD_ONLY:
             pytest.skip(f"{kind} is build-only (no incremental updates)")
         entries = random_entries(40, KEY_LENGTH, seed=6)
-        engine = ClassificationEngine(
-            build_matcher(kind, entries, KEY_LENGTH), cache_size=256
-        )
+        engine = ClassificationEngine(build_matcher(kind, entries, KEY_LENGTH), EngineConfig(cache_size=256))
         queries = _queries(200, seed=7)
         engine.lookup_batch(queries)  # warm the cache
 
@@ -124,7 +120,7 @@ class TestEveryKind:
         entries = random_entries(20, KEY_LENGTH, seed=8)
         matcher = build_matcher(kind, entries, KEY_LENGTH)
         assert matcher.lookup_batch([]) == []
-        engine = ClassificationEngine(matcher, cache_size=8)
+        engine = ClassificationEngine(matcher, EngineConfig(cache_size=8))
         assert engine.lookup_batch([]) == []
         assert engine.last_batch.queries == 0
         assert engine.last_batch.hit_ratio == 0.0
@@ -136,9 +132,7 @@ class TestEveryKind:
         expected = oracle_lookup(entries, query)
         for got in matcher.lookup_batch([query] * 64):
             assert_same_result(expected, got)
-        engine = ClassificationEngine(
-            build_matcher(kind, entries, KEY_LENGTH), cache_size=8
-        )
+        engine = ClassificationEngine(build_matcher(kind, entries, KEY_LENGTH), EngineConfig(cache_size=8))
         for got in engine.lookup_batch([query] * 64):
             assert_same_result(expected, got)
         # one distinct query: the matcher is asked exactly once
@@ -151,9 +145,7 @@ class TestEveryKind:
     def test_batch_equal_to_cache_size(self, kind):
         entries = random_entries(30, KEY_LENGTH, seed=12)
         size = 32
-        engine = ClassificationEngine(
-            build_matcher(kind, entries, KEY_LENGTH), cache_size=size
-        )
+        engine = ClassificationEngine(build_matcher(kind, entries, KEY_LENGTH), EngineConfig(cache_size=size))
         queries = list(dict.fromkeys(_queries(200, seed=13)))[:size]
         assert len(queries) == size
         engine.lookup_batch(queries)
@@ -169,7 +161,7 @@ class TestEveryKind:
             pytest.skip(f"{kind} is build-only (no incremental updates)")
         entries = random_entries(25, KEY_LENGTH, seed=14)
         matcher = build_matcher(kind, entries, KEY_LENGTH)
-        engine = ClassificationEngine(matcher, cache_size=64)
+        engine = ClassificationEngine(matcher, EngineConfig(cache_size=64))
         queries = _queries(120, seed=15)
         rng = random.Random(16)
         for round_ in range(4):
@@ -241,9 +233,7 @@ class TestFlowCache:
 class TestEngineObservability:
     def test_counters_and_report(self):
         entries = table1_entries()
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, 8), cache_size=16
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, 8), EngineConfig(cache_size=16))
         engine.lookup_batch(list(range(32)))
         engine.lookup_batch(list(range(32)))   # all hits... except evicted rows
         stats = engine.stats
@@ -261,9 +251,7 @@ class TestEngineObservability:
         assert engine.stats.lookups == 0 and engine.batches == 0
 
     def test_batch_report_dedupes_repeats(self):
-        engine = ClassificationEngine(
-            build_matcher("sorted-list", table1_entries(), 8), cache_size=0
-        )
+        engine = ClassificationEngine(build_matcher("sorted-list", table1_entries(), 8), EngineConfig(cache_size=0))
         engine.lookup_batch([5, 5, 5, 9, 9])
         assert engine.last_batch.matcher_queries == 2  # 5 and 9, deduplicated
         assert engine.last_batch.cache_hits == 0       # cache disabled
@@ -273,7 +261,7 @@ class TestEngineObservability:
             name = "scalar-only"
             def lookup(self, query):
                 return None
-        engine = ClassificationEngine(ScalarOnly(), cache_size=4)
+        engine = ClassificationEngine(ScalarOnly(), EngineConfig(cache_size=4))
         assert engine.lookup_batch([1, 2, 3]) == [None, None, None]
 
     def test_rejects_non_matcher(self):
@@ -281,9 +269,7 @@ class TestEngineObservability:
             ClassificationEngine(object())
 
     def test_invalidate_all(self):
-        engine = ClassificationEngine(
-            build_matcher("sorted-list", table1_entries(), 8), cache_size=8
-        )
+        engine = ClassificationEngine(build_matcher("sorted-list", table1_entries(), 8), EngineConfig(cache_size=8))
         engine.lookup_batch([1, 2, 3])
         assert engine.invalidate_all() == 3
         assert len(engine.cache) == 0
@@ -300,9 +286,7 @@ class TestUpdatePlane:
     @pytest.mark.parametrize("kind", UPDATABLE_KINDS)
     def test_apply_updates_matches_oracle(self, kind):
         entries = random_entries(40, KEY_LENGTH, seed=21)
-        engine = ClassificationEngine(
-            build_matcher(kind, entries, KEY_LENGTH), cache_size=128
-        )
+        engine = ClassificationEngine(build_matcher(kind, entries, KEY_LENGTH), EngineConfig(cache_size=128))
         queries = _queries(200, seed=22)
         engine.lookup_batch(queries)  # warm the cache before churning
         new = [
@@ -382,11 +366,7 @@ class TestUpdatePlane:
         """The silent-stale hazard: callers mutating ``engine.matcher``
         directly must still get fresh verdicts (generation check)."""
         entries = random_entries(30, KEY_LENGTH, seed=28)
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, KEY_LENGTH),
-            cache_size=64,
-            auto_freeze=auto_freeze,
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH), EngineConfig(cache_size=64, auto_freeze=auto_freeze))
         queries = _queries(50, seed=29)
         engine.lookup_batch(queries)  # warm cache (and freeze the plane)
         if auto_freeze:
@@ -400,11 +380,7 @@ class TestUpdatePlane:
 
     def test_lazy_invalidation_above_threshold(self):
         entries = random_entries(20, KEY_LENGTH, seed=30)
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, KEY_LENGTH),
-            cache_size=256,
-            invalidation_threshold=4,
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH), EngineConfig(cache_size=256, invalidation_threshold=4))
         queries = list(dict.fromkeys(_queries(64, seed=31)))
         engine.lookup_batch(queries)
         assert len(engine.cache) > 4
@@ -420,11 +396,7 @@ class TestUpdatePlane:
 
     def test_threshold_none_always_sweeps_targeted(self):
         entries = random_entries(20, KEY_LENGTH, seed=32)
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, KEY_LENGTH),
-            cache_size=256,
-            invalidation_threshold=None,
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH), EngineConfig(cache_size=256, invalidation_threshold=None))
         queries = list(dict.fromkeys(_queries(64, seed=33)))
         engine.lookup_batch(queries)
         rows = len(engine.cache)
@@ -438,16 +410,11 @@ class TestUpdatePlane:
 
     def test_rejects_negative_threshold(self):
         with pytest.raises(ValueError):
-            ClassificationEngine(
-                build_matcher("sorted-list", table1_entries(), 8),
-                invalidation_threshold=-1,
-            )
+            ClassificationEngine(build_matcher("sorted-list", table1_entries(), 8), EngineConfig(invalidation_threshold=-1))
 
     def test_replace_matcher_preserves_cumulative_stats(self):
         entries = random_entries(20, KEY_LENGTH, seed=34)
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, KEY_LENGTH), cache_size=32
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH), EngineConfig(cache_size=32))
         queries = _queries(40, seed=35)
         engine.lookup_batch(queries)
         lookups_before = engine.stats.lookups
@@ -472,9 +439,7 @@ class TestUpdatePlane:
         verdicts — even when B's generation counter equals A's (the
         generation stamp alone cannot distinguish two fresh policies)."""
         entries = random_entries(20, KEY_LENGTH, seed=34)
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, KEY_LENGTH), cache_size=32
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH), EngineConfig(cache_size=32))
         queries = _queries(40, seed=35)
         engine.lookup_batch(queries)
         replacement_entries = random_entries(10, KEY_LENGTH, seed=36)
@@ -491,9 +456,7 @@ class TestUpdatePlane:
 
     def test_refresh_pays_deferred_work_eagerly(self):
         entries = random_entries(20, KEY_LENGTH, seed=37)
-        engine = ClassificationEngine(
-            build_matcher("palmtrie-plus", entries, KEY_LENGTH), auto_freeze=True
-        )
+        engine = ClassificationEngine(build_matcher("palmtrie-plus", entries, KEY_LENGTH), EngineConfig(auto_freeze=True))
         engine.lookup(0)  # freeze the plane
         engine.apply_updates([TernaryEntry(TernaryKey.exact(9, KEY_LENGTH), 1, 1)])
         assert not engine.report()["frozen_plane_active"]

@@ -18,7 +18,7 @@ import pytest
 
 from helpers import assert_same_result, oracle_lookup, random_entries, table1_entries
 
-from repro import MATCHER_KINDS, ClassificationEngine, build_matcher
+from repro import MATCHER_KINDS, ClassificationEngine, EngineConfig, build_matcher
 from repro.core.frozen import FrozenMatcher, FrozenPoptrie, freeze
 from repro.core.multibit import MultibitPalmtrie
 from repro.core.plus import PalmtriePlus
@@ -176,9 +176,16 @@ class TestBatchPaths:
         frozen = FrozenMatcher.build(entries, KEY_LENGTH, stride=6)
         queries = _biased_queries(entries, 500, seed=8)
         via_default = frozen.lookup_batch(queries)
+        # The private walks now speak leaf indices (what the sharded
+        # data plane ships between processes); resolve through
+        # _leaf_best to compare with the entry-level surface.
         python_only = frozen._batch_walk_python(list(dict.fromkeys(queries)))
         by_query = dict(zip(dict.fromkeys(queries), python_only))
-        assert via_default == [by_query[q] for q in queries]
+        best_of = frozen._leaf_best
+        assert via_default == [
+            best_of[by_query[q]] if by_query[q] >= 0 else None for q in queries
+        ]
+        assert frozen.lookup_batch_indices(queries) == [by_query[q] for q in queries]
 
     def test_batch_empty_and_duplicates(self):
         frozen = FrozenMatcher.build(table1_entries(), 8)
@@ -300,10 +307,7 @@ class TestSerialization:
 class TestEngineAutoFreeze:
     def test_plane_appears_and_serves(self):
         entries = random_entries(30, KEY_LENGTH, seed=40)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=16, auto_freeze=True,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=16, auto_freeze=True))
         report = engine.report()
         assert report["auto_freeze"] and not report["frozen_plane_active"]
         for query in _biased_queries(entries, 200, seed=41):
@@ -313,10 +317,7 @@ class TestEngineAutoFreeze:
 
     def test_updates_drop_and_refreeze_plane(self):
         entries = random_entries(25, KEY_LENGTH, seed=42)
-        engine = ClassificationEngine(
-            MultibitPalmtrie.build(entries, KEY_LENGTH, stride=4),
-            cache_size=0, auto_freeze=True,
-        )
+        engine = ClassificationEngine(MultibitPalmtrie.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=0, auto_freeze=True))
         queries = _biased_queries(entries, 100, seed=43)
         engine.lookup_batch(queries)
         key = TernaryKey(0, (1 << KEY_LENGTH) - 1, KEY_LENGTH)
@@ -334,10 +335,7 @@ class TestEngineAutoFreeze:
             assert_same_result(oracle_lookup(entries, query), got)
 
     def test_unfreezable_matcher_falls_back(self):
-        engine = ClassificationEngine(
-            build_matcher("sorted-list", table1_entries(), 8),
-            cache_size=4, auto_freeze=True,
-        )
+        engine = ClassificationEngine(build_matcher("sorted-list", table1_entries(), 8), EngineConfig(cache_size=4, auto_freeze=True))
         for query in range(64):
             assert_same_result(
                 oracle_lookup(table1_entries(), query), engine.lookup(query)

@@ -284,9 +284,11 @@ class TestEngineIntegration:
                 "deny ip 0.0.0.0/0 192.0.2.0/24\n"
             )
         )
+        from repro.config import EngineConfig
+
         engine = ClassificationEngine(
             PalmtriePlus.build(acl.entries, acl.layout.length, stride=8),
-            metrics=True,
+            EngineConfig(metrics=True),
         )
         queries = uniform_traffic(acl.entries, 64)
         engine.lookup_batch(queries)

@@ -23,6 +23,7 @@ from repro.core.plus import PalmtriePlus
 from repro.core.serialize import FormatError
 from repro.core.table import TernaryEntry
 from repro.core.ternary import TernaryKey
+from repro.config import EngineConfig
 from repro.engine import ClassificationEngine
 from repro.resilience import (
     BreakerState,
@@ -198,12 +199,7 @@ class TestFaultDifferential:
         injector = FaultInjector(seed=7)
         injector.arm("frozen_walk", rate=0.01)
         guard = GuardRail(injector=injector)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=256,
-            auto_freeze=True,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=256, auto_freeze=True, resilience=guard))
         with injected(injector):
             _assert_verdicts(engine, queries, truth)
         assert injector.fired["frozen_walk"] > 0
@@ -221,11 +217,7 @@ class TestFaultDifferential:
         injector = FaultInjector(seed=13)
         injector.arm("cache", rate=0.5)
         guard = GuardRail(shadow_sample=1.0, injector=injector)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=256,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=256, resilience=guard))
         _assert_verdicts(engine, queries, truth)
         assert injector.fired["cache"] > 0
         assert guard.shadow_mismatches > 0
@@ -237,11 +229,7 @@ class TestFaultDifferential:
         injector = FaultInjector(seed=3, stall_seconds=0.0)
         injector.arm("stall", rate=1.0)
         guard = GuardRail(injector=injector)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=256,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=256, resilience=guard))
         _assert_verdicts(engine, queries, truth)
         assert injector.fired["stall"] > 0
 
@@ -250,11 +238,7 @@ class TestFaultDifferential:
         injector = FaultInjector(seed=5)
         injector.arm("update", rate=1.0, count=1)
         guard = GuardRail(injector=injector)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=256,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=256, resilience=guard))
         engine.lookup_batch(queries[:512])  # warm the cache pre-fault
         canary = TernaryEntry(
             key=TernaryKey.exact(queries[0], KEY_LENGTH), value=-1, priority=-1
@@ -282,12 +266,7 @@ class TestFaultDifferential:
         guard = GuardRail(
             failure_threshold=3, backoff_seconds=1.0, injector=injector, clock=clock
         )
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=0,
-            auto_freeze=True,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=0, auto_freeze=True, resilience=guard))
         with injected(injector):
             for offset in range(0, 512, 64):
                 engine.lookup_batch(queries[offset : offset + 64])
@@ -309,11 +288,7 @@ class TestShadowVerify:
     def test_scalar_hit_path_is_checked_and_repaired(self):
         entries = _entries()
         guard = GuardRail(shadow_sample=1.0)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=64,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=64, resilience=guard))
         query = _trace(1)[0]
         honest = engine.lookup(query)
         # Poison the cached row by hand, then look the query up again:
@@ -435,9 +410,7 @@ class TestCheckpoints:
 class TestReplacement:
     def test_matcher_assignment_routes_through_replace(self, differential):
         entries, queries, _ = differential
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4), cache_size=256
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=256))
         engine.lookup_batch(queries[:512])
         # A different policy whose generation counter happens to match
         # the old one: only the epoch stamp can tell them apart.
@@ -454,18 +427,14 @@ class TestReplacement:
     def test_replace_matcher_resets_the_guard(self, differential):
         entries, _, _ = differential
         guard = GuardRail()
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4), resilience=guard
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(resilience=guard))
         guard.quarantine("poisoned")
         engine.matcher = PalmtriePlus.build(entries, KEY_LENGTH, stride=4)
         assert engine.health == "ok"
         assert not guard.quarantined
 
     def test_resilience_true_builds_a_default_guard(self):
-        engine = ClassificationEngine(
-            PalmtriePlus.build(_entries(), KEY_LENGTH, stride=4), resilience=True
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(_entries(), KEY_LENGTH, stride=4), EngineConfig(resilience=True))
         assert isinstance(engine.resilience, GuardRail)
         assert engine.health == "ok"
 
@@ -488,13 +457,7 @@ class TestMetricsMirror:
         injector = FaultInjector(seed=7)
         injector.arm("frozen_walk", rate=1.0, count=3)
         guard = GuardRail(injector=injector, backoff_seconds=30.0)
-        engine = ClassificationEngine(
-            PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-            cache_size=0,
-            auto_freeze=True,
-            metrics=True,
-            resilience=guard,
-        )
+        engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=0, auto_freeze=True, metrics=True, resilience=guard))
         with injected(injector):
             _assert_verdicts(engine, queries[:1024], truth[:1024])
         text = render_prometheus(engine.metrics)
@@ -511,7 +474,7 @@ class TestMetricsMirror:
         path = str(tmp_path / "policy.plmc")
         write_checkpoint(path, PalmtriePlus.build(entries, KEY_LENGTH, stride=4))
         engine = ClassificationEngine.from_checkpoint(
-            path, rebuild=lambda: None, metrics=True
+            path, rebuild=lambda: None, config=EngineConfig(metrics=True)
         )
         text = render_prometheus(engine.metrics)
         assert 'engine_checkpoint_recoveries_total{path="restored"} 1' in text
@@ -534,12 +497,7 @@ def test_degradation_never_changes_answers(seed, fault_seed, rate):
     truth = _reference_verdicts(entries, queries)
     injector = FaultInjector(seed=fault_seed)
     injector.arm("frozen_walk", rate=rate)
-    engine = ClassificationEngine(
-        PalmtriePlus.build(entries, KEY_LENGTH, stride=4),
-        cache_size=16,
-        auto_freeze=True,
-        resilience=GuardRail(injector=injector),
-    )
+    engine = ClassificationEngine(PalmtriePlus.build(entries, KEY_LENGTH, stride=4), EngineConfig(cache_size=16, auto_freeze=True, resilience=GuardRail(injector=injector)))
     with injected(injector):
         for query, expected in zip(queries, truth):
             assert_same_result(expected, engine.lookup(query))

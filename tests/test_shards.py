@@ -1,0 +1,210 @@
+"""The sharded multi-process data plane (repro.shard).
+
+The contract under test is the paper's correctness bar carried across
+process boundaries: a :class:`ShardedEngine` must return exactly the
+verdicts of a single-process :class:`ClassificationEngine` over the
+same rules — through policy updates (atomic cross-shard plane swaps)
+and through worker death (degrade to the local fallback, then respawn).
+
+Everything here runs on one core; the *scaling* claim is
+``benchmarks/bench_shards.py``'s job.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from helpers import random_entries
+from repro.config import EngineConfig
+from repro.core.frozen import freeze
+from repro.core.plus import PalmtriePlus
+from repro.core.serialize import serialize_frozen
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+from repro.engine import ClassificationEngine
+from repro.shard import ShardedEngine, attach_plane, detach_plane, flow_shard, publish_plane
+
+KEY_LENGTH = 128
+
+
+def _trace(count: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    population = [rng.getrandbits(KEY_LENGTH) for _ in range(max(16, count // 8))]
+    return [rng.choice(population) for _ in range(count)]
+
+
+def _values(entries):
+    return [None if e is None else (e.value, e.priority) for e in entries]
+
+
+@pytest.fixture(scope="module")
+def policy():
+    entries = random_entries(60, KEY_LENGTH, seed=11)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# The shared-memory plane
+# ----------------------------------------------------------------------
+
+
+class TestPlane:
+    def test_publish_attach_round_trip(self, policy):
+        frozen = freeze(PalmtriePlus.build(policy, KEY_LENGTH, stride=8))
+        plane = publish_plane(frozen, stamp=1, epoch=0, generation=0)
+        try:
+            mapped, shm = attach_plane(plane.name)
+            try:
+                assert serialize_frozen(mapped) == serialize_frozen(frozen)
+                queries = _trace(200, seed=2)
+                assert mapped.lookup_batch_indices(queries) == \
+                    frozen.lookup_batch_indices(queries)
+            finally:
+                mapped = None
+                detach_plane(shm)
+        finally:
+            plane.retire()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            attach_plane("psm_does_not_exist_xyzzy")
+
+    def test_flow_shard_is_stable_and_balanced(self):
+        queries = _trace(4000, seed=3)
+        first = [flow_shard(q, 4) for q in queries]
+        assert first == [flow_shard(q, 4) for q in queries]
+        counts = [first.count(i) for i in range(4)]
+        assert all(count > 0 for count in counts)
+
+
+# ----------------------------------------------------------------------
+# Cross-process differential
+# ----------------------------------------------------------------------
+
+
+class TestShardedDifferential:
+    def test_verdicts_match_single_process_with_midtrace_update(self, policy):
+        queries = _trace(10_000, seed=7)
+        matcher_a = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        matcher_b = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        config = EngineConfig(cache_size=512, shards=2)
+        single = ClassificationEngine(matcher_a, config.replace(shards=0))
+        override = TernaryEntry(
+            key=TernaryKey.wildcard(KEY_LENGTH), value=999, priority=10_000
+        )
+        with ShardedEngine(matcher_b, config) as sharded:
+            half = len(queries) // 2
+            assert _values(sharded.lookup_batch(queries[:half])) == \
+                _values(single.lookup_batch(queries[:half]))
+            # mid-trace transactional update: a match-all override that
+            # must win everywhere, in both engines, atomically
+            sharded.apply_updates([("insert", override)])
+            single.apply_updates([("insert", override)])
+            got = sharded.lookup_batch(queries[half:])
+            want = single.lookup_batch(queries[half:])
+            assert _values(got) == _values(want)
+            assert all(e is not None and e.value == 999 for e in got)
+            assert sharded.health == "ok"
+            assert sharded.shards_alive == 2
+
+    def test_replay_counts_match_lookup_batch(self, policy):
+        from repro.workloads.traffic import uniform_traffic
+
+        queries = uniform_traffic(policy, 4000, seed=9)
+        matcher = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        single = ClassificationEngine(
+            PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        )
+        expected: dict = {}
+        misses = 0
+        for entry in single.lookup_batch(queries):
+            if entry is None:
+                misses += 1
+            else:
+                expected[entry.value] = expected.get(entry.value, 0) + 1
+        assert expected, "trace must actually match rules"
+        with ShardedEngine(matcher, EngineConfig(shards=2)) as sharded:
+            result = sharded.replay(queries, chunk_size=512)
+        assert result["queries"] == len(queries)
+        assert result["verdicts"] == expected
+        assert result["missed"] == misses
+        assert result["matched"] == len(queries) - misses
+
+    def test_scalar_lookup_and_delegated_surface(self, policy):
+        matcher = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        reference = ClassificationEngine(
+            PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        )
+        queries = _trace(100, seed=13)
+        with ShardedEngine(matcher, EngineConfig(shards=1)) as sharded:
+            for query in queries:
+                got, want = sharded.lookup(query), reference.lookup(query)
+                assert _values([got]) == _values([want])
+            report = sharded.report()
+            assert report["shards"]["count"] == 1
+            assert report["shards"]["alive"] == 1
+            # the inner-engine surface stays reachable (stats, epoch...)
+            assert sharded.epoch == 0
+            assert sharded.stats.lookups >= len(queries)
+
+
+# ----------------------------------------------------------------------
+# Worker death: degrade, then respawn
+# ----------------------------------------------------------------------
+
+
+class TestWorkerRecovery:
+    def test_sigkill_degrades_then_respawns_with_exact_verdicts(self, policy):
+        queries = _trace(3000, seed=17)
+        matcher = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        single = ClassificationEngine(
+            PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        )
+        config = EngineConfig(cache_size=256, shards=2, shard_timeout=10.0)
+        with ShardedEngine(matcher, config) as sharded:
+            third = len(queries) // 3
+            assert _values(sharded.lookup_batch(queries[:third])) == \
+                _values(single.lookup_batch(queries[:third]))
+
+            victim = sharded._shards[0]
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            victim.proc.join(timeout=10)
+
+            # the burst straddling the death must still be exact
+            got = sharded.lookup_batch(queries[third : 2 * third])
+            want = single.lookup_batch(queries[third : 2 * third])
+            assert _values(got) == _values(want)
+            assert sharded.worker_deaths >= 1
+            deadline = time.monotonic() + 10.0
+            while sharded.shards_alive < 2 and time.monotonic() < deadline:
+                sharded.lookup_batch(queries[:64])  # respawn happens lazily
+            assert sharded.shards_alive == 2
+
+            # after recovery, still exact
+            assert _values(sharded.lookup_batch(queries[2 * third :])) == \
+                _values(single.lookup_batch(queries[2 * third :]))
+            guard = sharded.resilience
+            assert guard is not None
+            assert guard.faults.get("shard_worker", 0) >= 1
+
+    def test_close_is_idempotent_and_kills_workers(self, policy):
+        matcher = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        sharded = ShardedEngine(matcher, EngineConfig(shards=2))
+        pids = [handle.proc.pid for handle in sharded._shards]
+        sharded.close()
+        sharded.close()  # second close is a no-op
+        for pid in pids:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail(f"worker {pid} still alive after close()")
