@@ -55,11 +55,47 @@ def test_ipv6_memory_overhead(matcher128, matcher512):
     assert m512 < 6 * m128, "a 4x key should not cost more than ~4-6x memory"
 
 
-def main() -> None:
-    from repro.bench.experiments import run_experiment
+def main(smoke: bool = False) -> dict[str, float]:
+    """Time Palmtrie+_8 at L=128 vs L=512 over the same rules.
 
-    print(run_experiment("ipv6").render())
+    Returns ``ipv6_keylen_ratio`` = qps(L512) / qps(L128) — how much of
+    the short-key throughput the long-key plane retains (higher is
+    better; the paper cites a 5.48-30.1 % slowdown, i.e. ~0.70-0.95).
+    Smoke mode gates only via the perf trajectory baseline in
+    ``benchmarks/run_smokes.py``; the full run also prints the §5
+    experiment table.
+    """
+    import timeit
+
+    rules_set = classbench_rules(ACL_SEED, 200 if smoke else RULES)
+    acl128 = compile_acl(rules_set)
+    acl512 = compile_acl(rules_set, layout=LAYOUT_V6)
+    m128 = PalmtriePlus.build(acl128.entries, 128, stride=8)
+    m512 = PalmtriePlus.build(acl512.entries, 512, stride=8)
+    q128 = pareto_trace(acl128.entries, 200)
+    q512 = pareto_trace(acl512.entries, 200)
+
+    def best(matcher, queries):
+        return min(
+            timeit.repeat(lambda: run_queries(matcher, queries), number=1, repeat=5)
+        )
+
+    t128 = best(m128, q128)
+    t512 = best(m512, q512)
+    ratio = t128 / t512
+    print(
+        f"ipv6 key-length: L512 retains {ratio:.2f}x of L128 qps "
+        f"({1e3 * t128:.1f} -> {1e3 * t512:.1f} ms per 200 queries), "
+        f"memory {m512.memory_bytes() / m128.memory_bytes():.2f}x"
+    )
+    if not smoke:
+        from repro.bench.experiments import run_experiment
+
+        print(run_experiment("ipv6").render())
+    return {"ipv6_keylen_ratio": ratio}
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(smoke="--smoke" in sys.argv)

@@ -2,7 +2,8 @@
 
 Runs every benchmark smoke in one process (``bench_engine_cache``,
 ``bench_frozen``, ``bench_updates``, ``bench_chaos``,
-``bench_shards``), collects the headline ratios each
+``bench_shards``, ``bench_ipv6_keylen``, ``bench_adaptive``),
+collects the headline ratios each
 ``main(smoke=True)`` returns, and writes them as a *trajectory*: one
 record per metric, stamped with the current commit SHA and a UTC
 timestamp, so CI artifacts accumulate into a per-commit history of the
@@ -43,6 +44,8 @@ SMOKES = (
     ("bench_updates", "transactional update plane"),
     ("bench_chaos", "resilience chaos plane"),
     ("bench_shards", "sharded multi-process data plane"),
+    ("bench_ipv6_keylen", "IPv6 long-key plane"),
+    ("bench_adaptive", "adaptive frozen-plane layer"),
 )
 
 

@@ -142,13 +142,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from .config import EngineConfig
     from .core.serialize import save_frozen, save_plus
+    from .core.table import build_matcher
 
     rules = _load_rules(args.acl)
     if rules is None:
         return 2
     compiled = compile_acl(rules)
     entries = list(compiled.entries)
+    key_length = compiled.layout.length
     note = ""
     if args.compress:
         from .acl.compress import compress_entries, compression_ratio
@@ -157,12 +160,70 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         note = f", compressed {len(entries)} -> {len(squeezed)} entries " \
                f"(-{100 * compression_ratio(entries, squeezed):.0f} %)"
         entries = squeezed
-    matcher = PalmtriePlus.build(entries, compiled.layout.length, stride=args.stride)
-    if args.frozen:
-        from .core.frozen import freeze
 
-        written = save_frozen(freeze(matcher), args.output)
+    # The adaptive knobs only exist on the frozen plane.
+    wants_frozen = args.frozen or args.layout != "build" or args.autotune
+    trace_queries: Optional[list] = None
+    if args.autotune and not args.trace:
+        print("error: --autotune requires --trace WORKLOAD", file=sys.stderr)
+        return 2
+    if args.trace:
+        from .workloads.io import load_trace
+
+        try:
+            trace_queries, trace_key_length = load_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        if trace_key_length != key_length:
+            print(
+                f"error: trace key length {trace_key_length} != "
+                f"policy key length {key_length}",
+                file=sys.stderr,
+            )
+            return 2
+
+    plan = None
+    if args.autotune:
+        from .core.adaptive import autotune
+
+        probe = PalmtriePlus.build(entries, key_length, stride=args.stride)
+        result = autotune(probe, trace_queries)
+        plan = result.plan
+        print(
+            f"autotune: {plan.describe()} "
+            f"(global best uniform stride {result.global_best_stride}, "
+            f"{result.evaluations} candidates timed)",
+            file=sys.stderr,
+        )
+        if args.plan_out:
+            import json
+
+            with open(args.plan_out, "w") as handle:
+                json.dump(plan.to_json(), handle, indent=2)
+                handle.write("\n")
+            print(f"wrote stride plan to {args.plan_out}", file=sys.stderr)
+
+    # One uniform build path: every constructor knob rides on the
+    # config (build_matcher forwards the knobs each kind declares).
+    matcher_kwargs = {}
+    if args.layout == "hot" and trace_queries:
+        matcher_kwargs["layout_trace"] = trace_queries
+    config = EngineConfig(
+        matcher="frozen" if wants_frozen else "palmtrie-plus",
+        stride=args.stride,
+        frozen_layout=args.layout,
+        stride_plan=plan,
+        matcher_kwargs=matcher_kwargs,
+    )
+    matcher = build_matcher(config, entries, key_length)
+    if wants_frozen:
+        written = save_frozen(matcher, args.output)
         form = "frozen table"
+        if args.layout == "hot":
+            note += ", hot layout"
+        if plan is not None:
+            note += f", plan [{plan.describe()}]"
     else:
         written = save_plus(matcher, args.output)
         form = "table"
@@ -170,6 +231,37 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"compiled {len(rules)} rules ({len(entries)} entries) into {form} "
         f"{args.output}: {written} bytes, stride {args.stride}{note}"
     )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .core.frozen import FrozenMatcher
+    from .core.plus import PalmtriePlus as _Plus
+
+    magic = _sniff_magic(args.policy)
+    if magic is None:
+        print(f"error: {args.policy}: not a compiled policy file", file=sys.stderr)
+        return 2
+    matcher = _load_binary_policy(args.policy, magic)
+    if matcher is None:
+        return 2
+    print(f"{args.policy}: {_POLICY_MAGICS[magic]}")
+    print(f"  key length: {matcher.key_length} bits")
+    print(f"  entries:    {len(matcher)}")
+    print(f"  memory:     {matcher.memory_bytes()} bytes")
+    if isinstance(matcher, FrozenMatcher):
+        internals, leaves = matcher.node_count()
+        print(f"  nodes:      {internals} internal, {leaves} leaves")
+        print(f"  layout:     {matcher.layout_applied}")
+        plan = matcher.plan
+        if plan is None:
+            print(f"  stride:     {matcher.stride} (uniform)")
+        else:
+            print(f"  stride:     plan [{plan.describe()}]")
+            for slot, s in plan.subtrie_strides:
+                print(f"              slot {slot} -> stride {s}")
+    elif isinstance(matcher, _Plus):
+        print(f"  stride:     {matcher.stride} (uniform)")
     return 0
 
 
@@ -779,7 +871,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a frozen struct-of-arrays plane (.plmf) instead of a "
              "mutable Palmtrie+ table",
     )
+    p_compile.add_argument(
+        "--layout", choices=("build", "hot"), default="build",
+        help="frozen-plane node order: build order, or hot-first "
+             "(walk-frequency order from --trace; implies --frozen)",
+    )
+    p_compile.add_argument(
+        "--autotune", action="store_true",
+        help="search per-subtrie strides against --trace and compile the "
+             "winning StridePlan into the plane (implies --frozen)",
+    )
+    p_compile.add_argument(
+        "--trace", metavar="PATH",
+        help="binary workload trace (palmtrie-repro generate --trace) "
+             "driving --autotune scoring and the --layout hot frequency pass",
+    )
+    p_compile.add_argument(
+        "--plan-out", metavar="PATH",
+        help="also write the autotuned StridePlan as JSON to PATH",
+    )
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="describe a compiled .plm/.plmf policy: geometry, layout, plan",
+    )
+    p_inspect.add_argument("policy", help="a compiled .plm or .plmf file")
+    p_inspect.set_defaults(func=_cmd_inspect)
 
     p_analyze = sub.add_parser("analyze", help="lint an ACL: shadowing, conflicts")
     p_analyze.add_argument("acl", help="ACL file in the Table 2 dialect")

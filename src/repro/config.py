@@ -83,6 +83,14 @@ class EngineConfig:
     metrics: Union[None, bool, Any] = None
     #: True / a configured GuardRail to enable guarded degradation
     resilience: Union[None, bool, Any] = None
+    #: frozen-plane node layout: "build" keeps compile order, "hot"
+    #: re-emits nodes in walk-frequency order (PR 7; needs a trace or
+    #: sampled traffic to order by — "build" otherwise)
+    frozen_layout: str = "build"
+    #: per-subtrie stride plan consumed by the frozen plane (a
+    #: :class:`repro.core.frozen.StridePlan`, usually from
+    #: :func:`repro.core.adaptive.autotune`; None = uniform ``stride``)
+    stride_plan: Optional[Any] = None
     #: worker processes of the sharded data plane (0 = in-process)
     shards: int = 0
     #: seconds a shard worker may take to answer one burst before it is
@@ -117,6 +125,17 @@ class EngineConfig:
             raise TypeError(
                 f"matcher must be a registry kind or a matcher class, got {self.matcher!r}"
             )
+        if self.frozen_layout not in ("build", "hot"):
+            raise ValueError(
+                f"frozen_layout must be 'build' or 'hot', got {self.frozen_layout!r}"
+            )
+        if self.stride_plan is not None:
+            from .core.frozen import StridePlan
+
+            if not isinstance(self.stride_plan, StridePlan):
+                raise TypeError(
+                    f"stride_plan must be a StridePlan, got {self.stride_plan!r}"
+                )
 
     # -- derivation ------------------------------------------------------
 
@@ -139,16 +158,23 @@ class EngineConfig:
 
     def build_kwargs(self, cls: type) -> dict[str, Any]:
         """Constructor kwargs for matcher class ``cls``: the config's
-        ``matcher_kwargs`` plus ``stride`` when the class accepts one
-        (the registry kinds differ; inspecting beats a hand-kept list).
+        ``matcher_kwargs`` plus the shape knobs the class declares it
+        accepts (``accepts_stride`` / ``accepts_layout`` on
+        :class:`~repro.core.table.TernaryMatcher` — no signature
+        sniffing; a kind opts in by setting the class attribute).
         """
-        import inspect
-
         kwargs = dict(self.matcher_kwargs)
-        if self.stride is not None and "stride" not in kwargs:
-            params = inspect.signature(cls.__init__).parameters
-            if "stride" in params:
-                kwargs["stride"] = self.stride
+        if (
+            self.stride is not None
+            and "stride" not in kwargs
+            and getattr(cls, "accepts_stride", False)
+        ):
+            kwargs["stride"] = self.stride
+        if getattr(cls, "accepts_layout", False):
+            if self.frozen_layout != "build" and "layout" not in kwargs:
+                kwargs["layout"] = self.frozen_layout
+            if self.stride_plan is not None and "plan" not in kwargs:
+                kwargs["plan"] = self.stride_plan
         return kwargs
 
 

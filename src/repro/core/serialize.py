@@ -65,12 +65,20 @@ VERSION = 1
 _HEADER = struct.Struct("<4sHBBIIII")
 
 FROZEN_MAGIC = b"PLMF"
-FROZEN_VERSION = 1
+FROZEN_VERSION = 2
 
 #: magic, version u16, stride u8, flags u8 (bit 0 = subtree skipping),
 #: key_length u32, internal count u32, leaf count u32, push length u32,
 #: entry count u32, entry-blob length u32.
 _FROZEN_HEADER = struct.Struct("<4sHBBIIIIII")
+
+#: v2 extension, immediately after the header: layout u8 (0 = build
+#: order, 1 = hot/frequency order), plan u8 (0 = none, 1 = uniform
+#: StridePlan, 2 = variable StridePlan + per-node stride section),
+#: reserved u16 (must be 0), plan-blob length u32.
+_FROZEN_EXT = struct.Struct("<BBHI")
+
+_PLAN_NONE, _PLAN_UNIFORM, _PLAN_VARIABLE = 0, 1, 2
 
 
 class FormatError(ValueError):
@@ -324,13 +332,18 @@ def _typed_view(typecode: str, section: memoryview) -> Any:
 
 
 def serialize_frozen(matcher: "TernaryMatcher") -> bytes:
-    """Pack a frozen plane's arrays into the ``PLMF`` wire form.
+    """Pack a frozen plane's arrays into the ``PLMF`` v2 wire form.
 
-    Section order after the header: bit i32[I], max_priority i64[I+L],
-    dispatch u32[I << stride], push u64[P], leaf keys (data ‖ care,
-    each ``ceil(key_length / 8)`` bytes, L times), entry base u64[L],
-    entry count u64[L], entry blob (as in ``PLM+``: priority i32,
-    value length u16, value bytes per entry).
+    After the header comes the v2 extension (layout byte, plan byte,
+    reserved, plan-blob length) and the :class:`StridePlan` blob when
+    one is compiled in.  Section order after that: bit i32[I],
+    max_priority i64[I+L], per-internal strides u8[I] (variable-stride
+    planes only), dispatch u32 (``I << stride`` words, or the sum of
+    the per-node row widths), push u64[P], leaf keys (data ‖ care, each
+    ``ceil(key_length / 8)`` bytes, L times), entry base u64[L], entry
+    count u64[L], entry blob (as in ``PLM+``: priority i32, value
+    length u16, value bytes per entry).  v1 images (no extension, one
+    global stride, build-order layout) still load.
     """
     from .frozen import FrozenMatcher
 
@@ -352,6 +365,14 @@ def serialize_frozen(matcher: "TernaryMatcher") -> bytes:
         entry_blob += struct.pack("<iH", entry.priority, len(value))
         entry_blob += value
 
+    plan = matcher._plan
+    if plan is None:
+        plan_code, plan_blob = _PLAN_NONE, b""
+    else:
+        plan_code = _PLAN_UNIFORM if plan.is_uniform else _PLAN_VARIABLE
+        plan_blob = plan.to_bytes()
+    strided = matcher._node_strides is not None
+
     header = _FROZEN_HEADER.pack(
         FROZEN_MAGIC,
         FROZEN_VERSION,
@@ -364,11 +385,20 @@ def serialize_frozen(matcher: "TernaryMatcher") -> bytes:
         len(matcher._entry_table),
         len(entry_blob),
     )
+    ext = _FROZEN_EXT.pack(
+        1 if matcher.layout_applied == "hot" else 0,
+        plan_code,
+        0,
+        len(plan_blob),
+    )
     return b"".join(
         (
             header,
+            ext,
+            plan_blob,
             _array_bytes(matcher._bit),
             _array_bytes(matcher._maxp),
+            bytes(matcher._node_strides) if strided else b"",
             _array_bytes(matcher._dispatch),
             _array_bytes(matcher._push),
             bytes(key_blob),
@@ -397,7 +427,7 @@ def deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatche
 
 
 def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatcher":
-    from .frozen import _COUNT_BITS, _COUNT_MASK, FrozenMatcher
+    from .frozen import _COUNT_BITS, _COUNT_MASK, FrozenMatcher, StridePlan
 
     data = memoryview(data)
     if data.format != "B":  # normalize exotic buffers to a byte view
@@ -418,39 +448,92 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
     ) = _FROZEN_HEADER.unpack_from(data)
     if magic != FROZEN_MAGIC:
         raise FormatError(f"bad magic {magic!r}")
-    if version != FROZEN_VERSION:
+    if version not in (1, FROZEN_VERSION):
         raise FormatError(f"unsupported version {version}")
     if not 1 <= stride <= 30 or key_length <= 0:
         raise FormatError("corrupt geometry fields")
     key_bytes = (key_length + 7) // 8
     node_count = first_leaf + leaf_count
+
+    cursor = _FROZEN_HEADER.size
+    layout_code = 0
+    plan_code = _PLAN_NONE
+    plan = None
+    if version >= 2:
+        if len(data) < cursor + _FROZEN_EXT.size:
+            raise FormatError("truncated extension")
+        layout_code, plan_code, reserved, plan_len = _FROZEN_EXT.unpack_from(data, cursor)
+        cursor += _FROZEN_EXT.size
+        if layout_code not in (0, 1) or reserved:
+            raise FormatError("corrupt extension fields")
+        if plan_code not in (_PLAN_NONE, _PLAN_UNIFORM, _PLAN_VARIABLE):
+            raise FormatError(f"unknown plan code {plan_code}")
+        if plan_code == _PLAN_NONE:
+            if plan_len:
+                raise FormatError("plan bytes without a plan code")
+        else:
+            if len(data) < cursor + plan_len:
+                raise FormatError("truncated stride plan")
+            plan = StridePlan.from_bytes(bytes(data[cursor : cursor + plan_len]))
+            cursor += plan_len
+            plan.validate(key_length)
+            if plan.is_uniform != (plan_code == _PLAN_UNIFORM):
+                raise FormatError("plan code inconsistent with plan contents")
+            if plan.root_stride != stride:
+                raise FormatError("plan root stride inconsistent with header")
+
+    # Sections up to the dispatch table have sizes known from the
+    # header alone; the dispatch size of a variable-stride image
+    # depends on the per-node stride section, so sizing is incremental.
+    strides_size = first_leaf if plan_code == _PLAN_VARIABLE else 0
+    if len(data) < cursor + 4 * first_leaf + 8 * node_count + strides_size:
+        raise FormatError("size mismatch: truncated node sections")
+    bit_arr = _typed_view("i", data[cursor : cursor + 4 * first_leaf])
+    cursor += 4 * first_leaf
+    maxp_arr = _typed_view("q", data[cursor : cursor + 8 * node_count])
+    cursor += 8 * node_count
+    if strides_size:
+        node_strides = _typed_view("B", data[cursor : cursor + strides_size])
+        cursor += strides_size
+        disp_words = 0
+        disp_base_list: list[int] = []
+        max_node_stride = 1
+        for s in node_strides:
+            if not 1 <= s <= 16:
+                raise FormatError(f"per-node stride {s} out of range")
+            disp_base_list.append(disp_words)
+            disp_words += 1 << s
+            if s > max_node_stride:
+                max_node_stride = s
+        if first_leaf and node_strides[0] != plan.root_stride:
+            raise FormatError("root node stride inconsistent with plan")
+    else:
+        node_strides = None
+        disp_base_list = []
+        disp_words = first_leaf << stride
+        max_node_stride = stride
+
     sizes = (
-        4 * first_leaf,               # bit
-        8 * node_count,               # max_priority
-        4 * (first_leaf << stride),   # dispatch
+        4 * disp_words,               # dispatch
         8 * push_len,                 # push
         2 * key_bytes * leaf_count,   # leaf keys
         8 * leaf_count,               # entry base
         8 * leaf_count,               # entry count
         blob_len,                     # entry blob
     )
-    if len(data) != _FROZEN_HEADER.size + sum(sizes):
+    if len(data) != cursor + sum(sizes):
         raise FormatError(
-            f"size mismatch: expected {_FROZEN_HEADER.size + sum(sizes)} bytes,"
+            f"size mismatch: expected {cursor + sum(sizes)} bytes,"
             f" got {len(data)}"
         )
-
-    cursor = _FROZEN_HEADER.size
     sections = []
     for size in sizes:
         sections.append(data[cursor : cursor + size])
         cursor += size
-    bit_arr = _typed_view("i", sections[0])
-    maxp_arr = _typed_view("q", sections[1])
-    dispatch = _typed_view("I", sections[2])
-    push = _typed_view("Q", sections[3])
-    entry_base = _typed_view("Q", sections[5])
-    entry_count_arr = _typed_view("Q", sections[6])
+    dispatch = _typed_view("I", sections[0])
+    push = _typed_view("Q", sections[1])
+    entry_base = _typed_view("Q", sections[3])
+    entry_count_arr = _typed_view("Q", sections[4])
 
     for target in push:
         if target >= node_count:
@@ -463,10 +546,10 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
         elif c == 1:
             if packed >> _COUNT_BITS >= node_count:
                 raise FormatError("dispatch target out of range")
-        elif c > stride + 1 or (packed >> _COUNT_BITS) + c > push_len:
+        elif c > max_node_stride + 1 or (packed >> _COUNT_BITS) + c > push_len:
             raise FormatError("dispatch run out of range")
 
-    key_view = sections[4]
+    key_view = sections[2]
     leaf_data: list[int] = []
     leaf_care: list[int] = []
     for j in range(leaf_count):
@@ -476,7 +559,7 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
             int.from_bytes(key_view[base + key_bytes : base + 2 * key_bytes], "little")
         )
 
-    blob = sections[7]
+    blob = sections[5]
     running_base = 0
     for j in range(leaf_count):
         count = entry_count_arr[j]
@@ -545,6 +628,17 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
     frozen._leaf_entry_count = entry_count_arr
     frozen._entry_table = entry_table
     frozen._first_leaf = first_leaf
+    frozen.layout = "hot" if layout_code else "build"
+    frozen.layout_applied = frozen.layout
+    frozen._plan = plan
+    frozen._layout_trace = None
+    frozen._query_samples = [] if layout_code else None
+    if node_strides is not None:
+        frozen._node_strides = array("B", node_strides)
+        frozen._disp_base = array("Q", disp_base_list)
+    else:
+        frozen._node_strides = None
+        frozen._disp_base = None
     frozen._hot = (
         list(maxp_arr),
         list(bit_arr),
@@ -557,6 +651,8 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
         stride,
         (1 << stride) - 1,
         frozen.subtree_skipping,
+        disp_base_list if node_strides is not None else None,
+        [(1 << s) - 1 for s in node_strides] if node_strides is not None else None,
     )
     frozen._np_cache = None
     return frozen

@@ -88,6 +88,14 @@ class TernaryMatcher(abc.ABC):
 
     #: human-readable algorithm name, overridden by subclasses
     name = "abstract"
+    #: True when the constructor takes a ``stride`` shape knob.
+    #: :meth:`EngineConfig.build_kwargs` forwards ``config.stride`` only
+    #: to classes that declare it — replaces the signature sniffing the
+    #: build paths used to do.
+    accepts_stride = False
+    #: True when the constructor takes the frozen-plane ``layout`` /
+    #: ``plan`` knobs (the adaptive layer of PR 7).
+    accepts_layout = False
 
     def __init__(self, key_length: int) -> None:
         if key_length <= 0:

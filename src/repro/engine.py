@@ -684,9 +684,16 @@ class ClassificationEngine:
                 return self._matcher
             from .core.frozen import freeze
 
+            # Non-default adaptive knobs only: freeze(layout=None)
+            # leaves a pre-tuned FrozenMatcher's own layout/plan alone.
+            adaptive_kwargs: dict[str, Any] = {}
+            if self.config.frozen_layout != "build":
+                adaptive_kwargs["layout"] = self.config.frozen_layout
+            if self.config.stride_plan is not None:
+                adaptive_kwargs["plan"] = self.config.stride_plan
             start = time.perf_counter()
             try:
-                self._plane = freeze(self._matcher)
+                self._plane = freeze(self._matcher, **adaptive_kwargs)
             except TypeError:
                 # Not a freezable structure; remember and stop trying.
                 self._unfreezable = True
@@ -1259,6 +1266,13 @@ class ClassificationEngine:
             "queries_per_second": self.queries_per_second(),
             "auto_freeze": self.auto_freeze,
             "frozen_plane_active": self._plane is not None,
+            "frozen_layout": self.config.frozen_layout,
+            "stride_plan": (
+                None
+                if self.config.stride_plan is None
+                else self.config.stride_plan.describe()
+            ),
+            "plane_layout": getattr(self._plane, "layout_applied", None),
             "freezes": self.freezes,
             "updates_applied": self.updates_applied,
             "update_batches": self.update_batches,

@@ -142,17 +142,32 @@ class ShardedEngine:
 
     def _make_plane(self) -> FrozenMatcher:
         matcher = self._inner.matcher
+        layout = self.config.frozen_layout
+        plan = self.config.stride_plan
         if isinstance(matcher, FrozenMatcher):
-            if matcher._dirty:
-                matcher._refreeze()
-            return matcher
+            from ..core.frozen import freeze
+
+            # freeze() folds the config's adaptive knobs in (no-ops
+            # when they match what the plane was compiled with) and
+            # refreezes a dirty plane.
+            kwargs: dict[str, Any] = {}
+            if layout != "build":
+                kwargs["layout"] = layout
+            if plan is not None:
+                kwargs["plan"] = plan
+            plane = freeze(matcher, **kwargs)
+            if plane._dirty:
+                plane._refreeze()
+            return plane
         if isinstance(matcher, (MultibitPalmtrie, PalmtriePlus)):
-            return FrozenMatcher.from_matcher(matcher)
+            return FrozenMatcher.from_matcher(matcher, layout=layout, plan=plan)
         # Any other matcher: rebuild a frozen plane from its entries.
         return FrozenMatcher.build(
             list(matcher.entries()),
             matcher.key_length,
             stride=self.config.stride or 8,
+            layout=layout,
+            plan=plan,
         )
 
     def _republish(self, force: bool = False) -> None:

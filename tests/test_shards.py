@@ -112,6 +112,30 @@ class TestShardedDifferential:
             assert sharded.health == "ok"
             assert sharded.shards_alive == 2
 
+    def test_adaptive_layout_and_plan_cross_process(self, policy):
+        """Hot layout + variable StridePlan survive the PLMS hop: the
+        workers serve from planes compiled under both knobs, and the
+        verdicts still match a plain single-process engine."""
+        from repro.core.frozen import StridePlan
+
+        queries = _trace(4_000, seed=23)
+        plan = StridePlan(8, 6, ((2, 4), (300, 3)))
+        config = EngineConfig(
+            cache_size=0,
+            shards=2,
+            frozen_layout="hot",
+            stride_plan=plan,
+        )
+        matcher_a = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        matcher_b = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        single = ClassificationEngine(
+            matcher_a, EngineConfig(cache_size=0)
+        )
+        with ShardedEngine(matcher_b, config) as sharded:
+            assert _values(sharded.lookup_batch(queries)) == \
+                _values(single.lookup_batch(queries))
+            assert sharded.health == "ok"
+
     def test_replay_counts_match_lookup_batch(self, policy):
         from repro.workloads.traffic import uniform_traffic
 
