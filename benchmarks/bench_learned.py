@@ -1,0 +1,195 @@
+"""Learned-tier smoke: differential exactness + model coverage.
+
+Three claims, two gated:
+
+* **Correctness (always gated)** — the ``"learned"`` matcher must
+  return *exactly* the oracle's verdicts over a 10k differential trace
+  mixing range-heavy prefix rules, non-partitionable scattered rules,
+  and queries biased into the rule ranges so the models (not just the
+  remainder) answer.  One mismatch fails the smoke.  The misprediction
+  path must actually run: recovered mispredictions are fine (the probe
+  window exists for them), unvalidated candidates are not.
+
+* **Containment (always gated)** — a deliberately corrupted model (the
+  failure the error bound cannot survive) must be caught by a guarded
+  engine's shadow verification: every served answer stays exact and the
+  guard quarantines.
+
+* **Coverage (trajectory-tracked)** — ``learned_coverage_ratio`` is the
+  fraction of rules served by a trained iSet model on the deterministic
+  rule set; it lands in ``BENCH_trajectory.json`` so a partitioning
+  regression (rules silently spilling into the remainder) shows up in
+  the perf trajectory even though verdicts stay correct.
+
+``main()`` adds a lookup-rate table; ``main(smoke=True)`` is the CI
+entry point wired into ``run_smokes.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import KEY_LENGTH
+from repro.baselines.sorted_list import SortedListMatcher
+from repro.config import EngineConfig
+from repro.core.learned import LearnedMatcher
+from repro.core.table import TernaryEntry
+from repro.core.ternary import TernaryKey
+from repro.engine import ClassificationEngine
+from repro.resilience.guard import GuardRail
+
+#: rules in the synthetic policy (range-heavy, like a prefix-rich ACL)
+PREFIX_RULES = 400
+SCATTERED_RULES = 80
+#: differential trace length (the "zero mismatches on 10k" gate)
+TRACE = 10_000
+MAX_ISETS = 16
+
+
+def _policy(seed: int = 2002) -> list[TernaryEntry]:
+    """Deterministic mixed rule set: mostly prefixes, some scattered."""
+    rng = random.Random(seed)
+    entries = []
+    for i in range(PREFIX_RULES):
+        plen = rng.randint(16, KEY_LENGTH)
+        data = rng.getrandbits(plen) << (KEY_LENGTH - plen)
+        mask = (1 << (KEY_LENGTH - plen)) - 1
+        key = TernaryKey(data, mask, KEY_LENGTH)
+        entries.append(TernaryEntry(key, i, rng.randint(1, 10_000)))
+    for i in range(SCATTERED_RULES):
+        bits = [rng.choice("01") for _ in range(KEY_LENGTH)]
+        bits[rng.randint(0, KEY_LENGTH // 2)] = "*"
+        bits[-1] = rng.choice("01")
+        key = TernaryKey.from_string("".join(bits))
+        entries.append(TernaryEntry(key, PREFIX_RULES + i, rng.randint(1, 10_000)))
+    return entries
+
+
+def _trace(entries, count: int, seed: int = 7) -> list[int]:
+    """Half uniform noise, half biased into the rules' match sets."""
+    rng = random.Random(seed)
+    queries = [rng.getrandbits(KEY_LENGTH) for _ in range(count // 2)]
+    while len(queries) < count:
+        entry = rng.choice(entries)
+        queries.append(
+            entry.key.data | (rng.getrandbits(KEY_LENGTH) & entry.key.mask)
+        )
+    return queries
+
+
+def _verdict_key(entry) -> object:
+    return None if entry is None else entry.priority
+
+
+def _differential(entries, queries) -> tuple[int, LearnedMatcher]:
+    """Mismatches between the learned tier and the oracle (must be 0)."""
+    learned = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=MAX_ISETS)
+    oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+    got = learned.lookup_batch(queries)
+    want = oracle.lookup_batch(queries)
+    mismatches = sum(
+        1 for g, w in zip(got, want) if _verdict_key(g) != _verdict_key(w)
+    )
+    return mismatches, learned
+
+
+def _containment(entries, queries) -> GuardRail:
+    """Corrupt the models; shadow verification must catch the lie."""
+    matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=MAX_ISETS)
+    for model in matcher._isets:
+        for submodel in model.submodels:
+            submodel.intercept += 10 * len(model)
+            submodel.error = 0.0
+    oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+    guard = GuardRail(shadow_sample=1.0)
+    engine = ClassificationEngine(
+        matcher, EngineConfig(cache_size=256, resilience=guard)
+    )
+    wrong = sum(
+        1
+        for got, query in zip(engine.lookup_batch(queries), queries)
+        if _verdict_key(got) != _verdict_key(oracle.lookup(query))
+    )
+    if wrong:
+        raise SystemExit(
+            f"learned containment FAILED: a guarded engine served {wrong} "
+            "wrong verdicts from a corrupted model (must be 0)"
+        )
+    return guard
+
+
+def main(smoke: bool = False) -> dict[str, float]:
+    from repro.bench.report import Table
+
+    entries = _policy()
+    queries = _trace(entries, TRACE)
+
+    mismatches, learned = _differential(entries, queries)
+    if mismatches:
+        raise SystemExit(
+            f"learned differential FAILED: {mismatches}/{len(queries)} verdicts "
+            "differ from the oracle (must be 0)"
+        )
+    report = learned.model_report()
+    if report["isets"] == 0:
+        raise SystemExit(
+            "learned smoke FAILED: the prefix-heavy policy trained no iSet "
+            "models (partitioning regression)"
+        )
+    if report["predictions"] == 0:
+        raise SystemExit(
+            "learned smoke FAILED: the trace never exercised the models"
+        )
+    if report["validation_failures"]:
+        raise SystemExit(
+            f"learned smoke FAILED: {report['validation_failures']} candidates "
+            "failed ternary validation (error bound broken)"
+        )
+    print(
+        f"learned differential: 0/{len(queries)} mismatches — "
+        f"{report['isets']} iSets over {report['iset_rules']} rules "
+        f"({100 * report['coverage_ratio']:.1f} % coverage, "
+        f"max error {report['max_error']:.2f}), "
+        f"{report['predictions']} predictions, "
+        f"{report['mispredicts']} recovered mispredictions"
+    )
+
+    # the biased tail of the trace — noise queries never land inside a
+    # 128-bit prefix range, and a lie needs an in-range query to surface
+    guard = _containment(entries, queries[-2000:])
+    if not guard.quarantined:
+        raise SystemExit(
+            "learned containment FAILED: shadow verification never "
+            "quarantined a corrupted model"
+        )
+    print(
+        f"learned containment: corrupted model caught after "
+        f"{guard.shadow_checks} shadow checks "
+        f"({guard.shadow_mismatches} mismatches), guard quarantined"
+    )
+
+    if not smoke:
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        table = Table(
+            f"learned lookup rate ({len(queries)} queries, "
+            f"{len(entries)} rules)",
+            ["matcher", "qps"],
+        )
+        for label, matcher in (("sorted-list", oracle), ("learned", learned)):
+            started = time.perf_counter()
+            matcher.lookup_batch(queries)
+            elapsed = time.perf_counter() - started
+            table.add_row(label, f"{len(queries) / elapsed:,.0f}")
+        print(table.render())
+
+    return {
+        "learned_match_ratio": 1.0,
+        "learned_coverage_ratio": report["coverage_ratio"],
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(smoke="--smoke" in sys.argv)

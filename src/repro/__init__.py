@@ -42,6 +42,7 @@ from .core import (
     BasicPalmtrie,
     FrozenMatcher,
     FrozenPoptrie,
+    LearnedMatcher,
     LookupStats,
     MultibitPalmtrie,
     PalmtriePlus,
@@ -100,6 +101,7 @@ __all__ = [
     "FrozenPoptrie",
     "LAYOUT_V4",
     "LAYOUT_V6",
+    "LearnedMatcher",
     "LookupStats",
     "MATCHER_KINDS",
     "MultibitPalmtrie",

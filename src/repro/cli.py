@@ -143,7 +143,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     from .config import EngineConfig
-    from .core.serialize import save_frozen, save_plus
+    from .core.serialize import save_frozen, save_learned, save_plus
     from .core.table import build_matcher
 
     rules = _load_rules(args.acl)
@@ -162,7 +162,20 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         entries = squeezed
 
     # The adaptive knobs only exist on the frozen plane.
-    wants_frozen = args.frozen or args.layout != "build" or args.autotune
+    wants_learned = args.matcher == "learned"
+    wants_frozen = (
+        args.matcher == "frozen"
+        or args.frozen
+        or args.layout != "build"
+        or args.autotune
+    )
+    if wants_learned and wants_frozen:
+        print(
+            "error: --matcher learned cannot combine with the frozen-plane "
+            "knobs (--frozen/--layout/--autotune)",
+            file=sys.stderr,
+        )
+        return 2
     trace_queries: Optional[list] = None
     if args.autotune and not args.trace:
         print("error: --autotune requires --trace WORKLOAD", file=sys.stderr)
@@ -209,15 +222,29 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     matcher_kwargs = {}
     if args.layout == "hot" and trace_queries:
         matcher_kwargs["layout_trace"] = trace_queries
+    if wants_learned:
+        kind = "learned"
+    elif wants_frozen:
+        kind = "frozen"
+    else:
+        kind = "palmtrie-plus"
     config = EngineConfig(
-        matcher="frozen" if wants_frozen else "palmtrie-plus",
+        matcher=kind,
         stride=args.stride,
         frozen_layout=args.layout,
         stride_plan=plan,
         matcher_kwargs=matcher_kwargs,
     )
     matcher = build_matcher(config, entries, key_length)
-    if wants_frozen:
+    if wants_learned:
+        written = save_learned(matcher, args.output)
+        form = "learned table"
+        report = matcher.model_report()
+        note += (
+            f", {report['isets']} iSets covering "
+            f"{100 * report['coverage_ratio']:.0f} % of rules"
+        )
+    elif wants_frozen:
         written = save_frozen(matcher, args.output)
         form = "frozen table"
         if args.layout == "hot":
@@ -236,6 +263,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .core.frozen import FrozenMatcher
+    from .core.learned import LearnedMatcher
     from .core.plus import PalmtriePlus as _Plus
 
     magic = _sniff_magic(args.policy)
@@ -260,6 +288,20 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             print(f"  stride:     plan [{plan.describe()}]")
             for slot, s in plan.subtrie_strides:
                 print(f"              slot {slot} -> stride {s}")
+    elif isinstance(matcher, LearnedMatcher):
+        report = matcher.model_report()
+        print(f"  stride:     {matcher.stride} (remainder)")
+        print(
+            f"  models:     {report['isets']} iSets "
+            f"({report['submodels']} submodels), sizes {report['iset_sizes']}"
+        )
+        print(
+            f"  coverage:   {report['iset_rules']} rules learned, "
+            f"{report['remainder_rules']} in the remainder "
+            f"({100 * report['coverage_ratio']:.1f} % learned)"
+        )
+        print(f"  max error:  {report['max_error']:.3f} (probe window half-width)")
+        print(f"  training:   {report['train_seconds_total'] * 1e3:.1f} ms")
     elif isinstance(matcher, _Plus):
         print(f"  stride:     {matcher.stride} (uniform)")
     return 0
@@ -347,7 +389,11 @@ def _read_queries(input_path: str, layout, expected_length: int) -> Optional[lis
 
 
 #: compiled-policy magics the CLI recognizes (see repro.core.serialize)
-_POLICY_MAGICS = {b"PLM+": "Palmtrie+ table", b"PLMF": "frozen plane"}
+_POLICY_MAGICS = {
+    b"PLM+": "Palmtrie+ table",
+    b"PLMF": "frozen plane",
+    b"PLML": "learned table",
+}
 
 
 def _sniff_magic(path: str) -> Optional[bytes]:
@@ -364,9 +410,13 @@ def _load_binary_policy(path: str, magic: bytes):
     """A matcher from a compiled ``.plm``/``.plmf`` file, or None with a
     one-line error + re-compile hint on stderr (never a traceback) —
     corrupt and truncated tables must fail closed at the CLI edge."""
-    from .core.serialize import FormatError, load_frozen, load_plus
+    from .core.serialize import FormatError, load_frozen, load_learned, load_plus
 
-    loader = load_plus if magic == b"PLM+" else load_frozen
+    loader = {
+        b"PLM+": load_plus,
+        b"PLMF": load_frozen,
+        b"PLML": load_learned,
+    }[magic]
     try:
         return loader(path)
     except FormatError as exc:
@@ -870,6 +920,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--frozen", action="store_true",
         help="emit a frozen struct-of-arrays plane (.plmf) instead of a "
              "mutable Palmtrie+ table",
+    )
+    p_compile.add_argument(
+        "--matcher", choices=("palmtrie-plus", "frozen", "learned"),
+        default=None,
+        help="table form to emit: palmtrie-plus (default), frozen "
+             "(same as --frozen), or learned (RQ-RMI range models + "
+             "remainder, .plml)",
     )
     p_compile.add_argument(
         "--layout", choices=("build", "hot"), default="build",

@@ -1,0 +1,530 @@
+"""Learned matcher tier: RQ-RMI-style range models over iSets.
+
+*A Computational Approach to Packet Classification* (NuevoMatch, arXiv
+2002.07584) replaces tree traversal with a learned *range-query* model:
+rules that can be expressed as disjoint value ranges are partitioned
+into **iSets** (independent sets of non-overlapping ranges), a small
+**RQ-RMI** model per iSet predicts the index of the range a query falls
+into, and a bounded **validation** step checks the prediction against
+the actual rule.  Rules that do not partition go to a conventional
+**remainder** matcher.  The shape matters because a model lookup is
+O(model depth) regardless of rule count — exactly the regime where trie
+depth starts to dominate Palmtrie's multibit and frozen planes.
+
+This module reproduces that two-tier shape over ternary keys:
+
+* A ternary key is *range-representable* when its don't-care bits form
+  one contiguous low-order run (``mask == 2^k - 1``): such a key
+  matches exactly the queries in ``[data, data | mask]``.  Prefix rules
+  and exact-match rules are the common cases.
+* Range rules are partitioned greedily into at most ``max_isets``
+  iSets of pairwise-disjoint ranges; iSets smaller than
+  ``min_iset_size`` are not worth a model and fold into the remainder.
+* Each iSet trains a :class:`_RangeModel` at build time: a one-level
+  RMI whose root is an exact integer binning over the iSet's query
+  span and whose leaves are least-squares linear submodels mapping a
+  query to a range index.  Training tracks each submodel's **maximum
+  prediction error** over every point where the true index function
+  changes value, so an intact model's ``±error`` probe window provably
+  contains the matching range whenever one exists — lookups are
+  bit-identical to the oracle *by construction*, not by luck.
+* A lookup predicts an index, probes the window, validates the
+  candidate entry against the query (``entry.key.matches``), takes the
+  highest-priority hit across all iSets and the remainder.
+
+Misprediction is observable, not fatal: a recovered misprediction
+(the right range was in the window, just not at the predicted index)
+bumps ``mispredicts``; a *corrupted* model whose window no longer
+covers the truth produces a wrong verdict that the engine's sampled
+shadow verification (:mod:`repro.resilience.guard`) catches and
+quarantines — which is what makes a learned tier safe to serve.
+
+The remainder matcher is the registry's ``"palmtrie"``
+(:class:`~repro.core.multibit.MultibitPalmtrie`), so incremental
+``insert``/``delete`` keep working: inserts land in the remainder
+(coverage decays until :meth:`retrain`), deleting an iSet rule retrains
+the models from the surviving entries.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_right
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from .multibit import MultibitPalmtrie
+from .table import TernaryEntry, TernaryMatcher
+from .ternary import TernaryKey
+
+__all__ = ["LearnedMatcher", "range_representable", "key_range"]
+
+
+def range_representable(key: TernaryKey) -> bool:
+    """True when ``key`` matches exactly one contiguous query range.
+
+    That is the case iff its don't-care positions are one run at the
+    low-order end (``mask`` is ``0`` or ``2^k - 1``): the matched set is
+    then ``[data, data | mask]``.  Scattered or high-order wildcards
+    match a union of disjoint ranges and go to the remainder.
+    """
+    mask = key.mask
+    return mask & (mask + 1) == 0
+
+
+def key_range(key: TernaryKey) -> tuple[int, int]:
+    """The inclusive query range ``[lo, hi]`` a representable key matches."""
+    return key.data, key.data | key.mask
+
+
+class _Submodel:
+    """One linear leaf of an iSet's RQ-RMI: ``index ~ slope*x + intercept``
+    with a tracked worst-case prediction error over its domain."""
+
+    __slots__ = ("slope", "intercept", "error")
+
+    def __init__(self, slope: float, intercept: float, error: float = 0.0) -> None:
+        self.slope = slope
+        self.intercept = intercept
+        self.error = error
+
+
+class _RangeModel:
+    """RQ-RMI over one iSet: disjoint sorted ranges + a learned index.
+
+    ``starts``/``ends`` are parallel sorted arrays of the iSet's range
+    bounds; ``entries[i]`` is the rule owning range i.  The root stage
+    is exact integer binning of the query span into ``len(submodels)``
+    buckets (monotone by construction); each leaf submodel is a linear
+    fit whose max error is measured at training over every breakpoint
+    of the true index step function, so the probe window
+    ``[pred - err, pred + err]`` contains the true index whenever the
+    query falls inside any range.
+    """
+
+    __slots__ = (
+        "starts", "ends", "entries", "submodels", "lo", "span",
+        "max_priority",
+    )
+
+    def __init__(self, ranges: Sequence[tuple[int, int, TernaryEntry]],
+                 submodel_count: int) -> None:
+        ordered = sorted(ranges, key=lambda r: r[0])
+        self.starts = [r[0] for r in ordered]
+        self.ends = [r[1] for r in ordered]
+        self.entries = [r[2] for r in ordered]
+        self.lo = self.starts[0]
+        # Root binning divides [lo, hi] into equal integer slices; +1 so
+        # the top query maps to the last bucket, not one past it.
+        self.span = self.ends[-1] - self.lo + 1
+        self.max_priority = max(e.priority for e in self.entries)
+        self.submodels = self._train(max(1, submodel_count))
+
+    # -- training -------------------------------------------------------
+
+    def _bucket(self, query: int) -> int:
+        """Exact integer root stage (monotone in ``query``)."""
+        return (query - self.lo) * len(self.submodels) // self.span
+
+    def _fit(self, points: Sequence[tuple[float, int]]) -> tuple[float, float]:
+        """Least-squares line through ``(x, index)`` points (x in [0,1])."""
+        n = len(points)
+        if n == 0:
+            return 0.0, 0.0
+        if n == 1:
+            return 0.0, float(points[0][1])
+        sx = sum(p[0] for p in points)
+        sy = sum(p[1] for p in points)
+        sxx = sum(p[0] * p[0] for p in points)
+        sxy = sum(p[0] * p[1] for p in points)
+        denom = n * sxx - sx * sx
+        if denom == 0.0:
+            return 0.0, sy / n
+        slope = (n * sxy - sx * sy) / denom
+        return slope, (sy - slope * sx) / n
+
+    def _train(self, count: int) -> list[_Submodel]:
+        starts = self.starts
+        n = len(starts)
+        count = min(count, n)
+        span = self.span
+        lo = self.lo
+        # Group the training points (range start -> index) by root bucket.
+        by_bucket: list[list[tuple[float, int]]] = [[] for _ in range(count)]
+        for i, s in enumerate(starts):
+            by_bucket[(s - lo) * count // span].append(((s - lo) / span, i))
+        submodels = [
+            _Submodel(*self._fit(points)) for points in by_bucket
+        ]
+        self.submodels = submodels
+        # Error tracking: the true index function t(q) = number of range
+        # starts <= q, minus one, is a step function whose value only
+        # changes at range starts — so the worst |prediction - t(q)| in
+        # any bucket is attained either at a start, just before a start,
+        # or at a bucket's domain edge.  Evaluate all of them.
+        points: set[int] = set(starts)
+        hi = lo + span - 1
+        points.update(s - 1 for s in starts if s - 1 >= lo)
+        points.add(hi)
+        for b in range(1, count):
+            # Smallest q mapping to bucket b (integer root is monotone).
+            edge = lo + (b * span + count - 1) // count
+            if lo <= edge <= hi:
+                points.add(edge)
+                if edge - 1 >= lo:
+                    points.add(edge - 1)
+        for q in points:
+            true_index = bisect_right(starts, q) - 1
+            model = submodels[self._bucket(q)]
+            predicted = model.slope * ((q - lo) / span) + model.intercept
+            error = abs(predicted - true_index)
+            if error > model.error:
+                model.error = error
+        return submodels
+
+    # -- inference ------------------------------------------------------
+
+    def predict(self, query: int) -> tuple[int, int, int]:
+        """``(predicted index, window lo, window hi)`` for one in-span query."""
+        model = self.submodels[self._bucket(query)]
+        position = model.slope * ((query - self.lo) / self.span) + model.intercept
+        predicted = min(max(int(position + 0.5), 0), len(self.starts) - 1)
+        window_lo = max(math.floor(position - model.error), 0)
+        window_hi = min(math.ceil(position + model.error), len(self.starts) - 1)
+        return predicted, window_lo, window_hi
+
+    def max_error(self) -> float:
+        return max(model.error for model in self.submodels)
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+
+class LearnedMatcher(TernaryMatcher):
+    """Two-tier learned classifier: iSet range models + remainder trie.
+
+    Build it from a full rule set (``LearnedMatcher.build(entries,
+    key_length)`` or the registry's ``"learned"`` kind); construction
+    *is* training.  Knobs:
+
+    ``stride``
+        Stride of the remainder :class:`MultibitPalmtrie`.
+    ``max_isets``
+        Upper bound on trained iSets; ranges that do not fit go to the
+        remainder.
+    ``min_iset_size``
+        iSets smaller than this are not worth a model and fold into the
+        remainder.
+    ``submodels_per_iset``
+        Leaf submodels per iSet model (None: one per 16 ranges,
+        clamped to [1, 64]).
+    """
+
+    name = "learned"
+    accepts_stride = True
+
+    def __init__(
+        self,
+        key_length: int,
+        stride: int = 8,
+        max_isets: int = 8,
+        min_iset_size: int = 4,
+        submodels_per_iset: Optional[int] = None,
+    ) -> None:
+        super().__init__(key_length)
+        if max_isets < 0:
+            raise ValueError(f"max_isets must be >= 0, got {max_isets}")
+        if min_iset_size < 1:
+            raise ValueError(f"min_iset_size must be >= 1, got {min_iset_size}")
+        if submodels_per_iset is not None and submodels_per_iset < 1:
+            raise ValueError(
+                f"submodels_per_iset must be >= 1, got {submodels_per_iset}"
+            )
+        self.stride = stride
+        self.max_isets = max_isets
+        self.min_iset_size = min_iset_size
+        self.submodels_per_iset = submodels_per_iset
+        self._isets: list[_RangeModel] = []
+        #: keys currently owned by an iSet (delete needs to know)
+        self._iset_keys: set[TernaryKey] = set()
+        self._remainder = MultibitPalmtrie(key_length, stride=stride)
+        # -- model-quality counters (mirrored into the metrics plane) --
+        self.predictions = 0
+        self.mispredicts = 0
+        self.window_misses = 0
+        self.validation_failures = 0
+        self.trainings = 0
+        self.train_seconds_total = 0.0
+
+    # -- construction / (re)training ------------------------------------
+
+    @classmethod
+    def build(
+        cls, entries: Iterable[TernaryEntry], key_length: int, **kwargs: Any
+    ) -> "LearnedMatcher":
+        matcher = cls(key_length, **kwargs)
+        matcher._train(list(entries))
+        return matcher
+
+    def _train(self, entries: list[TernaryEntry]) -> None:
+        """Partition ``entries`` into iSets + remainder and fit models."""
+        started = time.perf_counter()
+        for entry in entries:
+            if entry.key.length != self.key_length:
+                raise ValueError(
+                    f"entry key length {entry.key.length} != "
+                    f"table key length {self.key_length}"
+                )
+        candidates: list[tuple[int, int, TernaryEntry]] = []
+        leftover: list[TernaryEntry] = []
+        for entry in entries:
+            if range_representable(entry.key):
+                lo, hi = key_range(entry.key)
+                candidates.append((lo, hi, entry))
+            else:
+                leftover.append(entry)
+        # Greedy first-fit interval partitioning: each range joins the
+        # first iSet whose current frontier it clears; a range that
+        # overlaps every open iSet opens a new one while slots remain.
+        isets: list[list[tuple[int, int, TernaryEntry]]] = []
+        frontiers: list[int] = []
+        for lo, hi, entry in sorted(candidates, key=lambda r: (r[0], r[1])):
+            for i, frontier in enumerate(frontiers):
+                if lo > frontier:
+                    isets[i].append((lo, hi, entry))
+                    frontiers[i] = hi
+                    break
+            else:
+                if len(isets) < self.max_isets:
+                    isets.append([(lo, hi, entry)])
+                    frontiers.append(hi)
+                else:
+                    leftover.append(entry)
+        kept: list[list[tuple[int, int, TernaryEntry]]] = []
+        for ranges in isets:
+            if len(ranges) >= self.min_iset_size:
+                kept.append(ranges)
+            else:
+                leftover.extend(r[2] for r in ranges)
+        self._isets = [
+            _RangeModel(ranges, self._submodel_count(len(ranges)))
+            for ranges in kept
+        ]
+        self._iset_keys = {
+            entry.key for model in self._isets for entry in model.entries
+        }
+        remainder = MultibitPalmtrie(self.key_length, stride=self.stride)
+        for entry in leftover:
+            remainder.insert(entry)
+        self._remainder = remainder
+        self.trainings += 1
+        self.train_seconds_total += time.perf_counter() - started
+        self.generation += 1
+
+    def _submodel_count(self, ranges: int) -> int:
+        if self.submodels_per_iset is not None:
+            return self.submodels_per_iset
+        return min(64, max(1, ranges // 16))
+
+    def retrain(self) -> None:
+        """Re-partition and re-fit from the current entries.
+
+        Inserts accumulate in the remainder; call this once churn
+        settles to restore iSet coverage (the engine's lazy-recompile
+        idiom, paid explicitly).
+        """
+        self._train(list(self.entries()))
+
+    # -- updates ---------------------------------------------------------
+
+    def insert(self, entry: TernaryEntry) -> None:
+        """Insert into the remainder tier (cheap, always correct).
+
+        The models are not retrained per insert — coverage decays until
+        :meth:`retrain` — exactly the update story the paper gives the
+        learned tier (remainder absorbs churn, periodic retraining).
+        """
+        if entry.key.length != self.key_length:
+            raise ValueError(
+                f"entry key length {entry.key.length} != "
+                f"table key length {self.key_length}"
+            )
+        self._remainder.insert(entry)
+        self.generation += 1
+
+    def delete(self, key: TernaryKey) -> bool:
+        """Remove every entry stored under exactly this ternary key."""
+        if key in self._iset_keys:
+            survivors = [e for e in self.entries() if e.key != key]
+            self._train(survivors)  # bumps generation
+            return True
+        if self._remainder.delete(key):
+            self.generation += 1
+            return True
+        return False
+
+    # -- lookup ----------------------------------------------------------
+
+    def _iset_candidate(
+        self, model: _RangeModel, query: int
+    ) -> Optional[TernaryEntry]:
+        """The matching entry of one iSet, or None (window probe +
+        validation; the counters are the model-quality telemetry)."""
+        if query < model.lo or query > model.ends[-1]:
+            return None  # out of span: no range can contain the query
+        self.predictions += 1
+        predicted, window_lo, window_hi = model.predict(query)
+        ends = model.ends
+        starts = model.starts
+        for i in range(window_lo, window_hi + 1):
+            if starts[i] <= query <= ends[i]:
+                if i != predicted:
+                    self.mispredicts += 1
+                entry = model.entries[i]
+                if not entry.key.matches(query):  # pragma: no cover - by
+                    # construction a representable key matches its range
+                    self.validation_failures += 1
+                    return None
+                return entry
+        # No range in the window contains the query.  For an intact
+        # model that means no range in the iSet does (the tracked max
+        # error guarantees the true index is in the window); a corrupted
+        # model surfaces here as a wrong no-match that shadow
+        # verification catches.
+        self.window_misses += 1
+        return None
+
+    def lookup(self, query: int) -> Optional[TernaryEntry]:
+        best = self._remainder.lookup(query) if len(self._remainder) else None
+        for model in self._isets:
+            if best is not None and model.max_priority <= best.priority:
+                continue  # this iSet cannot beat the incumbent
+            candidate = self._iset_candidate(model, query)
+            if candidate is not None and (
+                best is None or candidate.priority > best.priority
+            ):
+                best = candidate
+        return best
+
+    def lookup_batch(self, queries: Sequence[int]) -> list[Optional[TernaryEntry]]:
+        """Batched form: one batched remainder walk, then the models."""
+        if not self._isets:
+            return self._remainder.lookup_batch(queries)
+        results = (
+            self._remainder.lookup_batch(queries)
+            if len(self._remainder)
+            else [None] * len(queries)
+        )
+        for model in self._isets:
+            candidate_of = self._iset_candidate
+            for index, query in enumerate(queries):
+                best = results[index]
+                if best is not None and model.max_priority <= best.priority:
+                    continue
+                candidate = candidate_of(model, query)
+                if candidate is not None and (
+                    best is None or candidate.priority > best.priority
+                ):
+                    results[index] = candidate
+        return results
+
+    def lookup_all(self, query: int) -> list[TernaryEntry]:
+        """Every matching entry, highest priority first."""
+        matches = [
+            entry
+            for model in self._isets
+            for entry in (self._iset_candidate(model, query),)
+            if entry is not None
+        ]
+        if len(self._remainder):
+            matches.extend(self._remainder.lookup_all(query))
+        matches.sort(key=lambda e: -e.priority)
+        return matches
+
+    def _counted_lookup(self, query: int) -> tuple[Optional[TernaryEntry], int, int]:
+        """Work model: each consulted iSet model is one node visit and
+        its probe window is that many key comparisons; the remainder
+        charges its own counted walk."""
+        visits = comparisons = 0
+        best: Optional[TernaryEntry] = None
+        if len(self._remainder):
+            best, visits, comparisons = self._remainder._counted_lookup(query)
+        for model in self._isets:
+            if best is not None and model.max_priority <= best.priority:
+                continue
+            visits += 1
+            if query < model.lo or query > model.ends[-1]:
+                continue
+            _, window_lo, window_hi = model.predict(query)
+            comparisons += window_hi - window_lo + 1
+            candidate = self._iset_candidate(model, query)
+            if candidate is not None and (
+                best is None or candidate.priority > best.priority
+            ):
+                best = candidate
+        return best, visits, comparisons
+
+    # -- introspection ----------------------------------------------------
+
+    def entries(self) -> Iterator[TernaryEntry]:
+        for model in self._isets:
+            yield from model.entries
+        yield from self._remainder.entries()
+
+    def __len__(self) -> int:
+        return sum(len(model.entries) for model in self._isets) + len(
+            self._remainder
+        )
+
+    def __iter__(self) -> Iterator[TernaryEntry]:
+        return self.entries()
+
+    @property
+    def iset_count(self) -> int:
+        return len(self._isets)
+
+    @property
+    def iset_rules(self) -> int:
+        """Rules served by a trained model (not the remainder)."""
+        return sum(len(model.entries) for model in self._isets)
+
+    @property
+    def coverage_ratio(self) -> float:
+        """Fraction of rules the learned tier answers for (0.0 empty)."""
+        total = len(self)
+        return self.iset_rules / total if total else 0.0
+
+    def max_error(self) -> float:
+        """Worst tracked prediction error across every submodel."""
+        return max((model.max_error() for model in self._isets), default=0.0)
+
+    def model_report(self) -> dict[str, Any]:
+        """Model-quality snapshot (engine ``report()`` embeds this and
+        the metrics plane mirrors the counters)."""
+        return {
+            "isets": len(self._isets),
+            "iset_rules": self.iset_rules,
+            "iset_sizes": [len(model.entries) for model in self._isets],
+            "remainder_rules": len(self._remainder),
+            "coverage_ratio": self.coverage_ratio,
+            "submodels": sum(len(model.submodels) for model in self._isets),
+            "max_error": self.max_error(),
+            "predictions": self.predictions,
+            "mispredicts": self.mispredicts,
+            "window_misses": self.window_misses,
+            "validation_failures": self.validation_failures,
+            "trainings": self.trainings,
+            "train_seconds_total": self.train_seconds_total,
+        }
+
+    def memory_bytes(self) -> int:
+        """C-layout model: per range two bounds words + an entry slot
+        (8-byte value, 4-byte priority), 24 bytes per submodel (two
+        doubles + error), plus the remainder trie's own model."""
+        key_bytes = (self.key_length + 7) // 8
+        ranges = self.iset_rules
+        submodels = sum(len(model.submodels) for model in self._isets)
+        total = ranges * (2 * key_bytes + 8 + 4) + submodels * 24
+        if len(self._remainder):
+            total += self._remainder.memory_bytes()
+        return total

@@ -56,6 +56,10 @@ __all__ = [
     "deserialize_frozen",
     "save_frozen",
     "load_frozen",
+    "serialize_learned",
+    "deserialize_learned",
+    "save_learned",
+    "load_learned",
     "FormatError",
 ]
 
@@ -535,6 +539,12 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
     entry_base = _typed_view("Q", sections[3])
     entry_count_arr = _typed_view("Q", sections[4])
 
+    # A corrupted chunk shift turns ``query << -b`` in the walk into a
+    # gigabyte-sized big-int allocation; reject shifts outside what the
+    # freezer can emit (length - stride down to -(stride - 1)).
+    for b in bit_arr:
+        if not -max_node_stride < b <= key_length:
+            raise FormatError(f"chunk shift {b} out of range")
     for target in push:
         if target >= node_count:
             raise FormatError("push target out of range")
@@ -548,6 +558,47 @@ def _deserialize_frozen(data: "bytes | bytearray | memoryview") -> "TernaryMatch
                 raise FormatError("dispatch target out of range")
         elif c > max_node_stride + 1 or (packed >> _COUNT_BITS) + c > push_len:
             raise FormatError("dispatch run out of range")
+
+    # Range checks alone cannot catch a dispatch word that points back
+    # *up* the trie: the walk in FrozenMatcher.lookup would then spin
+    # forever instead of failing closed.  Walk the internal dispatch
+    # graph once from the root and reject any cycle.
+    if first_leaf:
+
+        def _internal_successors(x: int):
+            if node_strides is not None:
+                row_base = disp_base_list[x]
+                row_len = 1 << node_strides[x]
+            else:
+                row_base = x << stride
+                row_len = 1 << stride
+            for word in dispatch[row_base : row_base + row_len]:
+                run = word & _COUNT_MASK
+                if run == 1:
+                    succ = word >> _COUNT_BITS
+                    if succ < first_leaf:
+                        yield succ
+                elif run:
+                    run_base = word >> _COUNT_BITS
+                    for succ in push[run_base : run_base + run]:
+                        if succ < first_leaf:
+                            yield succ
+
+        colors = bytearray(first_leaf)  # 0 new, 1 on the walk, 2 done
+        colors[0] = 1
+        dfs = [(0, _internal_successors(0))]
+        while dfs:
+            node, successors = dfs[-1]
+            for succ in successors:
+                if colors[succ] == 1:
+                    raise FormatError("dispatch graph contains a cycle")
+                if colors[succ] == 0:
+                    colors[succ] = 1
+                    dfs.append((succ, _internal_successors(succ)))
+                    break
+            else:
+                colors[node] = 2
+                dfs.pop()
 
     key_view = sections[2]
     leaf_data: list[int] = []
@@ -672,6 +723,149 @@ def load_frozen(path_or_file: str | os.PathLike | BinaryIO) -> "TernaryMatcher":
         with open(path_or_file, "rb") as handle:
             return deserialize_frozen(handle.read())
     return deserialize_frozen(path_or_file.read())
+
+
+LEARNED_MAGIC = b"PLML"
+LEARNED_VERSION = 1
+
+#: magic, version u16, stride u8, reserved u8 (must be 0), key_length
+#: u32, max_isets u16, min_iset_size u16, submodels-per-iset u16
+#: (0 = auto), reserved u16 (must be 0), entry count u32, entry-blob
+#: length u32.
+_LEARNED_HEADER = struct.Struct("<4sHBBIHHHHII")
+
+
+def serialize_learned(matcher: "TernaryMatcher") -> bytes:
+    """Pack a learned table into the ``PLML`` wire form.
+
+    Models are *not* shipped: the wire format carries the rule set and
+    the training knobs, and :func:`deserialize_learned` retrains at load
+    time — training is deterministic (same entries + knobs → same iSets
+    and submodels) and costs one pass, so the format stays small and
+    can never disagree with the code that validates predictions.
+
+    Entry blob, per entry: key data ‖ mask (each ``ceil(key_length/8)``
+    bytes, little-endian), priority i32, value length u16, value bytes
+    (the ``PLM+`` portable value subset).
+    """
+    from .learned import LearnedMatcher
+
+    if not isinstance(matcher, LearnedMatcher):
+        raise FormatError(f"expected LearnedMatcher, got {type(matcher).__name__}")
+    key_bytes = (matcher.key_length + 7) // 8
+    entry_blob = bytearray()
+    count = 0
+    for entry in matcher.entries():
+        value = _encode_value(entry.value)
+        entry_blob += entry.key.data.to_bytes(key_bytes, "little")
+        entry_blob += entry.key.mask.to_bytes(key_bytes, "little")
+        entry_blob += struct.pack("<iH", entry.priority, len(value))
+        entry_blob += value
+        count += 1
+    header = _LEARNED_HEADER.pack(
+        LEARNED_MAGIC,
+        LEARNED_VERSION,
+        matcher.stride,
+        0,
+        matcher.key_length,
+        matcher.max_isets,
+        matcher.min_iset_size,
+        matcher.submodels_per_iset or 0,
+        0,
+        count,
+        len(entry_blob),
+    )
+    return header + bytes(entry_blob)
+
+
+def deserialize_learned(data: bytes) -> "TernaryMatcher":
+    """Rebuild (retrain) a learned table from its ``PLML`` form.
+
+    Any corruption raises :class:`FormatError`.
+    """
+    return _guarded_decode(data, _deserialize_learned)
+
+
+def _deserialize_learned(data: bytes) -> "TernaryMatcher":
+    from .learned import LearnedMatcher
+
+    if len(data) < _LEARNED_HEADER.size:
+        raise FormatError("truncated header")
+    (
+        magic,
+        version,
+        stride,
+        reserved_a,
+        key_length,
+        max_isets,
+        min_iset_size,
+        submodels,
+        reserved_b,
+        count,
+        blob_len,
+    ) = _LEARNED_HEADER.unpack_from(data)
+    if magic != LEARNED_MAGIC:
+        raise FormatError(f"bad magic {magic!r}")
+    if version != LEARNED_VERSION:
+        raise FormatError(f"unsupported version {version}")
+    if reserved_a or reserved_b:
+        raise FormatError("reserved fields must be zero")
+    if not 1 <= stride <= 16 or key_length <= 0 or min_iset_size < 1:
+        raise FormatError("corrupt geometry fields")
+    if len(data) != _LEARNED_HEADER.size + blob_len:
+        raise FormatError(
+            f"size mismatch: expected {_LEARNED_HEADER.size + blob_len} bytes,"
+            f" got {len(data)}"
+        )
+    key_bytes = (key_length + 7) // 8
+    key_space = (1 << key_length) - 1
+    blob = data[_LEARNED_HEADER.size:]
+    entries: list[TernaryEntry] = []
+    cursor = 0
+    for _ in range(count):
+        if cursor + 2 * key_bytes + 6 > len(blob):
+            raise FormatError("entry blob overrun")
+        key_data = int.from_bytes(blob[cursor : cursor + key_bytes], "little")
+        cursor += key_bytes
+        key_mask = int.from_bytes(blob[cursor : cursor + key_bytes], "little")
+        cursor += key_bytes
+        priority, value_len = struct.unpack_from("<iH", blob, cursor)
+        cursor += 6
+        if cursor + value_len > len(blob):
+            raise FormatError("entry blob overrun")
+        if key_data > key_space or key_mask > key_space or key_data & key_mask:
+            raise FormatError("key fields out of range")
+        value = _decode_value(blob[cursor : cursor + value_len])
+        cursor += value_len
+        entries.append(
+            TernaryEntry(TernaryKey(key_data, key_mask, key_length), value, priority)
+        )
+    if cursor != len(blob):
+        raise FormatError("trailing bytes in entry blob")
+    return LearnedMatcher.build(
+        entries,
+        key_length,
+        stride=stride,
+        max_isets=max_isets,
+        min_iset_size=min_iset_size,
+        submodels_per_iset=submodels or None,
+    )
+
+
+def save_learned(matcher: "TernaryMatcher", path: str) -> int:
+    """Serialize a learned table to a file; returns the bytes written."""
+    data = serialize_learned(matcher)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def load_learned(path_or_file: str | os.PathLike | BinaryIO) -> "TernaryMatcher":
+    """Load (and retrain) a table written by :func:`save_learned`."""
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "rb") as handle:
+            return deserialize_learned(handle.read())
+    return deserialize_learned(path_or_file.read())
 
 
 def save_plus(matcher: PalmtriePlus, path: str) -> int:

@@ -260,6 +260,7 @@ def matcher_kinds() -> dict[str, Type[TernaryMatcher]]:
         from .adaptive import AdaptiveMatcher
         from .basic import BasicPalmtrie
         from .frozen import FrozenMatcher
+        from .learned import LearnedMatcher
         from .multibit import MultibitPalmtrie
         from .plus import PalmtriePlus
 
@@ -274,6 +275,7 @@ def matcher_kinds() -> dict[str, Type[TernaryMatcher]]:
             "adaptive": AdaptiveMatcher,
             "tcam": TcamModel,
             "vectorized": VectorizedMatcher,
+            "learned": LearnedMatcher,
         }
     return dict(_KINDS_CACHE)
 
@@ -290,7 +292,8 @@ def build_matcher(
     ``sorted-list``, ``palmtrie-basic``, ``palmtrie`` (multi-bit; pass
     ``stride=k``), ``palmtrie-plus`` (pass ``stride=k``), ``frozen``
     (struct-of-arrays compiled plane; pass ``stride=k``), ``dpdk-acl``,
-    ``efficuts``, ``adaptive``, ``tcam``, ``vectorized`` — a
+    ``efficuts``, ``adaptive``, ``tcam``, ``vectorized``, ``learned``
+    (RQ-RMI range models + remainder trie; pass ``stride=k``) — a
     :class:`TernaryMatcher` subclass itself, or an
     :class:`~repro.config.EngineConfig`, whose ``matcher`` / ``stride``
     / ``matcher_kwargs`` fields pick the class and its constructor

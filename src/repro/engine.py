@@ -382,6 +382,35 @@ class _EngineInstruments:
                 "frozen_freeze_seconds_total",
                 "Seconds spent in the frozen-plane freeze compiler.",
             ).set_total(freeze_seconds)
+        # Learned-tier model quality (the "learned" matcher kind).
+        model_report = getattr(engine.matcher, "model_report", None)
+        if callable(model_report):
+            model = model_report()
+            registry.gauge(
+                "learned_isets", "Trained iSet range models currently serving."
+            ).set(model["isets"])
+            registry.gauge(
+                "learned_coverage_ratio",
+                "Fraction of rules answered by a trained model (rest: remainder).",
+            ).set(model["coverage_ratio"])
+            registry.gauge(
+                "learned_max_error",
+                "Worst tracked prediction error across all submodels.",
+            ).set(model["max_error"])
+            counter(
+                "learned_predictions_total", "Model predictions issued."
+            ).set_total(model["predictions"])
+            counter(
+                "learned_mispredicts_total",
+                "Predictions recovered via the ±error probe window.",
+            ).set_total(model["mispredicts"])
+            counter(
+                "learned_window_misses_total",
+                "Probe windows containing no matching range.",
+            ).set_total(model["window_misses"])
+            counter(
+                "learned_trainings_total", "Model (re)training passes."
+            ).set_total(model["trainings"])
         registry.gauge(
             "engine_epoch", "Policy epoch (bumped on every replace_matcher)."
         ).set(engine.epoch)
@@ -1293,6 +1322,10 @@ class ClassificationEngine:
         guard = self._guard
         if guard is not None:
             summary["resilience"] = guard.report()
+        model_report = getattr(self.matcher, "model_report", None)
+        if callable(model_report):
+            # the learned tier: iSet count, coverage, mispredict counters
+            summary["learned"] = model_report()
         latency = self.latency_summary()
         if latency is not None:
             summary["latency"] = latency

@@ -3,10 +3,11 @@
 :class:`ShardedEngine` serves the same ``lookup`` / ``lookup_batch`` /
 ``report`` surface as :class:`~repro.engine.ClassificationEngine`, but
 fans batches across N worker processes, RSS-style: the shard of a query
-is ``hash(packed 5-tuple) % shards`` (CPython's int hash — value mod
-2^61-1 — is deterministic across processes and folds every header bit),
-so a flow always lands on the same worker and that worker's private
-:class:`~repro.engine.FlowCache` sees the whole flow.
+is :func:`flow_shard` — a splitmix64-style avalanche over the packed
+5-tuple, so every header bit perturbs the shard choice (CPython's int
+hash is near-identity and would let a constant low-order field pin the
+shard) — and a flow always lands on the same worker, so that worker's
+private :class:`~repro.engine.FlowCache` sees the whole flow.
 
 Topology::
 
@@ -53,9 +54,33 @@ from .worker import shard_worker_main
 __all__ = ["ShardedEngine", "flow_shard"]
 
 
+_MIX_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: a full-avalanche 64-bit mix."""
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MIX_MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MIX_MASK
+    return x ^ (x >> 31)
+
+
 def flow_shard(query: int, shards: int) -> int:
-    """The RSS role: which worker owns this flow."""
-    return hash(query) % shards
+    """The RSS role: which worker owns this flow.
+
+    Deterministic across processes and runs (no ``PYTHONHASHSEED``
+    dependence) and avalanched: the query is folded into 64-bit limbs
+    through the splitmix64 finalizer, so every header bit — not just
+    the low-order ones — perturbs the shard choice.  CPython's ``hash``
+    on an int is the value mod 2^61-1, which with power-of-two shard
+    counts made a constant low field (a fixed dst port, say) pin all
+    traffic to one worker.
+    """
+    mixed = _splitmix64(query & _MIX_MASK)
+    query >>= 64
+    while query:
+        mixed = _splitmix64(mixed ^ (query & _MIX_MASK))
+        query >>= 64
+    return mixed % shards
 
 
 class _ShardDead(Exception):
@@ -342,7 +367,7 @@ class ShardedEngine:
         buckets: list[list[int]] = [[] for _ in range(n)]
         slots: list[list[int]] = [[] for _ in range(n)]
         for i, q in enumerate(queries):
-            s = hash(q) % n
+            s = flow_shard(q, n)
             buckets[s].append(q)
             slots[s].append(i)
         stamp = self._stamp
@@ -408,7 +433,7 @@ class ShardedEngine:
         def partition(chunk: Sequence[int]) -> list[list[int]]:
             buckets: list[list[int]] = [[] for _ in range(n)]
             for q in chunk:
-                buckets[hash(q) % n].append(q)
+                buckets[flow_shard(q, n)].append(q)
             return buckets
 
         # Workers count in leaf-index space; a dead shard's bucket is

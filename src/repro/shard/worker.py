@@ -141,8 +141,11 @@ def shard_worker_main(
                 msg = conn.recv()
             except (EOFError, OSError):
                 break  # parent went away; nothing left to serve
-            op = msg[0]
+            op = None
             try:
+                # Unpack inside the guard: a malformed message (non-tuple,
+                # empty) must be a bad *request*, not a dead worker.
+                op = msg[0]
                 if op == "batch" or op == "count":
                     _, stamp, name, queries = msg
                     state.remap(stamp, name)
@@ -163,8 +166,9 @@ def shard_worker_main(
             except (BrokenPipeError, OSError):
                 break
             except Exception as exc:  # keep serving after a bad request
+                site = f"shard_{op}" if isinstance(op, str) else "shard_protocol"
                 try:
-                    conn.send(("err", f"shard_{op}", repr(exc)))
+                    conn.send(("err", site, repr(exc)))
                 except (BrokenPipeError, OSError):
                     break
     finally:

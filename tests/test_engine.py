@@ -40,6 +40,7 @@ class TestRegistry:
         assert set(MATCHER_KINDS) == {
             "sorted-list", "palmtrie-basic", "palmtrie", "palmtrie-plus",
             "frozen", "dpdk-acl", "efficuts", "adaptive", "tcam", "vectorized",
+            "learned",
         }
         for cls in MATCHER_KINDS.values():
             assert isinstance(cls, type)

@@ -179,6 +179,31 @@ def test_deserialize_frozen_bit_flips_fail_closed(flip, data):
     matcher.lookup(data.draw(st.integers(0, 255)))
 
 
+def test_deserialize_frozen_dispatch_cycle_fails_closed():
+    """A dispatch word that points back *up* the trie passes every
+    range check yet sends ``FrozenMatcher.lookup`` in circles forever.
+    The decoder must reject the cycle (found as a multi-minute stall
+    under the bit-flip fuzz above when a flip hit a dispatch target)."""
+    from repro.core.serialize import _FROZEN_EXT, _FROZEN_HEADER
+
+    blob = bytearray(_sample_frozen_blob())
+    header = _FROZEN_HEADER.unpack_from(blob)
+    first_leaf, leaf_count = header[5], header[6]
+    assert first_leaf > 0, "sample plane must have an internal node"
+    # the sample has no stride plan, so dispatch starts right after the
+    # bit and maxp sections
+    dispatch_off = (
+        _FROZEN_HEADER.size
+        + _FROZEN_EXT.size
+        + 4 * first_leaf
+        + 8 * (first_leaf + leaf_count)
+    )
+    # count = 1, target = node 0: the root dispatches back to itself
+    blob[dispatch_off : dispatch_off + 4] = (1).to_bytes(4, "little")
+    with pytest.raises(FormatError, match="cycle"):
+        deserialize_frozen(bytes(blob))
+
+
 @settings(max_examples=100, deadline=None)
 @given(cut=st.integers(0, 10_000))
 def test_deserialize_frozen_truncation_fails_closed(cut):

@@ -1,0 +1,310 @@
+"""The learned RQ-RMI matcher tier (repro.core.learned).
+
+The bar is the same one every matcher kind carries: verdicts
+bit-identical (in winning priority) to the sorted-list oracle.  For the
+learned tier that bar is met *by construction* — the tracked max
+prediction error makes the probe window provably cover the true range
+— so these tests focus on the edges where the construction could break
+(empty set, single rule, nothing partitionable) and on the one failure
+mode the design explicitly leaves open: a corrupted model mispredicting,
+which the engine's shadow verification must catch and quarantine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import assert_same_result, oracle_lookup, random_entries
+from repro.baselines.sorted_list import SortedListMatcher
+from repro.config import EngineConfig
+from repro.core.learned import LearnedMatcher, key_range, range_representable
+from repro.core.serialize import (
+    FormatError,
+    deserialize_learned,
+    serialize_learned,
+)
+from repro.core.table import TernaryEntry, build_matcher
+from repro.core.ternary import TernaryKey
+from repro.engine import ClassificationEngine
+from repro.resilience.guard import GuardRail
+
+KEY_LENGTH = 32
+
+
+def _prefix_entries(count: int, seed: int) -> list[TernaryEntry]:
+    """Range-representable rules: prefixes of assorted lengths."""
+    rng = random.Random(seed)
+    entries = []
+    for i in range(count):
+        plen = rng.randint(8, KEY_LENGTH)
+        data = rng.getrandbits(plen) << (KEY_LENGTH - plen)
+        mask = (1 << (KEY_LENGTH - plen)) - 1
+        key = TernaryKey(data, mask, KEY_LENGTH)
+        entries.append(TernaryEntry(key, i, rng.randint(1, 1000)))
+    return entries
+
+
+def _scattered_entries(count: int, seed: int) -> list[TernaryEntry]:
+    """Rules with a wildcard hole mid-key: never range-representable."""
+    rng = random.Random(seed)
+    entries = []
+    for i in range(count):
+        bits = [rng.choice("01") for _ in range(KEY_LENGTH)]
+        bits[rng.randint(0, KEY_LENGTH // 2)] = "*"  # a high-order hole
+        bits[-1] = rng.choice("01")  # low bit set: mask not a suffix run
+        key = TernaryKey.from_string("".join(bits))
+        assert not range_representable(key)
+        entries.append(TernaryEntry(key, i, rng.randint(1, 1000)))
+    return entries
+
+
+def _mixed_trace(entries, count: int, seed: int) -> list[int]:
+    """Uniform noise plus queries biased into the rules' ranges."""
+    rng = random.Random(seed)
+    queries = [rng.getrandbits(KEY_LENGTH) for _ in range(count)]
+    for entry in entries:
+        queries.append(entry.key.data | (rng.getrandbits(KEY_LENGTH) & entry.key.mask))
+    return queries
+
+
+def _corrupt(matcher: LearnedMatcher) -> None:
+    """Break every submodel: wrong intercept, lying zero error bound.
+
+    The probe window collapses to the (wrong) predicted index, so
+    queries inside a range come back as false no-matches — the
+    misprediction mode an intact model cannot exhibit.
+    """
+    assert matcher.iset_count > 0, "corruption test needs a trained model"
+    for model in matcher._isets:
+        for submodel in model.submodels:
+            submodel.intercept += 10 * len(model)
+            submodel.error = 0.0
+
+
+class TestRangeRepresentability:
+    def test_contiguous_suffix_masks_are_ranges(self):
+        assert range_representable(TernaryKey.from_prefix(0xC0, 8, KEY_LENGTH))
+        assert range_representable(TernaryKey.exact(7, KEY_LENGTH))
+        assert range_representable(TernaryKey.wildcard(KEY_LENGTH))
+        key = TernaryKey.from_prefix(0x1234, 16, KEY_LENGTH)
+        lo, hi = key_range(key)
+        assert lo == 0x1234 << 16
+        assert hi == (0x1234 << 16) | 0xFFFF
+        assert key.matches(lo) and key.matches(hi)
+        assert not key.matches(hi + 1)
+
+    def test_scattered_wildcards_are_not(self):
+        assert not range_representable(TernaryKey.from_string("1*1" + "0" * 29))
+        assert not range_representable(TernaryKey.from_string("*" * 8 + "1" * 24))
+
+
+class TestEdges:
+    def test_empty_rule_set(self):
+        matcher = LearnedMatcher(KEY_LENGTH)
+        assert len(matcher) == 0
+        assert matcher.lookup(0) is None
+        assert matcher.lookup_batch([1, 2, 3]) == [None, None, None]
+        assert matcher.lookup_all(5) == []
+        assert matcher.iset_count == 0
+        assert matcher.coverage_ratio == 0.0
+        assert matcher.max_error() == 0.0
+
+    def test_single_rule(self):
+        entry = TernaryEntry(TernaryKey.from_prefix(0xAB, 8, KEY_LENGTH), "hit", 5)
+        matcher = LearnedMatcher.build([entry], KEY_LENGTH)
+        lo, hi = key_range(entry.key)
+        assert matcher.lookup(lo).value == "hit"
+        assert matcher.lookup(hi).value == "hit"
+        assert matcher.lookup((lo - 1) % (1 << KEY_LENGTH)) is None
+        # one rule is below min_iset_size: the remainder owns it
+        assert matcher.iset_count == 0
+        assert len(matcher) == 1
+
+    def test_fully_non_partitionable_falls_back_entirely(self):
+        entries = _scattered_entries(40, seed=3)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH)
+        assert matcher.iset_count == 0
+        assert matcher.coverage_ratio == 0.0
+        assert matcher.model_report()["remainder_rules"] == len(entries)
+        for query in _mixed_trace(entries, 2000, seed=4):
+            assert_same_result(matcher.lookup(query), oracle_lookup(entries, query))
+
+    def test_duplicate_ranges_split_across_tiers(self):
+        # Identical keys cannot share an iSet (ranges would overlap);
+        # at most one copy is learned, the rest spill over — and the
+        # highest priority still wins.
+        key = TernaryKey.from_prefix(0x42, 8, KEY_LENGTH)
+        entries = [TernaryEntry(key, i, 10 * (i + 1)) for i in range(6)]
+        entries += _prefix_entries(30, seed=9)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH)
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        for query in _mixed_trace(entries, 1000, seed=10):
+            assert_same_result(matcher.lookup(query), oracle.lookup(query))
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedMatcher(KEY_LENGTH, max_isets=-1)
+        with pytest.raises(ValueError):
+            LearnedMatcher(KEY_LENGTH, min_iset_size=0)
+        with pytest.raises(ValueError):
+            LearnedMatcher(KEY_LENGTH, submodels_per_iset=0)
+        with pytest.raises(ValueError):
+            LearnedMatcher(KEY_LENGTH).insert(
+                TernaryEntry(TernaryKey.exact(1, 8), 0, 1)
+            )
+
+
+class TestDifferential:
+    def test_mixed_rules_match_oracle_exactly(self):
+        entries = _prefix_entries(150, seed=21) + _scattered_entries(30, seed=22)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        report = matcher.model_report()
+        assert report["isets"] > 0, "prefix-heavy set must train models"
+        assert 0.0 < report["coverage_ratio"] <= 1.0
+        queries = _mixed_trace(entries, 5000, seed=23)
+        batch = matcher.lookup_batch(queries)
+        for query, got in zip(queries, batch):
+            assert_same_result(got, oracle.lookup(query))
+            assert_same_result(matcher.lookup(query), got)  # scalar == batch
+        # the in-range half of the trace must exercise the models
+        assert matcher.predictions > 0
+        # recovered mispredictions are allowed; unrecovered ones are not
+        assert matcher.validation_failures == 0
+
+    def test_lookup_all_matches_oracle(self):
+        entries = _prefix_entries(80, seed=31)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        for query in _mixed_trace(entries, 500, seed=32):
+            got = sorted(e.priority for e in matcher.lookup_all(query))
+            want = sorted(e.priority for e in oracle.lookup_all(query))
+            assert got == want
+
+    def test_random_ternary_entries_via_registry(self):
+        entries = random_entries(60, KEY_LENGTH, seed=41)
+        config = EngineConfig(matcher="learned", stride=4)
+        matcher = build_matcher(config, entries, KEY_LENGTH)
+        assert isinstance(matcher, LearnedMatcher)
+        assert matcher.stride == 4  # accepts_stride forwards the knob
+        for query in _mixed_trace(entries, 1500, seed=42):
+            assert_same_result(matcher.lookup(query), oracle_lookup(entries, query))
+
+
+class TestChurn:
+    def test_insert_lands_in_remainder_and_retrain_recovers(self):
+        entries = _prefix_entries(60, seed=51)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        covered = matcher.coverage_ratio
+        assert covered > 0.0
+        generation = matcher.generation
+        extra = TernaryEntry(TernaryKey.from_prefix(0x7, 4, KEY_LENGTH), "new", 5000)
+        matcher.insert(extra)
+        assert matcher.generation > generation
+        assert matcher.coverage_ratio < covered  # decayed, not retrained
+        lo, _ = key_range(extra.key)
+        assert matcher.lookup(lo).value == "new"
+        matcher.retrain()
+        assert matcher.lookup(lo).value == "new"
+        assert matcher.coverage_ratio >= covered  # the new prefix learns too
+
+    def test_delete_removes_all_copies_like_the_oracle(self):
+        entries = _prefix_entries(60, seed=61)
+        key = entries[0].key
+        entries.append(TernaryEntry(key, "twin", entries[0].priority + 1))
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        assert matcher.delete(key) == oracle.delete(key) == True
+        assert matcher.delete(key) == oracle.delete(key) == False
+        assert len(matcher) == len(oracle)
+        for query in _mixed_trace(entries, 1500, seed=62):
+            assert_same_result(matcher.lookup(query), oracle.lookup(query))
+
+
+class TestCorruptedModelShadowVerify:
+    def test_corrupted_model_produces_wrong_verdicts(self):
+        """Sanity for the quarantine test: corruption really lies."""
+        entries = _prefix_entries(100, seed=71)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        _corrupt(matcher)
+        queries = _mixed_trace(entries, 2000, seed=72)
+        wrong = sum(
+            1
+            for q in queries
+            if (matcher.lookup(q) is None) != (oracle.lookup(q) is None)
+        )
+        assert wrong > 0
+        assert matcher.window_misses > 0
+
+    def test_shadow_verification_catches_and_quarantines(self):
+        """The acceptance path: a mispredicting model cannot lie to a
+        guarded engine — every served answer stays oracle-exact, the
+        mismatch is counted, and the guard quarantines the fast path."""
+        entries = _prefix_entries(100, seed=81)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        oracle = SortedListMatcher.build(entries, KEY_LENGTH)
+        _corrupt(matcher)
+        guard = GuardRail(shadow_sample=1.0)
+        engine = ClassificationEngine(
+            matcher, EngineConfig(cache_size=64, resilience=guard)
+        )
+        queries = _mixed_trace(entries, 500, seed=82)
+        for got, query in zip(engine.lookup_batch(queries), queries):
+            assert_same_result(got, oracle.lookup(query))
+        assert guard.shadow_mismatches > 0
+        assert guard.quarantined
+        assert engine.health == "quarantined"
+        # quarantined service keeps being exact (reference tier)
+        for query in queries[:200]:
+            assert_same_result(engine.lookup(query), oracle.lookup(query))
+
+    def test_intact_model_never_trips_the_shadow(self):
+        entries = _prefix_entries(100, seed=91)
+        matcher = LearnedMatcher.build(entries, KEY_LENGTH, max_isets=16)
+        guard = GuardRail(shadow_sample=1.0)
+        engine = ClassificationEngine(
+            matcher, EngineConfig(cache_size=64, resilience=guard)
+        )
+        engine.lookup_batch(_mixed_trace(entries, 1000, seed=92))
+        assert guard.shadow_checks > 0
+        assert guard.shadow_mismatches == 0
+        assert engine.health == "ok"
+        report = engine.report()
+        assert report["learned"]["isets"] == matcher.iset_count
+        assert report["learned"]["coverage_ratio"] == matcher.coverage_ratio
+
+
+class TestSerialization:
+    def test_plml_round_trip_retrains_identically(self):
+        entries = _prefix_entries(90, seed=101) + _scattered_entries(20, seed=102)
+        matcher = LearnedMatcher.build(
+            entries, KEY_LENGTH, stride=4, max_isets=12, min_iset_size=3
+        )
+        wire = serialize_learned(matcher)
+        loaded = deserialize_learned(wire)
+        assert loaded.key_length == KEY_LENGTH
+        assert loaded.stride == 4
+        assert loaded.max_isets == 12
+        assert loaded.min_iset_size == 3
+        assert len(loaded) == len(matcher)
+        # training is deterministic: same entries + knobs, same models
+        assert loaded.model_report()["isets"] == matcher.model_report()["isets"]
+        assert loaded.model_report()["max_error"] == matcher.model_report()["max_error"]
+        for query in _mixed_trace(entries, 1500, seed=103):
+            assert_same_result(loaded.lookup(query), matcher.lookup(query))
+
+    def test_corruption_fails_closed(self):
+        matcher = LearnedMatcher.build(_prefix_entries(30, seed=111), KEY_LENGTH)
+        wire = serialize_learned(matcher)
+        for cut in (0, 3, len(wire) // 2, len(wire) - 1):
+            with pytest.raises(FormatError):
+                deserialize_learned(wire[:cut])
+        bad = bytearray(wire)
+        bad[4] ^= 0xFF  # version field
+        with pytest.raises(FormatError):
+            deserialize_learned(bytes(bad))
+        with pytest.raises(FormatError):
+            deserialize_learned(b"PLMF" + wire[4:])  # wrong magic

@@ -81,6 +81,36 @@ class TestPlane:
         counts = [first.count(i) for i in range(4)]
         assert all(count > 0 for count in counts)
 
+    @pytest.mark.parametrize("shards", (2, 4, 8))
+    def test_flow_shard_spreads_low_bit_constant_traces(self, shards):
+        """The RSS hash must avalanche, not truncate: a trace whose low
+        header bits are constant (a fixed dst port, say) has to spread
+        across every power-of-two shard count within tolerance.  The
+        old ``hash(q) % n`` — near-identity for ints — pinned this
+        entire trace to ``0x50 % n``."""
+        rng = random.Random(29)
+        # 4000 distinct flows, all sharing the low byte 0x50 and a
+        # constant zero mid-section: only high-order bits vary.
+        queries = list({(rng.getrandbits(24) << 8) | 0x50 for _ in range(4000)})
+        counts = [0] * shards
+        for q in queries:
+            counts[flow_shard(q, shards)] += 1
+        mean = len(queries) / shards
+        assert all(c > 0 for c in counts), counts
+        assert max(counts) / mean <= 1.5, counts
+
+    def test_flow_shard_uses_high_limbs_of_wide_keys(self):
+        """Queries differing only above bit 64 (the v6 src address end)
+        must not collapse onto one shard."""
+        rng = random.Random(31)
+        low = rng.getrandbits(64)
+        queries = [(rng.getrandbits(64) << 64) | low for _ in range(2000)]
+        counts = [0] * 4
+        for q in queries:
+            counts[flow_shard(q, 4)] += 1
+        mean = len(queries) / 4
+        assert max(counts) / mean <= 1.5, counts
+
 
 # ----------------------------------------------------------------------
 # Cross-process differential
@@ -215,6 +245,38 @@ class TestWorkerRecovery:
             guard = sharded.resilience
             assert guard is not None
             assert guard.faults.get("shard_worker", 0) >= 1
+
+    def test_worker_survives_malformed_messages(self, policy):
+        """Garbage on the control socket is a bad *request*, not a dead
+        worker: the worker answers ``("err", ...)`` and keeps serving.
+        (The unpack used to sit outside the guarded block, so a
+        non-tuple message killed the process.)"""
+        queries = _trace(500, seed=19)
+        matcher = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        single = ClassificationEngine(
+            PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        )
+        with ShardedEngine(matcher, EngineConfig(shards=1)) as sharded:
+            handle = sharded._shards[0]
+            garbage = (
+                42,                       # not a tuple at all
+                (),                       # empty tuple
+                ("batch",),               # right op, wrong arity
+                ("no-such-op", 1, 2),     # unknown op
+                (None, "x"),              # unhashable-op shapes
+            )
+            for msg in garbage:
+                handle.conn.send(msg)
+                kind, site, detail = handle.conn.recv()
+                assert kind == "err", (msg, kind, detail)
+                assert site in ("shard_protocol", "shard_batch"), (msg, site)
+            # still alive and still exact after every insult
+            handle.conn.send(("ping", "still-there"))
+            assert handle.conn.recv() == ("ok", "still-there")
+            assert _values(sharded.lookup_batch(queries)) == \
+                _values(single.lookup_batch(queries))
+            assert sharded.shards_alive == 1
+            assert sharded.health == "ok"
 
     def test_close_is_idempotent_and_kills_workers(self, policy):
         matcher = PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
