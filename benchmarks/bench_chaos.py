@@ -1,8 +1,13 @@
 """Chaos smoke — the resilience plane under seeded fault injection.
 
 Four fault classes run against a guarded :class:`ClassificationEngine`,
-each over the same differential trace whose ground truth comes from the
-linear-scan reference matcher:
+each over a differential trace whose ground truth comes from the
+linear-scan reference matcher.  The traffic is not synthesised here:
+every mix comes from the scenario registry
+(:mod:`repro.workloads.scenarios`), so chaos and the streaming bench
+replay the *same* named, seed-replayable packet mixes — scan floods,
+flash crowds, tunnel interleaves — one source of truth for what "under
+attack" means.  The fault classes:
 
 * ``frozen-walk`` — injected exceptions inside the frozen plane; the
   guard must degrade to the interpreted matcher and the breaker must
@@ -16,12 +21,14 @@ linear-scan reference matcher:
   must report the error and leave the engine serving correct answers.
 
 The acceptance bar (the paper's correctness contract under failure):
-**zero wrong answers** across every class, each fault demonstrably
-fired, and the degraded serving rate at least half the unguarded
-baseline (``chaos_degraded_rate_ratio`` in the perf trajectory).
+**zero wrong answers** across every class and every mix, each fault
+demonstrably fired, and the degraded serving rate at least half the
+unguarded baseline (``chaos_degraded_rate_ratio`` in the perf
+trajectory).
 
-``main()`` prints the scenario table; ``main(smoke=True)`` is the CI
-entry point (same scenarios, smaller trace).
+``main(smoke=True)`` is the CI entry point (baseline + scan mixes,
+small traces); ``main()`` runs every registered mix; ``--soak`` runs
+every mix at 10x smoke volume — the weekly long-tail hunt.
 """
 
 from __future__ import annotations
@@ -30,18 +37,21 @@ import os
 import tempfile
 import timeit
 
-from conftest import KEY_LENGTH
 from repro.core.plus import PalmtriePlus
 from repro.core.table import build_matcher
 from repro.config import EngineConfig
 from repro.engine import ClassificationEngine
 from repro.obs.timing import clamp_seconds
 from repro.resilience import FaultInjector, GuardRail, injected
-from repro.workloads.campus import campus_acl
-from repro.workloads.traffic import zipf_trace
+from repro.workloads.scenarios import get_scenario, scenario_names
 
-#: flows in the Zipf population (matches bench_engine_cache)
-FLOWS = 64
+#: the deterministic seed every mix replays from (matches bench_stream)
+SEED = 2020
+#: packets per mix in the CI smoke; --soak multiplies this by 10
+SMOKE_PACKETS = 2_000
+#: the mixes the fast CI smoke replays (control + worst attacker);
+#: full and soak runs iterate the whole registry instead
+SMOKE_MIXES = ("steady-zipf", "scan-churn")
 #: packets per lookup_batch burst during the differential replay
 BATCH = 64
 
@@ -64,14 +74,14 @@ def _mismatches(got: list[object], truth: list[object]) -> int:
     return sum(1 for a, b in zip(got, truth) if a != b)
 
 
-def _scenario_frozen_walk(acl, queries, truth):
+def _scenario_frozen_walk(entries, length, queries, truth):
     """Injected frozen-plane exceptions: degrade, open the breaker,
     never change an answer.  Returns (mismatches, fired, engine)."""
     injector = FaultInjector(seed=7)
     injector.arm("frozen_walk", rate=1.0, count=3)
     guard = GuardRail(injector=injector, backoff_seconds=60.0, max_backoff_seconds=600.0)
     engine = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        PalmtriePlus.build(entries, length, stride=8),
         EngineConfig(cache_size=0, auto_freeze=True, resilience=guard),
     )
     with injected(injector):
@@ -87,15 +97,15 @@ def _scenario_frozen_walk(acl, queries, truth):
     return _mismatches(got, truth), fired, engine
 
 
-def _scenario_cache_poison(acl, queries, truth):
+def _scenario_cache_poison(entries, length, queries, truth):
     """Poisoned flow-cache rows: shadow verification (sample 1.0) must
     catch and repair every wrong cached verdict."""
     injector = FaultInjector(seed=13)
     injector.arm("cache", rate=0.5)
     guard = GuardRail(shadow_sample=1.0, injector=injector)
     engine = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-        EngineConfig(cache_size=4 * FLOWS, resilience=guard),
+        PalmtriePlus.build(entries, length, stride=8),
+        EngineConfig(cache_size=256, resilience=guard),
     )
     got = _verdicts(engine, queries)
     fired = injector.fired["cache"]
@@ -104,12 +114,12 @@ def _scenario_cache_poison(acl, queries, truth):
     return _mismatches(got, truth), fired, engine
 
 
-def _scenario_checkpoint_corrupt(acl, queries, truth):
+def _scenario_checkpoint_corrupt(entries, length, queries, truth):
     """Bit-flipped checkpoint: recovery must reject it (sha-256) and
     rebuild the policy from ACL source, then serve correct answers."""
     injector = FaultInjector(seed=11)
     source = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8)
+        PalmtriePlus.build(entries, length, stride=8)
     )
     handle, path = tempfile.mkstemp(suffix=".plmc")
     os.close(handle)
@@ -121,7 +131,7 @@ def _scenario_checkpoint_corrupt(acl, queries, truth):
             writer.write(injector.corrupt(blob, flips=4))
         engine = ClassificationEngine.from_checkpoint(
             path,
-            rebuild=lambda: PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+            rebuild=lambda: PalmtriePlus.build(entries, length, stride=8),
         )
     finally:
         os.unlink(path)
@@ -131,7 +141,7 @@ def _scenario_checkpoint_corrupt(acl, queries, truth):
     return _mismatches(got, truth), 1, engine
 
 
-def _scenario_update_fault(acl, queries, truth):
+def _scenario_update_fault(entries, length, queries, truth):
     """A raise mid-transaction: apply_updates must surface the error in
     its report and leave the engine serving the pre-transaction policy."""
     from repro.core.table import TernaryEntry
@@ -141,12 +151,12 @@ def _scenario_update_fault(acl, queries, truth):
     injector.arm("update", rate=1.0, count=1)
     guard = GuardRail(injector=injector)
     engine = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
-        EngineConfig(cache_size=4 * FLOWS, resilience=guard),
+        PalmtriePlus.build(entries, length, stride=8),
+        EngineConfig(cache_size=256, resilience=guard),
     )
     engine.lookup_batch(queries[: 4 * BATCH])  # warm the cache pre-fault
     canary = TernaryEntry(
-        key=TernaryKey.exact(queries[0], KEY_LENGTH), value=-1, priority=-1
+        key=TernaryKey.exact(queries[0], length), value=-1, priority=-1
     )
     report = engine.apply_updates([("insert", canary)])
     if report.error is None or injector.fired["update"] != 1:
@@ -155,7 +165,7 @@ def _scenario_update_fault(acl, queries, truth):
     return _mismatches(got, truth), 1, engine
 
 
-def _degraded_rate_ratio(acl, queries, rounds: int = 5) -> float:
+def _degraded_rate_ratio(entries, length, queries, rounds: int = 5) -> float:
     """Degraded-over-baseline batched rate.
 
     Baseline is an unguarded engine on the interpreted matcher; the
@@ -165,13 +175,13 @@ def _degraded_rate_ratio(acl, queries, rounds: int = 5) -> float:
     ``bench_engine_cache._metrics_overhead_ratio``.
     """
     baseline = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8), EngineConfig(cache_size=0)
+        PalmtriePlus.build(entries, length, stride=8), EngineConfig(cache_size=0)
     )
     injector = FaultInjector(seed=7)
     injector.arm("frozen_walk", rate=1.0, count=3)
     guard = GuardRail(injector=injector, backoff_seconds=300.0, max_backoff_seconds=600.0)
     degraded = ClassificationEngine(
-        PalmtriePlus.build(acl.entries, KEY_LENGTH, stride=8),
+        PalmtriePlus.build(entries, length, stride=8),
         EngineConfig(cache_size=0, auto_freeze=True, resilience=guard),
     )
     with injected(injector):
@@ -191,7 +201,7 @@ def _degraded_rate_ratio(acl, queries, rounds: int = 5) -> float:
     return clamp_seconds(best_baseline) / clamp_seconds(best_degraded)
 
 
-SCENARIOS = (
+FAULT_CLASSES = (
     ("frozen-walk", _scenario_frozen_walk),
     ("cache-poison", _scenario_cache_poison),
     ("checkpoint-corrupt", _scenario_checkpoint_corrupt),
@@ -199,41 +209,59 @@ SCENARIOS = (
 )
 
 
-def main(smoke: bool = False) -> dict[str, float]:
-    """Run every fault class; returns the smoke-ratio metrics for the
-    unified ``benchmarks/run_smokes.py`` perf trajectory."""
+def _mix_traffic(name: str, packets: int, seed: int = SEED):
+    """A registry mix materialised for the chaos plane.
+
+    Returns ``(entries, length, queries)`` — the mix's rule set and its
+    flat packet trace.  Churn stays off here: ground truth is computed
+    once against a static policy (the update-fault class exercises the
+    transaction path on its own terms).
+    """
+    scenario = get_scenario(name)
+    compiled = scenario.compile(seed)
+    queries = [q for burst in scenario.bursts(compiled, packets, seed) for q in burst]
+    return compiled.entries, compiled.layout.length, queries
+
+
+def main(smoke: bool = False, soak: bool = False) -> dict[str, float]:
+    """Every fault class against every selected registry mix; returns
+    the smoke-ratio metrics for the ``run_smokes.py`` perf trajectory."""
     from repro.bench.report import Table
 
-    acl = campus_acl(2 if smoke else 4)
-    count = 4_000 if smoke else 10_000
-    queries = zipf_trace(acl.entries, count, flows=FLOWS)
-    reference = build_matcher("sorted-list", acl.entries, KEY_LENGTH)
-    truth = [_priority(reference.lookup(q)) for q in queries]
+    mixes = SMOKE_MIXES if (smoke and not soak) else tuple(scenario_names())
+    packets = SMOKE_PACKETS * (10 if soak else 1)
 
     table = Table(
-        f"chaos differential ({count} packets vs linear-scan reference)",
-        ["fault class", "fired", "mismatches", "health", "serving plane"],
+        f"chaos differential ({packets} packets/mix vs linear-scan reference)",
+        ["traffic mix", "fault class", "fired", "mismatches", "health", "serving plane"],
     )
     total_mismatches = 0
-    for name, scenario in SCENARIOS:
-        mismatches, fired, engine = scenario(acl, queries, truth)
-        total_mismatches += mismatches
-        guard = engine.resilience
-        table.add_row(
-            name,
-            str(fired),
-            str(mismatches),
-            engine.health,
-            (guard.last_plane if guard is not None else None) or "matcher",
-        )
+    for mix in mixes:
+        entries, length, queries = _mix_traffic(mix, packets)
+        reference = build_matcher("sorted-list", entries, length)
+        truth = [_priority(reference.lookup(q)) for q in queries]
+        for name, fault_class in FAULT_CLASSES:
+            mismatches, fired, engine = fault_class(entries, length, queries, truth)
+            total_mismatches += mismatches
+            guard = engine.resilience
+            table.add_row(
+                mix,
+                name,
+                str(fired),
+                str(mismatches),
+                engine.health,
+                (guard.last_plane if guard is not None else None) or "matcher",
+            )
     print(table.render())
     if total_mismatches:
         raise SystemExit(
             f"chaos differential FAILED: {total_mismatches} wrong answers "
-            f"across {len(SCENARIOS)} fault classes (must be 0)"
+            f"across {len(FAULT_CLASSES)} fault classes x {len(mixes)} mixes "
+            f"(must be 0)"
         )
 
-    ratio = _degraded_rate_ratio(acl, queries[: 2_000 if smoke else len(queries)])
+    entries, length, queries = _mix_traffic("steady-zipf", packets)
+    ratio = _degraded_rate_ratio(entries, length, queries[:2_000] if smoke else queries)
     metrics = {"chaos_degraded_rate_ratio": ratio}
     if ratio < 0.5:
         raise SystemExit(
@@ -241,7 +269,8 @@ def main(smoke: bool = False) -> dict[str, float]:
             f"{ratio:.3f}x the unguarded baseline (floor 0.5x)"
         )
     print(
-        f"chaos smoke: 0 wrong answers across {len(SCENARIOS)} fault classes; "
+        f"chaos: 0 wrong answers, {len(FAULT_CLASSES)} fault classes x "
+        f"{len(mixes)} traffic mixes ({packets} packets each); "
         f"degraded rate {ratio:.3f}x baseline (floor 0.5x)"
     )
     return metrics
@@ -250,4 +279,4 @@ def main(smoke: bool = False) -> dict[str, float]:
 if __name__ == "__main__":
     import sys
 
-    main(smoke="--smoke" in sys.argv)
+    main(smoke="--smoke" in sys.argv, soak="--soak" in sys.argv)

@@ -3,7 +3,7 @@
 Runs every benchmark smoke in one process (``bench_engine_cache``,
 ``bench_frozen``, ``bench_updates``, ``bench_chaos``,
 ``bench_shards``, ``bench_ipv6_keylen``, ``bench_adaptive``,
-``bench_learned``),
+``bench_learned``, ``bench_stream``),
 collects the headline ratios each
 ``main(smoke=True)`` returns, and writes them as a *trajectory*: one
 record per metric, stamped with the current commit SHA and a UTC
@@ -15,6 +15,15 @@ committed ``benchmarks/BENCH_baseline.json`` and fails when any smoke
 ratio degrades by more than ``--tolerance`` (default 20 %).  All
 tracked metrics are higher-is-better speedup/overhead ratios, so the
 check is one-sided: ``fresh >= baseline * (1 - tolerance)``.
+
+``--scenarios`` switches to the attack-scenario matrix: every
+registered scenario streams through its own pipeline profile
+(``bench_stream.scenario_matrix``), the rows land in
+``BENCH_scenarios.json``, and with ``--gate`` each scenario's
+``p999_us`` must stay within +20 % of the committed ``scenarios``
+section of the baseline while its deterministic ``shed_rate`` may
+drift at most +0.02 absolute.  ``--summary-out`` appends a markdown
+table (aimed at ``$GITHUB_STEP_SUMMARY``) in either mode.
 
 Re-baselining (after a deliberate trade-off or a hardware change on
 the runners): run ``python benchmarks/run_smokes.py --rebaseline`` on
@@ -36,7 +45,12 @@ HERE = Path(__file__).resolve().parent
 TRAJECTORY_SCHEMA = "palmtrie-repro/bench-trajectory/v1"
 BASELINE_PATH = HERE / "BENCH_baseline.json"
 DEFAULT_OUT = HERE.parent / "BENCH_trajectory.json"
+DEFAULT_SCENARIOS_OUT = HERE.parent / "BENCH_scenarios.json"
 DEFAULT_TOLERANCE = 0.20
+#: p999-under-attack may inflate at most this much over its baseline
+P999_HEADROOM = 0.20
+#: shed rate is seeded arithmetic, not timing — tiny absolute headroom
+SHED_HEADROOM = 0.02
 
 #: module name -> human label, in run order (cheapest first)
 SMOKES = (
@@ -48,6 +62,7 @@ SMOKES = (
     ("bench_ipv6_keylen", "IPv6 long-key plane"),
     ("bench_adaptive", "adaptive frozen-plane layer"),
     ("bench_learned", "learned RQ-RMI matcher tier"),
+    ("bench_stream", "streaming data plane"),
 )
 
 
@@ -149,6 +164,97 @@ def check_trajectory(
     return failures
 
 
+def run_scenario_matrix() -> dict[str, dict]:
+    """Stream every registered scenario; returns {name: matrix row}."""
+    sys.path.insert(0, str(HERE))
+    try:
+        import bench_stream
+
+        return bench_stream.scenario_matrix(smoke=True)
+    finally:
+        sys.path.remove(str(HERE))
+
+
+def check_scenarios(
+    fresh: dict[str, dict],
+    baseline: dict[str, dict],
+    p999_headroom: float = P999_HEADROOM,
+    shed_headroom: float = SHED_HEADROOM,
+) -> list[str]:
+    """Gate the scenario matrix against the baseline; returns failures.
+
+    ``p999_us`` is wall-clock and gets multiplicative headroom;
+    ``shed_rate`` is deterministic burst arithmetic and gets only a
+    small absolute allowance (it moves when the scenario or pipeline
+    profile changes, which should show up in the baseline diff).
+    """
+    failures = []
+    for name, expected in sorted(baseline.items()):
+        row = fresh.get(name)
+        if row is None:
+            failures.append(f"{name}: missing from the fresh matrix")
+            continue
+        p999_ceiling = expected["p999_us"] * (1.0 + p999_headroom)
+        if row["p999_us"] > p999_ceiling:
+            failures.append(
+                f"{name}: p999_under_attack {row['p999_us']:.0f} us > "
+                f"{p999_ceiling:.0f} us (baseline {expected['p999_us']:.0f} us "
+                f"+ {p999_headroom:.0%} headroom)"
+            )
+        shed_ceiling = expected["shed_rate"] + shed_headroom
+        if row["shed_rate"] > shed_ceiling:
+            failures.append(
+                f"{name}: shed_rate {row['shed_rate']:.4f} > "
+                f"{shed_ceiling:.4f} (baseline {expected['shed_rate']:.4f} "
+                f"+ {shed_headroom} headroom)"
+            )
+    return failures
+
+
+def scenarios_markdown(fresh: dict[str, dict]) -> str:
+    """The scenario matrix as a GitHub-flavoured markdown table."""
+    lines = [
+        "### Attack scenario matrix",
+        "",
+        "| scenario | attack | packets | shed rate | churn tx | p50 | p999 | served/s |",
+        "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: |",
+    ]
+    for name in sorted(fresh):
+        row = fresh[name]
+        lines.append(
+            f"| {name} | {'yes' if row['attack'] else 'no'} "
+            f"| {row['packets']} "
+            f"| {100 * row['shed_rate']:.1f} % "
+            f"| {row['churn_transactions']} "
+            f"| {row['p50_us']:,.0f} us "
+            f"| {row['p999_us']:,.0f} us "
+            f"| {row['queries_per_second']:,.0f} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_markdown(metrics: dict[str, float], baseline: dict[str, float]) -> str:
+    """The smoke ratios as a markdown table (with baseline context)."""
+    lines = [
+        "### Benchmark smoke ratios",
+        "",
+        "| metric | fresh | baseline floor |",
+        "| --- | ---: | ---: |",
+    ]
+    for name in sorted(metrics):
+        floor = baseline.get(name)
+        floor_cell = f"{floor:.3f}" if floor is not None else "(unbaselined)"
+        lines.append(f"| {name} | {metrics[name]:.3f} | {floor_cell} |")
+    return "\n".join(lines) + "\n"
+
+
+def _append_summary(path: Path, text: str) -> None:
+    """Append markdown to ``path`` ($GITHUB_STEP_SUMMARY semantics)."""
+    with open(path, "a") as handle:
+        handle.write(text)
+        handle.write("\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run all benchmark smokes; write and gate the perf trajectory"
@@ -187,7 +293,87 @@ def main(argv: list[str] | None = None) -> int:
         help="gate the trajectory already written at --out instead of re-running "
         "the smokes (implies --gate)",
     )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="run the attack-scenario matrix instead of the smokes; with "
+        "--gate, enforce p999/shed ceilings from the baseline's scenarios "
+        "section",
+    )
+    parser.add_argument(
+        "--scenarios-out",
+        type=Path,
+        default=DEFAULT_SCENARIOS_OUT,
+        help=f"scenario matrix output path (default {DEFAULT_SCENARIOS_OUT})",
+    )
+    parser.add_argument(
+        "--summary-out",
+        type=Path,
+        default=None,
+        help="append a markdown results table to this file "
+        "(point it at $GITHUB_STEP_SUMMARY in CI)",
+    )
     args = parser.parse_args(argv)
+
+    if args.scenarios:
+        rows = run_scenario_matrix()
+        document = {
+            "schema": "palmtrie-repro/bench-scenarios/v1",
+            "commit": _git_commit(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "scenarios": rows,
+        }
+        args.scenarios_out.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.scenarios_out} ({len(rows)} scenarios)")
+        if args.summary_out is not None:
+            _append_summary(args.summary_out, scenarios_markdown(rows))
+        if args.rebaseline:
+            baseline_doc = (
+                json.loads(args.baseline.read_text())
+                if args.baseline.exists()
+                else {}
+            )
+            baseline_doc["scenarios"] = {
+                name: {
+                    "p999_us": row["p999_us"],
+                    "shed_rate": row["shed_rate"],
+                }
+                for name, row in rows.items()
+            }
+            args.baseline.write_text(
+                json.dumps(baseline_doc, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"rebaselined scenarios section of {args.baseline}")
+            return 0
+        if args.gate:
+            if not args.baseline.exists():
+                print(f"gate: no baseline at {args.baseline}", file=sys.stderr)
+                return 2
+            baseline = json.loads(args.baseline.read_text()).get("scenarios", {})
+            if not baseline:
+                print(
+                    f"gate: no scenarios section in {args.baseline}",
+                    file=sys.stderr,
+                )
+                return 2
+            failures = check_scenarios(rows, baseline)
+            if failures:
+                print("scenario matrix gate FAILED:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                print(
+                    "(deliberate change? rerun with --scenarios --rebaseline "
+                    "on a quiet machine and commit the new baseline)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"scenario matrix gate passed: {len(baseline)} scenarios "
+                f"within p999 +{P999_HEADROOM:.0%} / shed +{SHED_HEADROOM}"
+            )
+        return 0
 
     if args.check:
         if not args.out.exists():
@@ -201,11 +387,25 @@ def main(argv: list[str] | None = None) -> int:
         args.out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out} ({len(metrics)} metrics @ {trajectory['commit'][:12]})")
 
-    if args.rebaseline:
-        args.baseline.write_text(
-            json.dumps({"metrics": metrics}, indent=2, sort_keys=True) + "\n"
+    if args.summary_out is not None:
+        known = (
+            json.loads(args.baseline.read_text()).get("metrics", {})
+            if args.baseline.exists()
+            else {}
         )
-        print(f"rebaselined {args.baseline}")
+        _append_summary(args.summary_out, metrics_markdown(metrics, known))
+
+    if args.rebaseline:
+        # Update only the metrics section: the scenarios ceilings (and
+        # the note) re-baseline separately via --scenarios --rebaseline.
+        baseline_doc = (
+            json.loads(args.baseline.read_text()) if args.baseline.exists() else {}
+        )
+        baseline_doc["metrics"] = metrics
+        args.baseline.write_text(
+            json.dumps(baseline_doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"rebaselined metrics section of {args.baseline}")
         return 0
 
     if args.gate:

@@ -27,7 +27,13 @@ Subcommands:
     ``.plm``/``.plmf`` policy) and report verdicts and the sustained
     lookup rate; ``--metrics-out`` writes a JSON metrics snapshot of
     the run; ``--shards N`` fans the replay across N worker processes
-    sharing one shared-memory plane.
+    sharing one shared-memory plane; ``--stream`` serves through the
+    bounded-queue pipeline (``--policy``/``--max-inflight``), and
+    ``--scenario NAME`` replays a registered attack scenario with its
+    rule churn from a seed.
+
+``scenarios``
+    List the registered traffic scenarios (`replay --scenario`).
 
 ``metrics``
     Replay a trace with metrics enabled and dump (or serve, one-shot)
@@ -477,6 +483,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.shards < 0:
         print("error: --shards must be >= 0 (0 serves in-process)", file=sys.stderr)
         return 2
+    if args.max_inflight < 1:
+        print("error: --max-inflight must be >= 1", file=sys.stderr)
+        return 2
     config = EngineConfig(
         matcher=args.matcher,
         stride=args.stride,
@@ -485,6 +494,23 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         metrics=bool(args.metrics_out),
         shards=args.shards,
     )
+    if args.scenario is not None:
+        # A named scenario brings its own rules and traffic; the
+        # positional acl/input are not needed (and not consulted).
+        if args.acl is not None or args.input is not None:
+            print(
+                "error: --scenario generates its own rules and traffic; "
+                "drop the acl/input arguments",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_scenario_replay(args, config)
+    if args.acl is None or args.input is None:
+        print(
+            "error: replay needs an acl and an input file (or --scenario NAME)",
+            file=sys.stderr,
+        )
+        return 2
     magic = _sniff_magic(args.acl)
     if magic is not None:
         # A compiled .plm/.plmf policy: replay it directly (corrupt
@@ -510,6 +536,114 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         close = getattr(engine, "close", None)
         if close is not None:
             close()
+
+
+def _count_stream_verdicts(verdicts, compiled) -> dict[str, int]:
+    """Verdict breakdown of a streamed run.  Dropped packets got no
+    answer at all; shed packets were answered with the fail-closed
+    implicit deny without consulting the matcher."""
+    from .stream import DROPPED
+
+    if compiled is not None:
+        counts = {"permit": 0, "deny": 0, "implicit-deny": 0, "dropped": 0}
+    else:
+        counts = {"match": 0, "implicit-deny": 0, "dropped": 0}
+    for entry in verdicts:
+        if entry is DROPPED:
+            counts["dropped"] += 1
+        elif entry is None or entry.value == -1 or (
+            compiled is not None and not 0 <= entry.value < len(compiled.rules)
+        ):
+            # canary rules (value -1) and scenario churn entries carry
+            # no rule row; both fail closed
+            counts["implicit-deny"] += 1
+        elif compiled is None:
+            counts["match"] += 1
+        else:
+            counts[compiled.rules[entry.value].action.value] += 1
+    return counts
+
+
+def _print_stream_summary(args, engine, report, counts) -> None:
+    from .obs.timing import safe_rate
+
+    total = report.offered
+    print(
+        f"streamed {total} packets through {engine.name} in {report.seconds:.2f} s "
+        f"({safe_rate(report.served, report.seconds):,.0f} served/s, "
+        f"policy {report.policy}, max_inflight {args.max_inflight})"
+    )
+    for verdict, count in counts.items():
+        print(f"  {verdict:14} {count:8}  ({100 * count / total:.1f} %)")
+    print(
+        f"  backpressure   {report.admitted} admitted, {report.dropped} dropped "
+        f"({100 * report.drop_rate:.1f} %), {report.shed} shed "
+        f"({100 * report.shed_rate:.1f} %), {report.blocked_events} blocked events, "
+        f"backlog peak {report.max_backlog}"
+    )
+    if report.churn_transactions:
+        print(f"  churn          {report.churn_transactions} update transactions")
+    latency = report.latency
+    if latency is not None:
+        print(
+            f"  latency        p50 {latency['p50'] * 1e6:,.0f} us, "
+            f"p99 {latency['p99'] * 1e6:,.0f} us, "
+            f"p999 {latency['p999'] * 1e6:,.0f} us (admission to verdict)"
+        )
+    engine_report = engine.report()
+    print(
+        f"  flow cache     {engine_report['cache_entries']}/{engine_report['cache_size']} "
+        f"entries, {100 * engine_report['cache_hit_ratio']:.1f} % hits"
+    )
+    if args.metrics_out:
+        from .obs.export import write_snapshot
+
+        registry = engine.metrics
+        if registry is not None:
+            write_snapshot(registry, args.metrics_out)
+            print(f"  metrics        snapshot written to {args.metrics_out}")
+
+
+def _run_scenario_replay(args, config) -> int:
+    from .core.table import build_matcher
+    from .engine import ClassificationEngine
+    from .stream import ScenarioSource, StreamPipeline
+    from .workloads.scenarios import churn_applier, get_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    source = ScenarioSource(scenario, seed=args.seed, packets=args.packets)
+    compiled_scenario = source.compiled
+    matcher = build_matcher(
+        config, compiled_scenario.entries, compiled_scenario.layout.length
+    )
+    engine = ClassificationEngine.from_config(matcher, config)
+    try:
+        pipeline = StreamPipeline(
+            engine,
+            policy=args.policy,
+            max_inflight=args.max_inflight,
+            batch_max=max(1, args.batch_size),
+            service_quantum=scenario.service_quantum if args.policy != "block" else None,
+        )
+        print(
+            f"scenario {scenario.name} (seed {args.seed}): {scenario.summary}"
+        )
+        report = pipeline.run(
+            source,
+            collect_verdicts=True,
+            on_burst=churn_applier(source, engine),
+        )
+        counts = _count_stream_verdicts(report.verdicts, compiled_scenario.acl)
+        _print_stream_summary(args, engine, report, counts)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    return 0
 
 
 def _run_replay(args, engine, compiled, layout, key_length) -> int:
@@ -553,6 +687,39 @@ def _run_replay(args, engine, compiled, layout, key_length) -> int:
         ops.extend(("delete", key) for key in previous_canaries)
         engine.apply_updates(ops)
         previous_canaries = canaries
+
+    if args.stream:
+        from .stream import StreamPipeline, TraceSource
+
+        batch = max(1, args.batch_size)
+        source = TraceSource(queries, key_length, burst_size=batch)
+        pipeline = StreamPipeline(
+            engine,
+            policy=args.policy,
+            max_inflight=args.max_inflight,
+            batch_max=batch,
+        )
+
+        def on_burst(index: int):
+            _churn(queries[index * batch : (index + 1) * batch])
+            return True
+
+        try:
+            report = pipeline.run(
+                source,
+                collect_verdicts=True,
+                on_burst=on_burst if args.update_rate else None,
+            )
+        except NotImplementedError:
+            print(
+                f"error: matcher {args.matcher!r} does not support "
+                "incremental updates; --update-rate needs an updatable kind",
+                file=sys.stderr,
+            )
+            return 2
+        counts = _count_stream_verdicts(report.verdicts, compiled)
+        _print_stream_summary(args, engine, report, counts)
+        return 0
 
     # With a compiled ACL, entry values map to rules and their actions;
     # a binary policy carries values but no rule table, so verdicts
@@ -852,6 +1019,26 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.semantically_equivalent else 1
 
 
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from .workloads.scenarios import all_scenarios
+
+    scenarios = all_scenarios()
+    width = max(len(s.name) for s in scenarios)
+    for scenario in scenarios:
+        traits = []
+        if scenario.attack:
+            traits.append("attack")
+        if scenario.churn is not None:
+            traits.append("churn")
+        suffix = f"  [{', '.join(traits)}]" if traits else ""
+        print(f"{scenario.name:{width}}  {scenario.summary}{suffix}")
+    print(
+        f"\n{len(scenarios)} scenarios; replay one with "
+        "`palmtrie-repro replay --scenario NAME [--seed N --packets N]`"
+    )
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     from .workloads.campus import ENTRIES_PER_PREFIX, RULES_PER_PREFIX
 
@@ -962,8 +1149,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_replay = sub.add_parser("replay", help="replay a .trace or .pcap through an ACL")
-    p_replay.add_argument("acl", help="ACL file in the Table 2 dialect")
-    p_replay.add_argument("input", help="a .trace (palmtrie-repro generate) or .pcap file")
+    p_replay.add_argument(
+        "acl", nargs="?", default=None,
+        help="ACL file in the Table 2 dialect (omit with --scenario)",
+    )
+    p_replay.add_argument(
+        "input", nargs="?", default=None,
+        help="a .trace (palmtrie-repro generate) or .pcap file (omit with --scenario)",
+    )
     from .core.table import matcher_kinds
 
     p_replay.add_argument(
@@ -1002,7 +1195,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON metrics snapshot of the run to PATH "
              "(enables the engine's metrics registry)",
     )
+    p_replay.add_argument(
+        "--stream", action="store_true",
+        help="serve through the bounded-queue StreamPipeline (burst "
+             "admission, backpressure, per-flow latency histograms) "
+             "instead of flat batch replay",
+    )
+    p_replay.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="replay a named scenario from the registry instead of an "
+             "acl/input pair (implies --stream; `palmtrie-repro scenarios` "
+             "lists the names)",
+    )
+    p_replay.add_argument(
+        "--policy", choices=("block", "drop", "shed"), default="block",
+        help="what an arrival that finds the queue full gets: block "
+             "(backpressure, nothing lost), drop (tail drop), or shed "
+             "(immediate fail-closed deny)",
+    )
+    p_replay.add_argument(
+        "--max-inflight", type=int, default=1024,
+        help="streaming admission-queue capacity in packets",
+    )
+    p_replay.add_argument(
+        "--seed", type=int, default=2020,
+        help="scenario replay seed (same seed => identical packets and churn)",
+    )
+    p_replay.add_argument(
+        "--packets", type=int, default=10_000,
+        help="packets to synthesize when replaying --scenario",
+    )
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="list the registered traffic scenarios (replay --scenario NAME)",
+    )
+    p_scen.set_defaults(func=_cmd_scenarios)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -581,7 +581,9 @@ class ClassificationEngine:
         self.last_update: Optional[UpdateReport] = None
         self.freeze_seconds_total = 0.0
         self._instruments: Optional[_EngineInstruments] = None
-        if metrics:
+        # `metrics is not False/None`, not truthiness: an empty shared
+        # MetricsRegistry has len() == 0 and would read as "off".
+        if metrics is not None and metrics is not False:
             self.enable_metrics(metrics if isinstance(metrics, MetricsRegistry) else None)
 
     @classmethod
@@ -1329,6 +1331,9 @@ class ClassificationEngine:
         latency = self.latency_summary()
         if latency is not None:
             summary["latency"] = latency
+        pipeline = getattr(self, "stream_pipeline", None)
+        if pipeline is not None:
+            summary["stream"] = pipeline.report()
         return summary
 
     def reset_stats(self) -> None:

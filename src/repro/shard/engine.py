@@ -654,6 +654,9 @@ class ShardedEngine:
             "sharded_batches": self.sharded_batches,
             "workers": self.worker_reports(),
         }
+        pipeline = getattr(self, "stream_pipeline", None)
+        if pipeline is not None:
+            summary["stream"] = pipeline.report()
         return summary
 
     # -- lifecycle --------------------------------------------------------

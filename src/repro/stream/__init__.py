@@ -1,0 +1,27 @@
+"""Streaming data plane: traffic sources, bounded-queue pipeline,
+backpressure policies, and in-hot-path per-flow latency histograms.
+
+See docs/streaming.md for the tour.
+"""
+
+from .pipeline import DROPPED, POLICIES, StreamPipeline, StreamReport, batch_replay
+from .source import (
+    PcapSource,
+    RateShapedSource,
+    ScenarioSource,
+    TraceSource,
+    TrafficSource,
+)
+
+__all__ = [
+    "DROPPED",
+    "POLICIES",
+    "StreamPipeline",
+    "StreamReport",
+    "batch_replay",
+    "TrafficSource",
+    "TraceSource",
+    "PcapSource",
+    "ScenarioSource",
+    "RateShapedSource",
+]

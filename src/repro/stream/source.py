@@ -1,0 +1,214 @@
+"""Traffic sources: where a streaming data plane's packets come from.
+
+The batch-replay layer built in PRs 1-8 hands the engine a finished
+list of queries; live traffic does not arrive that way.  A
+:class:`TrafficSource` models arrival structure explicitly: packets
+come in *bursts* — groups that hit the NIC back-to-back within one
+arrival interval — and the :class:`~repro.stream.pipeline.StreamPipeline`
+admits each burst against its bounded in-flight queue before any of the
+next burst exists.  Everything downstream (backpressure, shed/drop
+accounting, queue-wait latency) is defined in terms of these bursts,
+which keeps the counters exactly reproducible from a seed: overflow is
+arithmetic over burst sizes and queue capacity, never a race.
+
+Concrete sources:
+
+* :class:`TraceSource` — a flat query list (a ``.trace`` file, a
+  generated workload) chopped into fixed-size bursts;
+* :class:`PcapSource` — packets pulled from a classic pcap file
+  through :func:`repro.packet.pcap.read_pcap`, decoded lazily and
+  grouped by capture timestamp; undecodable packets are counted, not
+  raised, matching the fail-open posture of a monitoring tap;
+* :class:`ScenarioSource` — the bursts (and churn schedule) of a named
+  scenario from :mod:`repro.workloads.scenarios`;
+* :class:`RateShapedSource` — a wrapper that re-shapes any source to a
+  fixed offered rate (packets per arrival interval), the knob attack
+  scenarios turn to overdrive a pipeline.
+
+Sources are plain single-pass iterables of bursts; ``iter(source)``
+yields the flattened per-packet stream for batch replay and
+differential gates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+__all__ = [
+    "TrafficSource",
+    "TraceSource",
+    "PcapSource",
+    "ScenarioSource",
+    "RateShapedSource",
+]
+
+
+class TrafficSource:
+    """One stream of packets, structured as arrival bursts.
+
+    Subclasses implement :meth:`bursts`, yielding sequences of packed
+    query integers — one sequence per arrival interval.  ``key_length``
+    names the bit width the queries were packed at (the pipeline checks
+    it against the engine's policy).  A source is single-pass unless
+    documented otherwise; replaying a scenario deterministically means
+    constructing a fresh source from the same seed, not re-iterating a
+    spent one.
+    """
+
+    #: key width in bits of the queries this source yields
+    key_length: int = 0
+
+    def bursts(self) -> Iterator[Sequence[int]]:
+        """Yield one sequence of queries per arrival interval."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[int]:
+        """The flattened packet stream, burst structure erased."""
+        for burst in self.bursts():
+            yield from burst
+
+
+class TraceSource(TrafficSource):
+    """A flat query list chopped into fixed-size arrival bursts.
+
+    The reusable adapter between the batch world and the stream world:
+    any generated workload (``zipf_trace``, ``reverse_byte_scan``, a
+    loaded ``.trace``) becomes a stream by declaring how many packets
+    arrive per interval.  Iterating is repeatable — the underlying
+    list is held, not consumed.
+    """
+
+    def __init__(
+        self, queries: Sequence[int], key_length: int, burst_size: int = 64
+    ) -> None:
+        if burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+        self.queries = queries
+        self.key_length = key_length
+        self.burst_size = burst_size
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def bursts(self) -> Iterator[Sequence[int]]:
+        queries = self.queries
+        size = self.burst_size
+        for offset in range(0, len(queries), size):
+            yield queries[offset : offset + size]
+
+
+class PcapSource(TrafficSource):
+    """Packets pulled lazily from a classic pcap capture.
+
+    Packets are decoded to queries with
+    :func:`repro.packet.codec.decode_packet` under ``layout`` and
+    grouped into one burst per distinct capture timestamp (captures
+    quantise timestamps to the NIC's clock, so same-stamp packets are
+    exactly the back-to-back arrivals a burst models); ``burst_max``
+    bounds the group so a degenerate capture cannot form one giant
+    burst.  Undecodable packets increment :attr:`decode_errors` and are
+    skipped — a tap keeps listening past a mangled frame.  Single-pass:
+    the file is read as the pipeline pulls.
+    """
+
+    def __init__(self, path: str, layout: Any, burst_max: int = 256) -> None:
+        if burst_max < 1:
+            raise ValueError(f"burst_max must be >= 1, got {burst_max}")
+        self.path = path
+        self.layout = layout
+        self.burst_max = burst_max
+        self.key_length = layout.length
+        self.decode_errors = 0
+
+    def bursts(self) -> Iterator[Sequence[int]]:
+        from ..packet.codec import PacketDecodeError, decode_packet
+        from ..packet.pcap import read_pcap
+
+        layout = self.layout
+        burst: list[int] = []
+        stamp: Optional[float] = None
+        for packet in read_pcap(self.path):
+            try:
+                query = decode_packet(packet.data).to_query(layout)
+            except PacketDecodeError:
+                self.decode_errors += 1
+                continue
+            if burst and (packet.timestamp != stamp or len(burst) >= self.burst_max):
+                yield burst
+                burst = []
+            stamp = packet.timestamp
+            burst.append(query)
+        if burst:
+            yield burst
+
+
+class ScenarioSource(TrafficSource):
+    """The traffic of a named scenario from the workload registry.
+
+    Bursts are materialised deterministically from ``seed`` at
+    construction (the registry's contract: same seed, same bursts), so
+    the source is repeatable and exposes the scenario's churn schedule
+    alongside — ``churn_ops(i)`` is the update transaction to apply
+    before admitting burst ``i``, the piece a streaming replay and a
+    batch replay must share for their verdicts to be comparable.
+    """
+
+    def __init__(self, scenario: Any, seed: int = 2020, packets: int = 10_000) -> None:
+        from ..workloads.scenarios import get_scenario
+
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        self.scenario = scenario
+        self.seed = seed
+        self.compiled = scenario.compile(seed)
+        self.key_length = self.compiled.layout.length
+        self._bursts = scenario.bursts(self.compiled, packets, seed)
+        self._churn = scenario.churn_schedule(self.compiled, len(self._bursts), seed)
+
+    def __len__(self) -> int:
+        return sum(len(burst) for burst in self._bursts)
+
+    def bursts(self) -> Iterator[Sequence[int]]:
+        return iter(self._bursts)
+
+    def churn_ops(self, burst_index: int) -> Optional[list]:
+        """The scenario's update ops due before burst ``burst_index``."""
+        return self._churn.get(burst_index)
+
+
+class RateShapedSource(TrafficSource):
+    """Re-shape any source (or flat iterable) to a fixed offered rate.
+
+    Erases the inner burst structure and re-groups the packet stream
+    into bursts of exactly ``rate`` packets per arrival interval — the
+    overdrive knob: shaping a 64-per-burst trace to ``rate=512``
+    against a pipeline that drains 256 per interval is how an attack
+    scenario forces the backpressure policy to engage, deterministically.
+    """
+
+    def __init__(
+        self,
+        inner: Union["TrafficSource", Iterable[int]],
+        rate: int = 64,
+        key_length: Optional[int] = None,
+    ) -> None:
+        if rate < 1:
+            raise ValueError(f"rate must be >= 1, got {rate}")
+        self.inner = inner
+        self.rate = rate
+        inferred = getattr(inner, "key_length", None)
+        if key_length is None:
+            if not inferred:
+                raise ValueError("key_length required when the inner source has none")
+            key_length = inferred
+        self.key_length = key_length
+
+    def bursts(self) -> Iterator[Sequence[int]]:
+        burst: list[int] = []
+        for query in self.inner:
+            burst.append(query)
+            if len(burst) == self.rate:
+                yield burst
+                burst = []
+        if burst:
+            yield burst

@@ -3,10 +3,21 @@
 from .campus import campus_acl, campus_rules
 from .classbench import ACL_SEED, FW_SEED, IPC_SEED, PROFILES, classbench_acl, classbench_rules
 from .io import load_acl, load_trace, save_acl, save_trace
+from .scenarios import (
+    CompiledScenario,
+    Scenario,
+    all_scenarios,
+    churn_applier,
+    get_scenario,
+    register,
+    scenario_names,
+)
 from .traffic import (
+    flash_crowd_trace,
     pareto_trace,
     query_matching_entry,
     reverse_byte_scan,
+    tunnel_mix_trace,
     uniform_traffic,
     zipf_trace,
 )
@@ -16,17 +27,26 @@ __all__ = [
     "FW_SEED",
     "IPC_SEED",
     "PROFILES",
+    "CompiledScenario",
+    "Scenario",
+    "all_scenarios",
     "campus_acl",
     "campus_rules",
+    "churn_applier",
     "classbench_acl",
     "classbench_rules",
+    "flash_crowd_trace",
+    "get_scenario",
     "load_acl",
     "load_trace",
     "pareto_trace",
+    "register",
     "save_acl",
     "save_trace",
+    "scenario_names",
     "query_matching_entry",
     "reverse_byte_scan",
+    "tunnel_mix_trace",
     "uniform_traffic",
     "zipf_trace",
 ]

@@ -1,0 +1,347 @@
+"""Named, seed-replayable traffic scenarios (the attack suite).
+
+A :class:`Scenario` bundles everything one evaluation story needs —
+the rule set, the traffic shape, the mid-stream rule churn, and the
+pipeline profile that makes it an *attack* (offered load vs queue
+capacity) — behind one name, so the streaming bench, the chaos bench
+and the CLI all replay the identical packets from the identical seed.
+Determinism is the contract: ``compile``/``bursts``/``churn_schedule``
+derive every random choice from the caller's seed (plus a fixed
+per-role salt), never from global state, which is what lets CI compare
+a streaming run against a batch replay bit-for-bit and gate
+``p999_under_attack`` as a number rather than a vibe.
+
+The registry ships five scenarios:
+
+``steady-zipf``
+    The control: zipf-skewed campus traffic, no churn, no overload.
+``scan-churn``
+    The paper's §6 pathology: a sustained reverse-byte SIP scan (cache
+    poison — every probe is a new flow) mixed with zipf background,
+    while DDoS-response rule churn inserts and retires high-priority
+    deny prefixes mid-stream.
+``flash-crowd``
+    Zipf baseline whose working set collapses onto a handful of crowd
+    flows mid-trace and pivots back — the cache-edge stressor.
+``ipv6-heavy``
+    ClassBench rules compiled at L=512 with pareto replay —
+    ``bench_ipv6_keylen``'s ablation promoted to an app scenario.
+``tunnel-mix``
+    IPIP/GRE/VXLAN outer headers interleaved with their decapsulated
+    inner flows over the campus ACL.
+
+Adding a scenario: build a :class:`Scenario` and :func:`register` it
+(duplicate names are an error).  ``run_smokes.py --scenarios`` and the
+CI matrix pick it up by iterating :func:`scenario_names`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..acl.compiler import CompiledAcl, compile_acl
+from ..acl.layout import LAYOUT_V6, KeyLayout
+from ..core.table import TernaryEntry
+from ..core.ternary import TernaryKey
+from .campus import campus_acl
+from .classbench import ACL_SEED, classbench_rules
+from .traffic import (
+    flash_crowd_trace,
+    pareto_trace,
+    reverse_byte_scan,
+    tunnel_mix_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "Scenario",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "churn_applier",
+]
+
+#: per-role seed salts so traffic, churn and rule-set randomness draw
+#: from independent deterministic streams off one user-facing seed
+_SALT_COMPILE = 0x5EED_C0DE
+_SALT_TRAFFIC = 0x7AFF_1C
+_SALT_CHURN = 0xC4E4_17
+
+
+def _rng(seed: int, salt: int) -> random.Random:
+    return random.Random((seed & 0xFFFFFFFF) * 0x9E3779B1 + salt)
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """One scenario materialised at a seed: rules ready to serve."""
+
+    name: str
+    acl: CompiledAcl
+    seed: int
+
+    @property
+    def layout(self) -> KeyLayout:
+        return self.acl.layout
+
+    @property
+    def entries(self) -> tuple[TernaryEntry, ...]:
+        return self.acl.entries
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic traffic story.
+
+    ``build(rng)`` returns the :class:`CompiledAcl`; ``traffic(compiled,
+    packets, rng)`` the flat query list (chopped into ``burst_size``
+    bursts); ``churn(compiled, n_bursts, rng)`` the optional
+    ``{burst_index: [update ops]}`` schedule applied *before* the named
+    burst is admitted.  ``attack`` marks scenarios the matrix runs
+    through the constrained pipeline profile (``max_inflight`` /
+    ``service_quantum``) to measure p999-under-attack and shed rate;
+    non-attack scenarios use the profile only as a sizing hint.
+    """
+
+    name: str
+    summary: str
+    build: Callable[[random.Random], CompiledAcl]
+    traffic: Callable[[CompiledScenario, int, random.Random], list[int]]
+    churn: Optional[Callable[[CompiledScenario, int, random.Random], dict[int, list]]] = None
+    burst_size: int = 64
+    attack: bool = False
+    max_inflight: int = 512
+    service_quantum: Optional[int] = None
+    smoke_packets: int = 2_000
+    tags: tuple[str, ...] = field(default=())
+
+    def compile(self, seed: int) -> CompiledScenario:
+        """The rule set this scenario serves at ``seed``."""
+        acl = self.build(_rng(seed, _SALT_COMPILE))
+        return CompiledScenario(name=self.name, acl=acl, seed=seed)
+
+    def bursts(self, compiled: CompiledScenario, packets: int, seed: int) -> list[list[int]]:
+        """``packets`` queries as fixed-size arrival bursts."""
+        if packets < 1:
+            raise ValueError(f"packets must be >= 1, got {packets}")
+        queries = self.traffic(compiled, packets, _rng(seed, _SALT_TRAFFIC))
+        size = self.burst_size
+        return [queries[i : i + size] for i in range(0, len(queries), size)]
+
+    def churn_schedule(
+        self, compiled: CompiledScenario, n_bursts: int, seed: int
+    ) -> dict[int, list]:
+        """``{burst_index: ops}`` due before each named burst; {} if
+        the scenario has no churn."""
+        if self.churn is None:
+            return {}
+        return self.churn(compiled, n_bursts, _rng(seed, _SALT_CHURN))
+
+
+def churn_applier(source: Any, engine: Any) -> Callable[[int], Any]:
+    """The ``on_burst`` hook wiring a :class:`ScenarioSource`'s churn
+    schedule into an engine — shared by :meth:`StreamPipeline.run` and
+    :func:`batch_replay` so both replays mutate the policy at the same
+    packet boundaries.  Returns the :class:`UpdateReport` when a
+    transaction was applied (truthy), None otherwise.
+    """
+
+    def on_burst(burst_index: int) -> Any:
+        ops = source.churn_ops(burst_index)
+        if ops:
+            return engine.apply_updates(ops)
+        return None
+
+    return on_burst
+
+
+# -- the registry ---------------------------------------------------------
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry; duplicate names are an error."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# -- the shipped suite ----------------------------------------------------
+
+
+def _campus(q: int) -> Callable[[random.Random], CompiledAcl]:
+    def build(_rng_unused: random.Random) -> CompiledAcl:
+        return campus_acl(q)
+
+    return build
+
+
+def _zipf_traffic(compiled: CompiledScenario, packets: int, rng: random.Random) -> list[int]:
+    return zipf_trace(compiled.entries, packets, flows=128, seed=rng.randrange(1 << 30))
+
+
+register(
+    Scenario(
+        name="steady-zipf",
+        summary="zipf-skewed campus traffic, no churn, no overload (the control)",
+        build=_campus(2),
+        traffic=_zipf_traffic,
+        tags=("baseline",),
+    )
+)
+
+
+def _scan_churn_traffic(
+    compiled: CompiledScenario, packets: int, rng: random.Random
+) -> list[int]:
+    # 70 % scan probes (every one a fresh flow — cache poison), 30 %
+    # legitimate zipf background, interleaved packet-by-packet.
+    scan = reverse_byte_scan(
+        packets, seed=rng.randrange(1 << 30), layout=compiled.layout,
+        start=rng.randrange(1 << 16),
+    )
+    background = zipf_trace(
+        compiled.entries, packets, flows=128, seed=rng.randrange(1 << 30)
+    )
+    scan_it, bg_it = iter(scan), iter(background)
+    return [
+        next(scan_it) if rng.random() < 0.7 else next(bg_it) for _ in range(packets)
+    ]
+
+
+def _scan_churn_schedule(
+    compiled: CompiledScenario, n_bursts: int, rng: random.Random
+) -> dict[int, list]:
+    # DDoS response in motion: every interval, block a fresh /16 of the
+    # scanned space with a high-priority deny and retire the previous
+    # block — the insert/delete treadmill real mitigation runs.
+    layout = compiled.layout
+    interval = max(1, n_bursts // 8)
+    floor = max((e.priority for e in compiled.entries), default=0) + 1
+    schedule: dict[int, list] = {}
+    prev_key: Optional[TernaryKey] = None
+    for j, burst_index in enumerate(range(interval, n_bursts, interval)):
+        net = rng.randrange(256)
+        dst = TernaryKey((10 << 24) | (net << 16), (1 << 16) - 1, 32)
+        key = layout.pack_key(dst_ip=dst)
+        ops: list = [("insert", TernaryEntry(key, value=100_000 + j, priority=floor + j))]
+        if prev_key is not None:
+            ops.append(("delete", prev_key))
+        prev_key = key
+        schedule[burst_index] = ops
+    return schedule
+
+
+register(
+    Scenario(
+        name="scan-churn",
+        summary="reverse-byte SIP scan + zipf background under DDoS-style rule churn",
+        build=_campus(2),
+        traffic=_scan_churn_traffic,
+        churn=_scan_churn_schedule,
+        attack=True,
+        max_inflight=256,
+        # 64-packet bursts vs a 48-packet service budget: the backlog
+        # grows 16/interval until max_inflight, then the policy engages
+        # at a steady 25 % — overload by construction, not by timing.
+        service_quantum=48,
+        tags=("attack", "churn", "scan"),
+    )
+)
+
+
+def _flash_crowd_traffic(
+    compiled: CompiledScenario, packets: int, rng: random.Random
+) -> list[int]:
+    return flash_crowd_trace(
+        compiled.entries, packets, flows=256, crowd=4, seed=rng.randrange(1 << 30)
+    )
+
+
+register(
+    Scenario(
+        name="flash-crowd",
+        summary="zipf baseline collapsing onto 4 crowd flows mid-trace, then back",
+        build=_campus(2),
+        traffic=_flash_crowd_traffic,
+        attack=True,
+        max_inflight=256,
+        # 64-packet bursts vs 56 served: a gentler 12.5 % steady-state
+        # overload than scan-churn once the queue fills.
+        service_quantum=56,
+        tags=("attack", "locality"),
+    )
+)
+
+
+def _ipv6_build(_rng_unused: random.Random) -> CompiledAcl:
+    return compile_acl(classbench_rules(ACL_SEED, 120), layout=LAYOUT_V6)
+
+
+def _ipv6_traffic(
+    compiled: CompiledScenario, packets: int, rng: random.Random
+) -> list[int]:
+    return pareto_trace(compiled.entries, packets, seed=rng.randrange(1 << 30))
+
+
+register(
+    Scenario(
+        name="ipv6-heavy",
+        summary="ClassBench rules at L=512 with pareto replay (the long-key plane)",
+        build=_ipv6_build,
+        traffic=_ipv6_traffic,
+        burst_size=32,
+        max_inflight=256,
+        smoke_packets=1_000,
+        tags=("ipv6", "long-key"),
+    )
+)
+
+
+def _tunnel_traffic(
+    compiled: CompiledScenario, packets: int, rng: random.Random
+) -> list[int]:
+    return tunnel_mix_trace(
+        compiled.entries,
+        packets,
+        endpoints=4,
+        tunnel_share=0.5,
+        seed=rng.randrange(1 << 30),
+        layout=compiled.layout,
+    )
+
+
+register(
+    Scenario(
+        name="tunnel-mix",
+        summary="IPIP/GRE/VXLAN outer headers interleaved with decapped inner flows",
+        build=_campus(1),
+        traffic=_tunnel_traffic,
+        tags=("encap",),
+    )
+)

@@ -28,6 +28,8 @@ __all__ = [
     "reverse_byte_scan",
     "pareto_trace",
     "zipf_trace",
+    "flash_crowd_trace",
+    "tunnel_mix_trace",
     "query_matching_entry",
 ]
 
@@ -116,6 +118,110 @@ def zipf_trace(
     ]
     weights = [1.0 / (rank + 1) ** s for rank in range(flows)]
     return rng.choices(population, weights=weights, k=count)
+
+
+def flash_crowd_trace(
+    entries: Sequence[TernaryEntry],
+    count: int,
+    flows: int = 256,
+    crowd: int = 4,
+    s: float = 1.2,
+    peak_start: float = 0.3,
+    peak_len: float = 0.4,
+    boost: float = 0.8,
+    seed: int = 2020,
+) -> list[int]:
+    """A zipf baseline interrupted by a flash crowd.
+
+    Traffic starts as :func:`zipf_trace` over ``flows`` headers; during
+    the peak window (``peak_start``..``peak_start + peak_len`` of the
+    trace, as fractions) a fraction ``boost`` of the packets collapses
+    onto ``crowd`` randomly chosen headers — the thundering-herd shape
+    of a link going viral.  The flow cache rides the crowd easily; the
+    interesting part is the *edges*, where the working set pivots twice
+    in a few bursts.
+    """
+    if not entries:
+        raise ValueError("cannot generate traffic for an empty table")
+    if not 0 < crowd <= flows:
+        raise ValueError(f"crowd must be in 1..flows, got {crowd}")
+    if not 0.0 <= peak_start <= 1.0 or not 0.0 <= peak_len <= 1.0:
+        raise ValueError("peak_start and peak_len must be fractions in [0, 1]")
+    if not 0.0 <= boost <= 1.0:
+        raise ValueError(f"boost must be a fraction in [0, 1], got {boost}")
+    rng = random.Random(seed)
+    n = len(entries)
+    population = [
+        query_matching_entry(entries[rng.randrange(n)], rng) for _ in range(flows)
+    ]
+    weights = [1.0 / (rank + 1) ** s for rank in range(flows)]
+    crowd_flows = rng.sample(population, crowd)
+    lo = int(count * peak_start)
+    hi = lo + int(count * peak_len)
+    queries: list[int] = []
+    for i in range(count):
+        if lo <= i < hi and rng.random() < boost:
+            queries.append(crowd_flows[rng.randrange(crowd)])
+        else:
+            queries.append(rng.choices(population, weights=weights, k=1)[0])
+    return queries
+
+
+#: outer-header encapsulations ``tunnel_mix_trace`` emits, as
+#: (ip-protocol, destination-port) — port 0 where the protocol has none
+TUNNEL_ENCAPS: tuple[tuple[int, int], ...] = (
+    (4, 0),       # IPIP
+    (47, 0),      # GRE
+    (17, 4789),   # VXLAN over UDP
+)
+
+
+def tunnel_mix_trace(
+    entries: Sequence[TernaryEntry],
+    count: int,
+    endpoints: int = 4,
+    tunnel_share: float = 0.5,
+    seed: int = 2020,
+    layout: KeyLayout = LAYOUT_V4,
+) -> list[int]:
+    """Encapsulated traffic mixed with its decapsulated inner flows.
+
+    A fraction ``tunnel_share`` of the packets are *outer* headers —
+    IPIP / GRE / VXLAN (:data:`TUNNEL_ENCAPS`) from random external
+    sources to one of ``endpoints`` tunnel terminators inside
+    10.0.0.0/8 — which an ACL keyed on the 5-tuple sees only as the
+    encapsulation protocol, not the payload.  The rest are the inner
+    headers after decap, drawn to match the rule set.  The mix is the
+    classic blind spot of header-only filtering: the same flow crosses
+    the tap twice wearing two different headers.
+    """
+    if not entries:
+        raise ValueError("cannot generate traffic for an empty table")
+    if endpoints < 1:
+        raise ValueError(f"endpoints must be >= 1, got {endpoints}")
+    if not 0.0 <= tunnel_share <= 1.0:
+        raise ValueError(f"tunnel_share must be in [0, 1], got {tunnel_share}")
+    rng = random.Random(seed)
+    n = len(entries)
+    terminators = [
+        (10 << 24) | rng.getrandbits(24) for _ in range(endpoints)
+    ]
+    queries: list[int] = []
+    for _ in range(count):
+        if rng.random() < tunnel_share:
+            proto, dst_port = TUNNEL_ENCAPS[rng.randrange(len(TUNNEL_ENCAPS))]
+            queries.append(
+                layout.pack_query(
+                    src_ip=rng.getrandbits(32),
+                    dst_ip=terminators[rng.randrange(endpoints)],
+                    proto=proto,
+                    src_port=rng.randrange(1024, 65536) if dst_port else 0,
+                    dst_port=dst_port,
+                )
+            )
+        else:
+            queries.append(query_matching_entry(entries[rng.randrange(n)], rng))
+    return queries
 
 
 def pareto_trace(
