@@ -1,6 +1,6 @@
 """Chaos smoke — the resilience plane under seeded fault injection.
 
-Four fault classes run against a guarded :class:`ClassificationEngine`,
+Five fault classes run against a guarded :class:`ClassificationEngine`,
 each over a differential trace whose ground truth comes from the
 linear-scan reference matcher.  The traffic is not synthesised here:
 every mix comes from the scenario registry
@@ -18,7 +18,11 @@ attack" means.  The fault classes:
 * ``checkpoint-corrupt`` — seeded bit flips in a policy checkpoint;
   startup recovery must reject it (checksum) and rebuild from source;
 * ``update-fault`` — a raise mid-``apply_updates``; the transaction
-  must report the error and leave the engine serving correct answers.
+  must report the error and leave the engine serving correct answers;
+* ``rollout-crash`` — the controller dies between the canary stamp and
+  the promote of a staged (and semantically different) policy; restart
+  recovery must serve the old policy with the rollout marked
+  ROLLED_BACK, every verdict unchanged.
 
 The acceptance bar (the paper's correctness contract under failure):
 **zero wrong answers** across every class and every mix, each fault
@@ -165,6 +169,79 @@ def _scenario_update_fault(entries, length, queries, truth):
     return _mismatches(got, truth), 1, engine
 
 
+def _scenario_rollout(entries, length, queries, truth):
+    """A crash between the canary stamp and the promote: the rollout
+    fault site fires inside :meth:`RolloutController._promote`, the
+    controller dies with its state sidecar saying CANARY, and recovery
+    via ``from_checkpoint`` + the sidecar must land coherent — the
+    *old* policy serving (the staged one was semantically different),
+    the rollout marked ROLLED_BACK, zero wrong verdicts."""
+    from repro.core.table import TernaryEntry
+    from repro.core.ternary import TernaryKey
+    from repro.resilience import InjectedFault
+    from repro.tenant.rollout import RolloutController, SLOGuards
+
+    injector = FaultInjector(seed=17)
+    injector.arm("rollout", rate=1.0, count=1)
+    handle, ckpt_path = tempfile.mkstemp(suffix=".plmc")
+    os.close(handle)
+    handle, state_path = tempfile.mkstemp(suffix=".rollout.json")
+    os.close(handle)
+    try:
+        engine = ClassificationEngine(
+            PalmtriePlus.build(entries, length, stride=8),
+            EngineConfig(cache_size=256, last_good_path=ckpt_path),
+        )
+        # A wide slice and a short window: the class tests the crash
+        # seam at promote time, so the canary must *reach* promote on
+        # every registry mix, including the few-flow ones where a
+        # narrow flow-stable slice would starve the window.
+        controller = RolloutController(
+            "chaos",
+            engine,
+            guards=SLOGuards(warmup_packets=32, observe_packets=128),
+            state_path=state_path,
+            injector=injector,
+        )
+        # The staged policy shadows everything: had the promote landed
+        # (or recovery picked the wrong plane), every verdict would
+        # change — the differential below proves neither happened.
+        ceiling = max((e.priority for e in entries), default=0) + 1
+        shadow = TernaryEntry(
+            TernaryKey.from_string("*" * length), value=-7, priority=ceiling
+        )
+        controller.stage(PalmtriePlus.build([*entries, shadow], length, stride=8))
+        controller.begin_canary(90.0, seed=SEED)
+        crashed = False
+        try:
+            for offset in range(0, len(queries), BATCH):
+                controller.route_batch(queries[offset : offset + BATCH])
+        except InjectedFault:
+            crashed = True
+        if not crashed or injector.fired["rollout"] != 1:
+            raise SystemExit("chaos: rollout fault never fired mid-promote")
+        sidecar = RolloutController.read_state(state_path)
+        if sidecar is None or sidecar["state"] != "canary":
+            raise SystemExit("chaos: crash did not leave a canary-state sidecar")
+        # -- the restart ------------------------------------------------
+        recovered = ClassificationEngine.from_checkpoint(
+            ckpt_path,
+            rebuild=lambda: PalmtriePlus.build(entries, length, stride=8),
+            config=EngineConfig(cache_size=256, last_good_path=ckpt_path),
+        )
+        supervisor = RolloutController("chaos", recovered, state_path=state_path)
+        supervisor.state = sidecar["state"]
+        supervisor.transitions = list(sidecar["transitions"])
+        supervisor.mark_crash_recovered()
+        if supervisor.state != "rolled_back" or recovered.checkpoint_restores != 1:
+            raise SystemExit("chaos: rollout recovery did not land rolled_back")
+        got = _verdicts(recovered, queries)
+    finally:
+        os.unlink(ckpt_path)
+        os.unlink(state_path)
+    return _mismatches(got, truth), 1, recovered
+
+
 def _degraded_rate_ratio(entries, length, queries, rounds: int = 5) -> float:
     """Degraded-over-baseline batched rate.
 
@@ -206,6 +283,7 @@ FAULT_CLASSES = (
     ("cache-poison", _scenario_cache_poison),
     ("checkpoint-corrupt", _scenario_checkpoint_corrupt),
     ("update-fault", _scenario_update_fault),
+    ("rollout-crash", _scenario_rollout),
 )
 
 

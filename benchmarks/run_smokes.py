@@ -63,6 +63,7 @@ SMOKES = (
     ("bench_adaptive", "adaptive frozen-plane layer"),
     ("bench_learned", "learned RQ-RMI matcher tier"),
     ("bench_stream", "streaming data plane"),
+    ("bench_tenant", "multi-tenant control plane"),
 )
 
 

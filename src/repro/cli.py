@@ -45,6 +45,23 @@ Subcommands:
     shadow-verification stats; exit code 0 ok / 1 degraded / 2
     quarantined.  ``--checkpoint`` also validates a policy checkpoint.
 
+``serve``
+    Stand up the multi-tenant control plane from a YAML/JSON manifest
+    (``--tenants manifest.yaml``), replay seeded per-tenant traffic
+    through it, and report per-tenant health, quota counters and
+    rollout state; ``--checkpoint-dir``/``--recover`` boot each tenant
+    from its last-good checkpoint, crash-coherently.
+
+``rollout``
+    Stage a new policy for one tenant as a canary
+    (``--tenant NAME --rules new.acl --canary-pct 10``), drive traffic
+    through the observation window, and report the verdict; exit code
+    0 promoted / 1 rolled back.
+
+``tenants``
+    Show the status table of every tenant in a manifest: health,
+    rollout state, quota counters.
+
 ``diff``
     Compare two ACL files: added/removed/moved rules plus a sampled
     semantic-equivalence verdict.
@@ -1019,6 +1036,124 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.semantically_equivalent else 1
 
 
+def _tenant_router(args: argparse.Namespace, recover: bool = False, metrics=None):
+    """Build the router an args namespace describes, or None + stderr."""
+    from .tenant import TenantRouter
+
+    try:
+        return TenantRouter.from_manifest(
+            args.tenants,
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
+            recover=recover,
+            metrics=metrics,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _tenant_traffic(tenant, packets: int, seed: int) -> list[int]:
+    """Seeded zipf traffic over the tenant's own policy."""
+    from .workloads.traffic import zipf_trace
+
+    return zipf_trace(tenant.compiled.entries, packets, flows=128, seed=seed)
+
+
+def _print_tenant_status(router) -> None:
+    rows = router.status()
+    header = f"{'tenant':<16} {'health':<12} {'rollout':<12} {'lookups':>9} {'rate-denied':>12} {'mem-bytes':>10} {'promotes':>9} {'rollbacks':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['tenant']:<16} {row['health']:<12} {row['rollout']:<12} "
+            f"{row['lookups']:>9} {row['rate_denied']:>12} {row['memory_bytes']:>10} "
+            f"{row['promotes']:>9} {row['rollbacks']:>10}"
+        )
+
+
+def _cmd_tenant_serve(args: argparse.Namespace) -> int:
+    registry = None
+    if args.metrics_out:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    router = _tenant_router(args, recover=args.recover, metrics=registry)
+    if router is None:
+        return 2
+    try:
+        for name in router.names():
+            tenant = router[name]
+            queries = _tenant_traffic(tenant, args.packets, args.seed)
+            for offset in range(0, len(queries), 64):
+                router.lookup_batch(name, queries[offset : offset + 64])
+        _print_tenant_status(router)
+        if registry is not None:
+            from .obs import write_snapshot
+
+            write_snapshot(registry, args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+        unhealthy = [n for n in router.names() if router[n].health != "ok"]
+        return 1 if unhealthy else 0
+    finally:
+        router.close()
+
+
+def _cmd_tenant_rollout(args: argparse.Namespace) -> int:
+    rules = _load_rules(args.rules)
+    if rules is None:
+        return 2
+    router = _tenant_router(args)
+    if router is None:
+        return 2
+    try:
+        try:
+            tenant = router[args.tenant]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        from .acl.compiler import compile_acl
+        from .tenant import QuotaExceeded
+
+        try:
+            tenant.stage_rollout(
+                compile_acl(rules), canary_pct=args.canary_pct, seed=args.seed
+            )
+        except QuotaExceeded as exc:
+            print(f"error: rollout denied by quota: {exc}", file=sys.stderr)
+            return 1
+        queries = _tenant_traffic(tenant, args.packets, args.seed)
+        for offset in range(0, len(queries), 64):
+            router.lookup_batch(args.tenant, queries[offset : offset + 64])
+            if tenant.rollout.state != "canary":
+                break
+        report = tenant.rollout.report()
+        verdict = report["last_verdict"]
+        print(f"tenant {args.tenant}: rollout {report['state']}")
+        if verdict is not None:
+            for key, value in sorted(verdict.items()):
+                print(f"  {key}: {value}")
+        if report["state"] == "canary":
+            print(
+                f"  (observation window still open after {args.packets} packets; "
+                "raise --packets or lower the guard windows)"
+            )
+        return 0 if report["state"] == "promoted" else 1
+    finally:
+        router.close()
+
+
+def _cmd_tenants_status(args: argparse.Namespace) -> int:
+    router = _tenant_router(args, recover=args.recover)
+    if router is None:
+        return 2
+    try:
+        _print_tenant_status(router)
+        return 0
+    finally:
+        router.close()
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
     from .workloads.scenarios import all_scenarios
 
@@ -1312,6 +1447,44 @@ def build_parser() -> argparse.ArgumentParser:
              "ClassificationEngine.checkpoint (invalid => exit 2)",
     )
     p_health.set_defaults(func=_cmd_health)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant control plane from a manifest"
+    )
+    p_serve.add_argument("--tenants", required=True, metavar="MANIFEST",
+                         help="YAML/JSON tenant manifest (docs/deployment.md)")
+    p_serve.add_argument("--packets", type=int, default=2_000,
+                         help="seeded packets replayed per tenant (default 2000)")
+    p_serve.add_argument("--seed", type=int, default=2020)
+    p_serve.add_argument("--checkpoint-dir", default=None,
+                         help="directory for last-good checkpoints + rollout state")
+    p_serve.add_argument("--recover", action="store_true",
+                         help="boot tenants from their last-good checkpoints")
+    p_serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write a JSON metrics snapshot of the run")
+    p_serve.set_defaults(func=_cmd_tenant_serve)
+
+    p_rollout = sub.add_parser(
+        "rollout", help="canary a new policy for one tenant, promote or roll back"
+    )
+    p_rollout.add_argument("--tenants", required=True, metavar="MANIFEST")
+    p_rollout.add_argument("--tenant", required=True, help="tenant name to roll out")
+    p_rollout.add_argument("--rules", required=True, help="ACL file with the new policy")
+    p_rollout.add_argument("--canary-pct", type=float, default=None,
+                           help="flow slice percentage (default: manifest canary_pct)")
+    p_rollout.add_argument("--packets", type=int, default=20_000,
+                           help="traffic budget for the observation window")
+    p_rollout.add_argument("--seed", type=int, default=2020)
+    p_rollout.add_argument("--checkpoint-dir", default=None)
+    p_rollout.set_defaults(func=_cmd_tenant_rollout)
+
+    p_tenants = sub.add_parser(
+        "tenants", help="show the status of every tenant in a manifest"
+    )
+    p_tenants.add_argument("--tenants", required=True, metavar="MANIFEST")
+    p_tenants.add_argument("--checkpoint-dir", default=None)
+    p_tenants.add_argument("--recover", action="store_true")
+    p_tenants.set_defaults(func=_cmd_tenants_status)
 
     p_diff = sub.add_parser("diff", help="compare two ACL files")
     p_diff.add_argument("old")

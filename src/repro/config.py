@@ -102,6 +102,15 @@ class EngineConfig:
     #: extra keyword arguments forwarded to the matcher constructor by
     #: the build paths (kind-specific knobs beyond ``stride``)
     matcher_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: owning tenant's name when this engine serves one tenant of a
+    #: multi-tenant control plane (:mod:`repro.tenant`); None for a
+    #: standalone engine.  Purely an identity label — the tenant router
+    #: uses it for metric labels and checkpoint naming.
+    tenant: Optional[str] = None
+    #: where the engine's last-known-good PLMC checkpoint lives; set by
+    #: the control plane so :meth:`~repro.engine.ClassificationEngine.
+    #: mark_last_good` / ``restore_last_good`` have a default target
+    last_good_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache_size < 0:
@@ -125,6 +134,10 @@ class EngineConfig:
             raise TypeError(
                 f"matcher must be a registry kind or a matcher class, got {self.matcher!r}"
             )
+        if self.tenant is not None and (
+            not isinstance(self.tenant, str) or not self.tenant
+        ):
+            raise ValueError(f"tenant must be a non-empty string or None, got {self.tenant!r}")
         if self.frozen_layout not in ("build", "hot"):
             raise ValueError(
                 f"frozen_layout must be 'build' or 'hot', got {self.frozen_layout!r}"

@@ -566,6 +566,10 @@ class ClassificationEngine:
         self.checkpoint_restores = 0
         self.checkpoint_rebuilds = 0
         self.last_recovery: Optional[Any] = None
+        #: last-known-good checkpoint location/epoch (mark_last_good)
+        self.last_good_path: Optional[Any] = config.last_good_path
+        self.last_good_epoch: Optional[int] = None
+        self._last_good_blob: Optional[bytes] = None
         self.freezes = 0
         self.stats = LookupStats()
         self.batches = 0
@@ -1229,6 +1233,63 @@ class ClassificationEngine:
             engine.checkpoint_rebuilds += 1
         engine.last_recovery = recovery
         return engine
+
+    def mark_last_good(self, path: Any = None) -> int:
+        """Checkpoint the current policy as the engine's known-good
+        restore point (the control plane's pre-rollout stamp).
+
+        ``path`` defaults to ``config.last_good_path``; the engine
+        remembers where it wrote (``last_good_path``) and at which
+        epoch (``last_good_epoch``) so :meth:`restore_last_good` and a
+        post-crash supervisor can find it.  With no path configured at
+        all, the checkpoint is held in memory instead — same bytes,
+        same restore path, just not crash-durable.  Returns the bytes
+        written.
+        """
+        from .resilience.checkpoint import serialize_checkpoint
+
+        target = path if path is not None else self.config.last_good_path
+        if target is None:
+            self._last_good_blob = serialize_checkpoint(
+                self._matcher,
+                epoch=self.epoch,
+                generation=getattr(self._matcher, "generation", 0) or 0,
+            )
+            self.last_good_epoch = self.epoch
+            return len(self._last_good_blob)
+        written = self.checkpoint(target)
+        self.last_good_path = target
+        self.last_good_epoch = self.epoch
+        return written
+
+    def restore_last_good(self, path: Any = None) -> None:
+        """Atomically swap back to the last-known-good checkpoint.
+
+        The rollback half of a canaried rollout: the checkpointed
+        matcher replaces the live one through :meth:`replace_matcher`
+        (epoch bump, cache drop, guard reset), and
+        ``checkpoint_restores`` counts the recovery.  Raises
+        ``FormatError``/``OSError`` if the checkpoint is unreadable —
+        rollback must never silently serve the wrong policy.
+        """
+        from .resilience.checkpoint import deserialize_checkpoint, read_checkpoint
+
+        target = (
+            path
+            if path is not None
+            else (self.last_good_path or self.config.last_good_path)
+        )
+        if target is None:
+            blob = self._last_good_blob
+            if blob is None:
+                raise ValueError(
+                    "restore_last_good: no last-good checkpoint has been marked"
+                )
+            snapshot = deserialize_checkpoint(blob)
+        else:
+            snapshot = read_checkpoint(target)
+        self.replace_matcher(snapshot.matcher)
+        self.checkpoint_restores += 1
 
     def refresh(self) -> None:
         """Eagerly pay the deferred update work.

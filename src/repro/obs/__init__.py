@@ -19,6 +19,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     geometric_buckets,
+    quantile_ratios,
 )
 from .timing import TIMER_RESOLUTION, clamp_seconds, safe_rate
 
@@ -33,6 +34,7 @@ __all__ = [
     "TIMER_RESOLUTION",
     "clamp_seconds",
     "geometric_buckets",
+    "quantile_ratios",
     "render_prometheus",
     "safe_rate",
     "snapshot",

@@ -275,6 +275,25 @@ class Histogram(Metric):
         self._count = 0
 
 
+def quantile_ratios(
+    candidate: Histogram,
+    baseline: Histogram,
+    qs: Iterable[float] = (0.99, 0.999),
+) -> dict[str, float]:
+    """Candidate-over-baseline ratio per quantile (``{"p99": 1.07,
+    ...}``) — the latency-delta primitive the rollout SLO guards gate
+    on.  A baseline quantile of zero (empty histogram) yields a ratio
+    of 0.0 rather than a division error: with no baseline evidence the
+    guard must not trip on noise.
+    """
+    got = candidate.quantiles(qs)
+    want = baseline.quantiles(qs)
+    return {
+        label: (got[label] / want[label] if want[label] > 0.0 else 0.0)
+        for label in got
+    }
+
+
 class MetricsRegistry:
     """Get-or-create home for one process's (or one engine's) metrics.
 

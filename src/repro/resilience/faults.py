@@ -16,7 +16,10 @@ has:
 * ``update`` — raise mid-transaction inside ``apply_updates`` so the
   source trie is left partially mutated;
 * ``stall`` — sleep on the lookup path (a scheduling hiccup the
-  throughput-loss bound in the chaos smoke measures).
+  throughput-loss bound in the chaos smoke measures);
+* ``rollout`` — raise inside the control plane's canary rollout,
+  between the canary stamp and the promote (a crashed controller; the
+  recovery path must land on the last-good checkpoint).
 
 Every decision comes from one seeded :class:`random.Random`, so a chaos
 run replays bit-for-bit.  Sites are armed with a firing probability and
@@ -38,7 +41,7 @@ from typing import Any, Iterator, Optional
 __all__ = ["FAULT_SITES", "InjectedFault", "FaultInjector", "install", "uninstall", "injected"]
 
 #: the hook points an injector can arm
-FAULT_SITES = ("frozen_walk", "cache", "deserialize", "update", "stall")
+FAULT_SITES = ("frozen_walk", "cache", "deserialize", "update", "stall", "rollout")
 
 
 class InjectedFault(RuntimeError):

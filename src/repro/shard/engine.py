@@ -562,7 +562,18 @@ class ShardedEngine:
         recovered = ClassificationEngine.from_checkpoint(
             path, config=config.replace(shards=0), **kwargs
         )
-        return cls(recovered.matcher, config)
+        engine = cls(recovered.matcher, config)
+        # Carry the recovery provenance across: the sharded facade must
+        # report the same restore/rebuild counters and coherence epoch
+        # the in-process recovery established, and its workers must
+        # republish under the recovered epoch's stamp.
+        inner = engine._inner
+        inner.checkpoint_restores = recovered.checkpoint_restores
+        inner.checkpoint_rebuilds = recovered.checkpoint_rebuilds
+        inner.last_recovery = recovered.last_recovery
+        inner.epoch = recovered.epoch
+        engine._republish(force=True)
+        return engine
 
     # -- health / observability ------------------------------------------
 

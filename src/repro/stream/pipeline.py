@@ -58,7 +58,7 @@ import operator
 import time
 from collections import deque
 from itertools import groupby
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional
 
 from ..obs.metrics import Histogram, MetricsRegistry
 from ..obs.timing import safe_rate
@@ -94,6 +94,14 @@ POLICIES = ("block", "drop", "shed")
 _ITEM_ARRIVAL = operator.itemgetter(1)
 
 
+def _admission_rate(count: int, offered: int) -> float:
+    """The one definition of an admission-fate rate (dropped/shed over
+    offered); both :class:`StreamReport` and the live
+    :meth:`StreamPipeline.report` summary route through it so the two
+    surfaces cannot drift."""
+    return count / offered if offered else 0.0
+
+
 class StreamReport:
     """Counters and latency summary of one :meth:`StreamPipeline.run`."""
 
@@ -121,11 +129,11 @@ class StreamReport:
 
     @property
     def drop_rate(self) -> float:
-        return self.dropped / self.offered if self.offered else 0.0
+        return _admission_rate(self.dropped, self.offered)
 
     @property
     def shed_rate(self) -> float:
-        return self.shed / self.offered if self.offered else 0.0
+        return _admission_rate(self.shed, self.offered)
 
     @property
     def queries_per_second(self) -> float:
@@ -503,8 +511,8 @@ class StreamPipeline:
             "served": self.served,
             "dropped": self.dropped,
             "shed": self.shed,
-            "drop_rate": self.dropped / self.offered if self.offered else 0.0,
-            "shed_rate": self.shed / self.offered if self.offered else 0.0,
+            "drop_rate": _admission_rate(self.dropped, self.offered),
+            "shed_rate": _admission_rate(self.shed, self.offered),
             "blocked_events": self.blocked_events,
             "batches": self.batches,
             "backlog": len(self._pending),

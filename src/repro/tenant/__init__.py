@@ -1,0 +1,37 @@
+"""Multi-tenant control plane: router, quotas, canaried rollouts.
+
+The first control-plane subsystem of the repo (ROADMAP item 4): many
+tenants' policies served from one fleet, with per-tenant admission
+control and an operator loop that makes live policy changes safe —
+stage, canary a seeded flow slice, watch the SLO guards, then promote
+atomically or auto-roll back to the last-good checkpoint.  See
+``docs/deployment.md`` (topology, manifest schema, quota sizing) and
+``docs/resilience.md`` (the rollout runbook).
+"""
+
+from .manifest import TenantSpec, load_manifest, parse_manifest
+from .quotas import MemoryQuota, QuotaExceeded, TokenBucket
+from .rollout import (
+    ROLLOUT_STATES,
+    STATE_SCHEMA,
+    RolloutController,
+    SLOGuards,
+    canary_member,
+)
+from .router import Tenant, TenantRouter
+
+__all__ = [
+    "MemoryQuota",
+    "QuotaExceeded",
+    "ROLLOUT_STATES",
+    "RolloutController",
+    "SLOGuards",
+    "STATE_SCHEMA",
+    "Tenant",
+    "TenantRouter",
+    "TenantSpec",
+    "TokenBucket",
+    "canary_member",
+    "load_manifest",
+    "parse_manifest",
+]

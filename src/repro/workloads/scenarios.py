@@ -11,7 +11,7 @@ per-role salt), never from global state, which is what lets CI compare
 a streaming run against a batch replay bit-for-bit and gate
 ``p999_under_attack`` as a number rather than a vibe.
 
-The registry ships five scenarios:
+The registry ships six scenarios:
 
 ``steady-zipf``
     The control: zipf-skewed campus traffic, no churn, no overload.
@@ -29,6 +29,10 @@ The registry ships five scenarios:
 ``tunnel-mix``
     IPIP/GRE/VXLAN outer headers interleaved with their decapsulated
     inner flows over the campus ACL.
+``tenant-mix``
+    Three tenants' flows interleaved on one wire — two zipf workloads
+    and one misbehaving scanner at half the offered load (the
+    multi-tenant control plane's noisy-neighbour story).
 
 Adding a scenario: build a :class:`Scenario` and :func:`register` it
 (duplicate names are an error).  ``run_smokes.py --scenarios`` and the
@@ -343,5 +347,52 @@ register(
         build=_campus(1),
         traffic=_tunnel_traffic,
         tags=("encap",),
+    )
+)
+
+
+def _tenant_mix_traffic(
+    compiled: CompiledScenario, packets: int, rng: random.Random
+) -> list[int]:
+    # Three tenants share the wire: two well-behaved zipf workloads on
+    # disjoint flow populations, and one misbehaving tenant whose
+    # "traffic" is a reverse-byte scan at half the offered load — the
+    # neighbour the admission quotas exist to contain.  Shares are
+    # drawn per packet from the seeded rng, so the interleave (and
+    # every shed/deny decision downstream) replays exactly.
+    scan = reverse_byte_scan(
+        packets,
+        seed=rng.randrange(1 << 30),
+        layout=compiled.layout,
+        start=rng.randrange(1 << 16),
+    )
+    tenant_a = zipf_trace(compiled.entries, packets, flows=96, seed=rng.randrange(1 << 30))
+    tenant_b = zipf_trace(compiled.entries, packets, flows=32, seed=rng.randrange(1 << 30))
+    scan_it, a_it, b_it = iter(scan), iter(tenant_a), iter(tenant_b)
+    out: list[int] = []
+    for _ in range(packets):
+        roll = rng.random()
+        if roll < 0.5:
+            out.append(next(scan_it))
+        elif roll < 0.8:
+            out.append(next(a_it))
+        else:
+            out.append(next(b_it))
+    return out
+
+
+register(
+    Scenario(
+        name="tenant-mix",
+        summary="three tenants' flows interleaved, one a misbehaving scanner",
+        build=_campus(2),
+        traffic=_tenant_mix_traffic,
+        attack=True,
+        max_inflight=256,
+        # 64-packet bursts vs a 52-packet service budget: ~19 % steady
+        # overload once the queue fills — the noisy neighbour is an
+        # overload problem before it is a correctness problem.
+        service_quantum=52,
+        tags=("attack", "tenant", "scan"),
     )
 )

@@ -208,6 +208,72 @@ class TestShardedDifferential:
 
 
 # ----------------------------------------------------------------------
+# Startup recovery through the sharded facade
+# ----------------------------------------------------------------------
+
+
+class TestShardedCheckpointRecovery:
+    def test_from_checkpoint_matches_in_process_recovery(self, policy, tmp_path):
+        """``ShardedEngine.from_checkpoint`` is the same recovery
+        contract as the in-process engine's, just fronted by workers:
+        verdicts over the restored policy must be a bit-identical
+        differential, and the restore/rebuild provenance counters must
+        survive the facade (they used to be discarded, so a recovered
+        sharded engine reported ``checkpoint_restores == 0``)."""
+        queries = _trace(3000, seed=37)
+        path = str(tmp_path / "policy.plmc")
+        source = ClassificationEngine(
+            PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        )
+        source.checkpoint(path)
+
+        def rebuild():
+            # A deliberately wrong fallback policy: if recovery silently
+            # takes the rebuild path, the differential below fails loud.
+            return PalmtriePlus.build(policy[:1], KEY_LENGTH, stride=8)
+
+        single = ClassificationEngine.from_checkpoint(path, rebuild=rebuild)
+        config = EngineConfig(cache_size=256, shards=2)
+        with ShardedEngine.from_checkpoint(
+            path, rebuild=rebuild, config=config
+        ) as sharded:
+            assert _values(sharded.lookup_batch(queries)) == \
+                _values(single.lookup_batch(queries))
+            report = sharded.report()
+            assert report["checkpoint_restores"] == 1
+            assert report["checkpoint_rebuilds"] == 0
+            assert report["shards"]["count"] == 2
+            # delegated surface agrees with the report
+            assert sharded.checkpoint_restores == 1
+            assert sharded.epoch == single.epoch
+            assert sharded.health == "ok"
+
+    def test_from_checkpoint_rebuild_fallback_still_exact(self, policy, tmp_path):
+        """A garbled checkpoint must fall back to ``rebuild`` (counted
+        as a rebuild, not a restore) and the workers must serve the
+        rebuilt policy exactly."""
+        path = tmp_path / "garbled.plmc"
+        path.write_bytes(b"not a checkpoint")
+
+        def rebuild():
+            return PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+
+        queries = _trace(1000, seed=41)
+        single = ClassificationEngine(
+            PalmtriePlus.build(policy, KEY_LENGTH, stride=8)
+        )
+        with ShardedEngine.from_checkpoint(
+            str(path), rebuild=rebuild, config=EngineConfig(shards=2)
+        ) as sharded:
+            assert _values(sharded.lookup_batch(queries)) == \
+                _values(single.lookup_batch(queries))
+            report = sharded.report()
+            assert report["checkpoint_restores"] == 0
+            assert report["checkpoint_rebuilds"] == 1
+            assert sharded.health == "ok"
+
+
+# ----------------------------------------------------------------------
 # Worker death: degrade, then respawn
 # ----------------------------------------------------------------------
 

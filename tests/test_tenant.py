@@ -1,0 +1,598 @@
+"""The multi-tenant control plane (repro.tenant).
+
+The acceptance gate for canaried rollouts, asserted from the exported
+``tenant_*``/``rollout_*`` metric series (never from logs or internal
+attributes alone):
+
+* a seeded **bad** policy auto-rolls back — zero wrong verdicts outside
+  the canary slice, the canary slice fails closed after the trip, and a
+  sibling tenant's verdict stream stays bit-identical to a solo run;
+* a seeded **good** policy promotes, and the stable engine serves the
+  new policy afterwards.
+
+Plus the units underneath: deterministic canary membership, the token
+bucket under a frozen clock, the compiled-policy memory quota, manifest
+validation (typos fail loudly), and crash recovery mid-rollout.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.acl.compiler import compile_acl
+from repro.acl.parser import parse_acl
+from repro.config import EngineConfig
+from repro.core.table import build_matcher
+from repro.obs import MetricsRegistry, snapshot, validate_snapshot
+from repro.resilience import FaultInjector
+from repro.resilience.faults import InjectedFault
+from repro.tenant import (
+    MemoryQuota,
+    QuotaExceeded,
+    RolloutController,
+    SLOGuards,
+    TenantRouter,
+    TenantSpec,
+    TokenBucket,
+    canary_member,
+    parse_manifest,
+)
+from repro.workloads.traffic import zipf_trace
+
+SEED = 2020
+BATCH = 64
+
+OLD_POLICY = "permit tcp any any eq 80\npermit udp any any\npermit ip any any"
+NEW_POLICY = "deny tcp any any eq 80\npermit udp any any\npermit ip any any"
+VICTIM_POLICY = "permit tcp any any\npermit ip any any"
+
+#: short guard windows so a 2000-packet trace finishes the verdict;
+#: latency ceilings wide open — two identical in-process builds have
+#: noisy relative latency, and these tests gate on *correctness*
+GUARDS = SLOGuards(
+    warmup_packets=16,
+    observe_packets=64,
+    max_p99_ratio=100.0,
+    max_p999_ratio=100.0,
+)
+
+
+def _sig(verdict) -> object:
+    return None if verdict is None else (verdict.priority, verdict.value)
+
+
+def _roller_spec(**overrides) -> TenantSpec:
+    kwargs = dict(name="roller", acl=OLD_POLICY, guards=GUARDS, canary_pct=50.0)
+    kwargs.update(overrides)
+    return TenantSpec(**kwargs)
+
+
+def _trace(tenant, packets: int, seed: int = SEED) -> list[int]:
+    return zipf_trace(tenant.compiled.entries, packets, flows=128, seed=seed)
+
+
+def _drive_rollout(router, name: str, queries) -> None:
+    """Feed batches until the rollout leaves the canary window."""
+    tenant = router[name]
+    for offset in range(0, len(queries), BATCH):
+        router.lookup_batch(name, queries[offset : offset + BATCH])
+        if tenant.rollout.state != "canary":
+            return
+    raise AssertionError("rollout never left the canary window")
+
+
+def _metric(document: dict, name: str, **labels) -> float:
+    """One series' value out of an exported snapshot document."""
+    for entry in document["metrics"]:
+        if entry["name"] == name and entry["labels"] == labels:
+            return entry["value"]
+    raise AssertionError(
+        f"no series {name}{labels} in snapshot "
+        f"(have {[ (e['name'], e['labels']) for e in document['metrics'] ]})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Canary membership
+# ----------------------------------------------------------------------
+
+
+class TestCanaryMembership:
+    def test_deterministic_and_flow_stable(self):
+        queries = [hash(("flow", i)) & (2**104 - 1) for i in range(2000)]
+        first = [canary_member(q, SEED, 25.0) for q in queries]
+        assert first == [canary_member(q, SEED, 25.0) for q in queries]
+        # flow-stable: the same query always lands in the same slice
+        assert canary_member(queries[0], SEED, 25.0) == first[0]
+
+    def test_slice_fraction_tracks_pct(self):
+        import random
+
+        rng = random.Random(5)
+        queries = [rng.getrandbits(104) for _ in range(20_000)]
+        for pct in (5.0, 25.0, 75.0):
+            hits = sum(canary_member(q, SEED, pct) for q in queries)
+            assert abs(hits / len(queries) - pct / 100.0) < 0.02, pct
+
+    def test_seed_moves_the_slice(self):
+        import random
+
+        rng = random.Random(6)
+        queries = [rng.getrandbits(104) for _ in range(4000)]
+        a = [canary_member(q, 1, 25.0) for q in queries]
+        b = [canary_member(q, 2, 25.0) for q in queries]
+        assert a != b
+
+
+# ----------------------------------------------------------------------
+# Quotas
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_frozen_clock_burst_arithmetic(self):
+        bucket = TokenBucket(rate=1.0, burst=8.0, clock=lambda: 0.0)
+        grants = [bucket.take(1) for _ in range(12)]
+        assert grants == [True] * 8 + [False] * 4
+        assert bucket.granted == 8
+        assert bucket.denied == 4
+
+    def test_refill_follows_the_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=lambda: now[0])
+        assert all(bucket.take(1) for _ in range(5))
+        assert not bucket.take(1)
+        now[0] = 0.5  # half a second at 10/s -> 5 tokens back
+        assert all(bucket.take(1) for _ in range(5))
+        assert not bucket.take(1)
+
+    def test_rate_none_disables(self):
+        bucket = TokenBucket(rate=None, clock=lambda: 0.0)
+        assert all(bucket.take(1) for _ in range(1000))
+        assert bucket.denied == 0
+        assert bucket.tokens == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+class TestMemoryQuota:
+    def _matchers(self):
+        small = compile_acl(parse_acl("permit ip any any"))
+        lines = "\n".join(f"permit tcp any any eq {p}" for p in range(1, 60))
+        big = compile_acl(parse_acl(lines))
+        config = EngineConfig()
+        return (
+            build_matcher(config, small.entries, small.layout.length),
+            build_matcher(config, big.entries, big.layout.length),
+        )
+
+    def test_admit_and_reject_by_compiled_footprint(self):
+        small, big = self._matchers()
+        quota = MemoryQuota(small.memory_bytes() + 1)
+        assert quota.admit(small, tenant="t") == small.memory_bytes()
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quota.admit(big, tenant="t")
+        assert excinfo.value.kind == "memory"
+        assert quota.admitted == 1
+        assert quota.rejected == 1
+        assert quota.last_bytes == big.memory_bytes()
+
+    def test_unmeasurable_matcher_admits_as_zero(self):
+        quota = MemoryQuota(1)
+        assert quota.admit(object(), tenant="t") == 0
+
+
+# ----------------------------------------------------------------------
+# Manifest validation
+# ----------------------------------------------------------------------
+
+
+class TestManifest:
+    def _doc(self):
+        return {
+            "tenants": [
+                {
+                    "name": "alpha",
+                    "acl": "permit ip any any",
+                    "engine": {"cache_size": 128},
+                    "quotas": {"rate": 100.0, "burst": 16.0, "memory_bytes": 10_000},
+                    "rollout": {"warmup_packets": 8, "observe_packets": 32},
+                    "canary_pct": 25,
+                }
+            ]
+        }
+
+    def test_full_document_round_trip(self):
+        (spec,) = parse_manifest(self._doc())
+        assert spec.name == "alpha"
+        assert spec.engine.cache_size == 128
+        assert spec.rate == 100.0
+        assert spec.burst == 16.0
+        assert spec.memory_bytes == 10_000
+        assert spec.guards.warmup_packets == 8
+        assert spec.canary_pct == 25.0
+
+    def test_bare_list_accepted(self):
+        specs = parse_manifest([{"name": "a", "acl": "permit ip any any"}])
+        assert [s.name for s in specs] == ["a"]
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda t: t.__setitem__("quota", {}), "unknown keys"),
+            (
+                lambda t: t["quotas"].__setitem__("memory", 1),
+                "unknown quota keys",
+            ),
+            (lambda t: t.pop("acl"), "exactly one of"),
+            (
+                lambda t: t.__setitem__("rules", "also.acl"),
+                "exactly one of",
+            ),
+            (
+                lambda t: t["engine"].__setitem__("no_such_knob", 1),
+                "bad engine config",
+            ),
+            (
+                lambda t: t["rollout"].__setitem__("no_such_guard", 1),
+                "bad rollout guards",
+            ),
+        ],
+    )
+    def test_typos_fail_loudly(self, mutate, fragment):
+        doc = self._doc()
+        mutate(doc["tenants"][0])
+        with pytest.raises(ValueError, match=fragment):
+            parse_manifest(doc)
+
+    def test_duplicate_names_rejected(self):
+        doc = {
+            "tenants": [
+                {"name": "a", "acl": "permit ip any any"},
+                {"name": "a", "acl": "permit ip any any"},
+            ]
+        }
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_manifest(doc)
+
+    def test_empty_manifest_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            parse_manifest({"tenants": []})
+
+    def test_json_file_loads_regardless_of_extension(self, tmp_path):
+        from repro.tenant import load_manifest
+
+        path = tmp_path / "fleet.yaml"  # JSON body: must load without PyYAML
+        path.write_text(json.dumps(self._doc()), encoding="utf-8")
+        (spec,) = load_manifest(str(path))
+        assert spec.name == "alpha"
+
+    def test_yaml_file_loads_when_pyyaml_present(self, tmp_path):
+        pytest.importorskip("yaml")
+        from repro.tenant import load_manifest
+
+        path = tmp_path / "fleet.yaml"
+        path.write_text(
+            "tenants:\n"
+            "  - name: alpha\n"
+            "    acl: permit ip any any\n"
+            "    quotas:\n"
+            "      rate: 50\n",
+            encoding="utf-8",
+        )
+        (spec,) = load_manifest(str(path))
+        assert spec.name == "alpha"
+        assert spec.rate == 50
+
+
+# ----------------------------------------------------------------------
+# Admission control on the serving path
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_rate_denial_is_fail_closed_and_exported(self):
+        registry = MetricsRegistry()
+        router = TenantRouter(
+            [TenantSpec(name="t", acl=VICTIM_POLICY, rate=1.0, burst=16.0)],
+            metrics=registry,
+            clock=lambda: 0.0,
+        )
+        try:
+            queries = _trace(router["t"], 100)
+            verdicts = router.lookup_batch("t", queries)
+            # the first 16 tokens serve; every later packet is denied None
+            assert all(v is not None for v in verdicts[:16])
+            assert all(v is None for v in verdicts[16:])
+            doc = snapshot(registry)
+            assert validate_snapshot(doc) == []
+            assert _metric(doc, "tenant_lookups_total", tenant="t") == 100
+            assert _metric(doc, "tenant_denied_total", tenant="t", reason="rate") == 84
+            assert _metric(doc, "tenant_denied_total", tenant="t", reason="memory") == 0
+            assert _metric(doc, "tenant_engine_health", tenant="t", state="ok") == 1.0
+        finally:
+            router.close()
+
+    def test_build_time_memory_quota_blocks_boot(self):
+        with pytest.raises(QuotaExceeded):
+            TenantRouter([TenantSpec(name="t", acl=VICTIM_POLICY, memory_bytes=1)])
+
+    def test_staged_policy_over_quota_never_serves(self):
+        compiled = compile_acl(parse_acl(OLD_POLICY))
+        config = EngineConfig()
+        footprint = build_matcher(
+            config, compiled.entries, compiled.layout.length
+        ).memory_bytes()
+        router = TenantRouter(
+            [_roller_spec(memory_bytes=footprint + 1)], clock=lambda: 0.0
+        )
+        try:
+            roller = router["roller"]
+            lines = "\n".join(f"permit tcp any any eq {p}" for p in range(1, 60))
+            with pytest.raises(QuotaExceeded):
+                roller.stage_rollout(lines, seed=SEED)
+            assert roller.rollout.state == "idle"
+            # the old policy still serves
+            assert any(
+                v is not None for v in router.lookup_batch("roller", _trace(roller, 64))
+            )
+        finally:
+            router.close()
+
+    def test_unknown_tenant_names_the_fleet(self):
+        router = TenantRouter([TenantSpec(name="a", acl=VICTIM_POLICY)])
+        try:
+            with pytest.raises(KeyError, match="serving"):
+                router.lookup("nobody", 1)
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# The e2e gate: good policy promotes
+# ----------------------------------------------------------------------
+
+
+class TestRolloutPromote:
+    def test_good_policy_promotes_and_serves(self):
+        registry = MetricsRegistry()
+        router = TenantRouter([_roller_spec()], metrics=registry, clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            queries = _trace(roller, 2000, seed=SEED + 3)
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            _drive_rollout(router, "roller", queries)
+            assert roller.rollout.state == "promoted"
+
+            # the verdict is in the exported series, not just attributes
+            doc = snapshot(registry)
+            assert validate_snapshot(doc) == []
+            assert _metric(doc, "rollout_promotes_total", tenant="roller") == 1
+            assert _metric(doc, "rollout_state", tenant="roller", state="promoted") == 1.0
+            assert _metric(doc, "rollout_state", tenant="roller", state="canary") == 0.0
+            assert (
+                _metric(doc, "rollout_transitions_total", tenant="roller", to="promoted")
+                == 1
+            )
+            canaried = _metric(
+                doc, "rollout_canary_packets_total", tenant="roller", slice="canary"
+            )
+            stable = _metric(
+                doc, "rollout_canary_packets_total", tenant="roller", slice="stable"
+            )
+            assert canaried > 0 and stable > 0
+            assert (
+                _metric(doc, "rollout_shadow_mismatches_total", tenant="roller") == 0
+            )
+
+            # the stable engine now answers with the NEW policy
+            new = compile_acl(parse_acl(NEW_POLICY))
+            reference = build_matcher("sorted-list", new.entries, new.layout.length)
+            tail = queries[:512]
+            got = [_sig(v) for v in router.lookup_batch("roller", tail)]
+            want = [_sig(reference.lookup(q)) for q in tail]
+            assert got == want
+        finally:
+            router.close()
+
+    def test_stage_requires_terminal_state(self):
+        router = TenantRouter([_roller_spec()], clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            with pytest.raises(RuntimeError, match="cannot stage"):
+                roller.rollout.stage(object())
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# The e2e gate: bad policy auto-rolls back, contained to the canary slice
+# ----------------------------------------------------------------------
+
+
+class TestRolloutRollback:
+    def test_bad_policy_rolls_back_contained_with_identical_sibling(self):
+        packets = 2000
+        registry = MetricsRegistry()
+        injector = FaultInjector(seed=7)
+        injector.arm("cache", rate=1.0)  # poison the canary's flow cache
+        router = TenantRouter(
+            [TenantSpec(name="victim", acl=VICTIM_POLICY), _roller_spec()],
+            metrics=registry,
+            injector=injector,
+            clock=lambda: 0.0,
+        )
+        solo_router = TenantRouter([TenantSpec(name="victim", acl=VICTIM_POLICY)])
+        try:
+            roller = router["roller"]
+            roller_q = _trace(roller, packets, seed=SEED + 3)
+            victim_q = _trace(router["victim"], packets, seed=SEED + 1)
+
+            old = compile_acl(parse_acl(OLD_POLICY))
+            reference = build_matcher("sorted-list", old.entries, old.layout.length)
+            truth: dict[int, object] = {}
+
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            pct, seed = roller.rollout.canary_pct, roller.rollout.seed
+
+            wrong_outside_canary = 0
+            victim_sigs: list[object] = []
+            solo_sigs: list[object] = []
+            for offset in range(0, packets, BATCH):
+                state_before = roller.rollout.state
+                batch = roller_q[offset : offset + BATCH]
+                verdicts = router.lookup_batch("roller", batch)
+                for query, verdict in zip(batch, verdicts):
+                    if state_before == "canary" and canary_member(query, seed, pct):
+                        continue  # only the canary slice may differ
+                    if query not in truth:
+                        truth[query] = _sig(reference.lookup(query))
+                    wrong_outside_canary += _sig(verdict) != truth[query]
+                v_batch = victim_q[offset : offset + BATCH]
+                victim_sigs.extend(_sig(v) for v in router.lookup_batch("victim", v_batch))
+                solo_sigs.extend(
+                    _sig(v) for v in solo_router.lookup_batch("victim", v_batch)
+                )
+
+            # 1. the rollout auto-rolled back on the shadow-mismatch guard
+            assert roller.rollout.state == "rolled_back"
+            doc = snapshot(registry)
+            assert validate_snapshot(doc) == []
+            assert (
+                _metric(
+                    doc,
+                    "rollout_rollbacks_total",
+                    tenant="roller",
+                    reason="shadow-mismatch",
+                )
+                == 1
+            )
+            assert (
+                _metric(doc, "rollout_state", tenant="roller", state="rolled_back")
+                == 1.0
+            )
+            assert _metric(doc, "rollout_shadow_mismatches_total", tenant="roller") > 0
+
+            # 2. after the trip, the canary slice failed closed (None), and
+            #    the fail-closed packets are in the exported slice counter
+            assert (
+                _metric(
+                    doc,
+                    "rollout_canary_packets_total",
+                    tenant="roller",
+                    slice="failclosed",
+                )
+                > 0
+            )
+
+            # 3. zero wrong verdicts ever escaped the canary slice
+            assert wrong_outside_canary == 0
+
+            # 4. the sibling tenant is bit-identical to its solo run
+            assert victim_sigs == solo_sigs
+
+            # 5. the restored engine serves the OLD policy again
+            tail = roller_q[:256]
+            got = [_sig(v) for v in router.lookup_batch("roller", tail)]
+            want = [_sig(reference.lookup(q)) for q in tail]
+            assert got == want
+        finally:
+            solo_router.close()
+            router.close()
+
+    def test_operator_rollback(self):
+        router = TenantRouter([_roller_spec()], clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            router.lookup_batch("roller", _trace(roller, BATCH))
+            if roller.rollout.state == "canary":
+                roller.rollout.rollback()
+            assert roller.rollout.state in ("rolled_back", "promoted")
+            if roller.rollout.state == "rolled_back":
+                assert roller.rollout.last_verdict["reason"] == "operator"
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery mid-rollout
+# ----------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_crash_in_promote_window_recovers_rolled_back(self, tmp_path):
+        ckpt_dir = str(tmp_path / "state")
+        injector = FaultInjector(seed=17)
+        injector.arm("rollout", rate=1.0, count=1)  # kill inside promote
+        registry = MetricsRegistry()
+        router = TenantRouter(
+            [_roller_spec()],
+            metrics=registry,
+            injector=injector,
+            checkpoint_dir=ckpt_dir,
+            clock=lambda: 0.0,
+        )
+        roller = router["roller"]
+        queries = _trace(roller, 2000, seed=SEED + 3)
+        roller.stage_rollout(NEW_POLICY, seed=SEED)
+        crashed = False
+        try:
+            _drive_rollout(router, "roller", queries)
+        except InjectedFault as fault:
+            crashed = True
+            assert fault.site == "rollout"
+        assert crashed, "the rollout fault site never fired"
+        router.close()
+
+        # the persisted sidecar still says CANARY — the crash window
+        sidecar = f"{ckpt_dir}/roller.rollout.json"
+        doc = RolloutController.read_state(sidecar)
+        assert doc is not None and doc["state"] == "canary"
+
+        # supervisor restart: recover=True must land the tenant coherent
+        recovery_registry = MetricsRegistry()
+        revived = TenantRouter(
+            [_roller_spec()],
+            metrics=recovery_registry,
+            checkpoint_dir=ckpt_dir,
+            clock=lambda: 0.0,
+            recover=True,
+        )
+        try:
+            roller = revived["roller"]
+            assert roller.rollout.state == "rolled_back"
+            assert roller.rollout.last_verdict["reason"] == "crash-recovery"
+            assert roller.engine.checkpoint_restores == 1
+
+            exported = snapshot(recovery_registry)
+            assert (
+                _metric(
+                    exported,
+                    "rollout_rollbacks_total",
+                    tenant="roller",
+                    reason="crash-recovery",
+                )
+                == 1
+            )
+
+            # and it serves the last-good OLD policy, exactly
+            old = compile_acl(parse_acl(OLD_POLICY))
+            reference = build_matcher("sorted-list", old.entries, old.layout.length)
+            tail = queries[:512]
+            got = [_sig(v) for v in revived.lookup_batch("roller", tail)]
+            want = [_sig(reference.lookup(q)) for q in tail]
+            assert got == want
+
+            # the sidecar now records the terminal state durably
+            doc = RolloutController.read_state(sidecar)
+            assert doc["state"] == "rolled_back"
+        finally:
+            revived.close()
