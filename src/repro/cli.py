@@ -1122,6 +1122,9 @@ def _cmd_tenant_rollout(args: argparse.Namespace) -> int:
         except QuotaExceeded as exc:
             print(f"error: rollout denied by quota: {exc}", file=sys.stderr)
             return 1
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         queries = _tenant_traffic(tenant, args.packets, args.seed)
         for offset in range(0, len(queries), 64):
             router.lookup_batch(args.tenant, queries[offset : offset + 64])

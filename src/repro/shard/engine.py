@@ -554,6 +554,17 @@ class ShardedEngine:
     def checkpoint(self, path: Any) -> int:
         return self._inner.checkpoint(path)
 
+    def mark_last_good(self, path: Any = None) -> int:
+        return self._inner.mark_last_good(path)
+
+    def restore_last_good(self, path: Any = None) -> None:
+        # The inner restore swaps through the *inner* replace_matcher,
+        # which bypasses the sharded republish — force one so workers
+        # remap to the restored plane now, not at the next lazy stamp
+        # check (a rollback must not leave workers on the bad plane).
+        self._inner.restore_last_good(path)
+        self._republish(force=True)
+
     @classmethod
     def from_checkpoint(
         cls, path: Any, config: Optional[EngineConfig] = None, **kwargs: Any

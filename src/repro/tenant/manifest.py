@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..config import EngineConfig
-from .rollout import SLOGuards
+from .rollout import SLOGuards, _canary_buckets
 
 __all__ = ["TenantSpec", "load_manifest", "parse_manifest"]
 
@@ -75,6 +75,11 @@ class TenantSpec:
             raise ValueError(
                 f"tenant {self.name!r}: canary_pct must be in (0, 100], "
                 f"got {self.canary_pct}"
+            )
+        if _canary_buckets(self.canary_pct) < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: canary_pct {self.canary_pct} maps "
+                "to an empty flow slice — the rollout would never conclude"
             )
 
     def policy_text(self) -> str:

@@ -33,7 +33,12 @@ Guard semantics (fail closed, never serve a known-bad answer):
   the batch boundary where it is observed — any time, warmup included;
 * the latency verdict waits for ``warmup_packets`` canary packets to
   pass and then ``observe_packets`` more to accumulate, comparing
-  p99/p999 ratios via :func:`repro.obs.metrics.quantile_ratios`;
+  p99/p999 ratios via :func:`repro.obs.metrics.quantile_ratios` — and
+  it requires at least one stable-slice observation as the baseline,
+  otherwise the ratios would be vacuously 0.0 and anything would pass.
+  A full-slice canary (``canary_pct == 100``) structurally has no
+  stable baseline, so it promotes on shadow verification alone and the
+  verdict records that the latency guards were skipped;
 * once tripped, the *next* batch's canary slice is answered ``None``
   (implicit deny — the canary fails closed rather than serving an
   engine under suspicion) and the rollback executes at that batch's
@@ -72,6 +77,18 @@ STATE_SCHEMA = "palmtrie-repro/rollout-state/v1"
 _CANARY_SALT = 0x9E3779B97F4A7C15
 
 
+#: canary membership granularity: flows hash into this many buckets
+_CANARY_BUCKETS = 10_000
+
+
+def _canary_buckets(canary_pct: float) -> int:
+    """How many of the :data:`_CANARY_BUCKETS` membership buckets a
+    slice of ``canary_pct`` percent covers (``round``, not ``int`` —
+    truncation made 0.29% cover 28 buckets instead of 29, and any pct
+    under 0.01% cover none at all)."""
+    return round(canary_pct * (_CANARY_BUCKETS / 100.0))
+
+
 def canary_member(query: int, seed: int, canary_pct: float) -> bool:
     """Deterministic canary membership: the same flow lands in the same
     slice on every process and every run (no ``PYTHONHASHSEED``
@@ -80,9 +97,9 @@ def canary_member(query: int, seed: int, canary_pct: float) -> bool:
     same avalanched fold as :func:`repro.shard.flow_shard`, salted so
     slice membership is independent of shard placement.
     """
-    return flow_shard(query ^ ((seed & 0xFFFFFFFF) * _CANARY_SALT), 10_000) < int(
-        canary_pct * 100
-    )
+    return flow_shard(
+        query ^ ((seed & 0xFFFFFFFF) * _CANARY_SALT), _CANARY_BUCKETS
+    ) < _canary_buckets(canary_pct)
 
 
 @dataclass(frozen=True)
@@ -260,6 +277,12 @@ class RolloutController:
             raise RuntimeError(f"cannot begin canary from {self.state!r}")
         if not 0.0 < canary_pct <= 100.0:
             raise ValueError(f"canary_pct must be in (0, 100], got {canary_pct}")
+        if _canary_buckets(canary_pct) < 1:
+            raise ValueError(
+                f"canary_pct {canary_pct} maps to an empty flow slice "
+                f"(minimum is {100.0 / _CANARY_BUCKETS}%) — no flow would "
+                "ever be canaried and the rollout would never conclude"
+            )
         self.canary_pct = float(canary_pct)
         self.seed = seed
         self.canary_packets = 0
@@ -357,6 +380,17 @@ class RolloutController:
             self._tripped = "shadow-mismatch"
             return
         if self._observed >= self.guards.observe_packets:
+            if self._baseline_hist.count == 0:
+                # No stable-slice evidence yet: the latency ratios would
+                # be vacuously 0.0 and the guards would wave anything
+                # through.  A full-slice "canary" (canary_pct == 100)
+                # structurally never produces a baseline — promote on
+                # shadow verification alone and say so in the verdict;
+                # any narrower slice keeps observing until real stable
+                # traffic arrives.
+                if _canary_buckets(self.canary_pct) >= _CANARY_BUCKETS:
+                    self._promote(None)
+                return
             ratios = quantile_ratios(self._canary_hist, self._baseline_hist)
             if ratios["p99"] > self.guards.max_p99_ratio:
                 self._tripped = "p99-regression"
@@ -365,7 +399,7 @@ class RolloutController:
             else:
                 self._promote(ratios)
 
-    def _promote(self, ratios: dict[str, float]) -> None:
+    def _promote(self, ratios: Optional[dict[str, float]]) -> None:
         """Adopt the new policy atomically and stamp it last-good.
 
         The ``rollout`` fault site sits here — after the CANARY stamp,
@@ -383,6 +417,10 @@ class RolloutController:
             "canary_packets": self.canary_packets,
             "stable_packets": self.stable_packets,
         }
+        if ratios is None:
+            self.last_verdict["latency_guards"] = (
+                "skipped (full-slice canary has no stable baseline)"
+            )
         self.promotes += 1
         if self.metrics is not None:
             self.metrics.counter(

@@ -91,6 +91,11 @@ class Tenant:
             self.engine = engine_cls.from_checkpoint(
                 last_good, rebuild=self._rebuild, config=config
             )
+            # The recovered policy faces the same ceiling a boot-time
+            # build does — a checkpoint written before the quota was
+            # tightened must not sneak back into service (and metrics
+            # get a fresh last_bytes instead of a stale 0).
+            self.quota.admit(self.engine.matcher, tenant=spec.name)
         else:
             matcher = self._rebuild()
             # Build-time quota: an over-quota policy never serves.
@@ -156,21 +161,19 @@ class Tenant:
         last-good first; an update that lands the compiled policy over
         quota is undone by restoring that stamp, and
         :class:`QuotaExceeded` propagates — the tenant keeps serving
-        the pre-update policy (fail closed, never fail big).
+        the pre-update policy (fail closed, never fail big).  The
+        stamp works without a ``checkpoint_dir``: ``mark_last_good``
+        falls back to an in-memory blob when no path is configured.
         """
-        guarded = (
-            self.quota.limit_bytes is not None
-            and getattr(self.engine, "last_good_path", None) is not None
-        )
+        guarded = self.quota.limit_bytes is not None
         if guarded:
             self.engine.mark_last_good()
         report = self.engine.apply_updates(ops)
-        if self.quota.limit_bytes is not None:
+        if guarded:
             try:
                 self.quota.admit(self.engine.matcher, tenant=self.name)
             except QuotaExceeded:
-                if guarded:
-                    self.engine.restore_last_good()
+                self.engine.restore_last_good()
                 raise
         return report
 

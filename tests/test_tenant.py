@@ -125,6 +125,56 @@ class TestCanaryMembership:
         b = [canary_member(q, 2, 25.0) for q in queries]
         assert a != b
 
+    def test_bucket_count_rounds_instead_of_truncating(self):
+        from repro.tenant.rollout import _canary_buckets
+
+        # int() truncation gave 0.29% -> 28 buckets and anything under
+        # 0.01% -> zero buckets (no flow ever canaried)
+        assert _canary_buckets(0.29) == 29
+        assert _canary_buckets(0.01) == 1
+        assert _canary_buckets(0.004) == 0
+        assert _canary_buckets(100.0) == 10_000
+
+    def test_tiny_slice_is_nonempty(self):
+        import random
+
+        rng = random.Random(7)
+        queries = [rng.getrandbits(104) for _ in range(30_000)]
+        hits = sum(canary_member(q, SEED, 0.01) for q in queries)
+        assert 0 < hits < 30  # ~3 expected at 1/10000
+
+    def test_zero_bucket_pct_rejected_at_begin_canary(self):
+        router = TenantRouter([_roller_spec()], clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            with pytest.raises(ValueError, match="empty flow slice"):
+                roller.stage_rollout(NEW_POLICY, canary_pct=0.004, seed=SEED)
+        finally:
+            router.close()
+
+    def test_zero_bucket_pct_rejected_at_spec_validation(self):
+        with pytest.raises(ValueError, match="empty flow slice"):
+            TenantSpec(name="t", acl=VICTIM_POLICY, canary_pct=0.004)
+
+    def test_zero_bucket_pct_is_cli_error_not_traceback(self, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest = tmp_path / "fleet.json"
+        manifest.write_text(
+            json.dumps({"tenants": [{"name": "a", "acl": VICTIM_POLICY}]}),
+            encoding="utf-8",
+        )
+        rules = tmp_path / "new.acl"
+        rules.write_text(NEW_POLICY, encoding="utf-8")
+        code = main(
+            [
+                "rollout", "--tenants", str(manifest), "--tenant", "a",
+                "--rules", str(rules), "--canary-pct", "0.004",
+            ]
+        )
+        assert code == 2
+        assert "empty flow slice" in capsys.readouterr().err
+
 
 # ----------------------------------------------------------------------
 # Quotas
@@ -596,3 +646,218 @@ class TestCrashRecovery:
             assert doc["state"] == "rolled_back"
         finally:
             revived.close()
+
+
+# ----------------------------------------------------------------------
+# Update-transaction quota rollback (no checkpoint_dir required)
+# ----------------------------------------------------------------------
+
+
+class TestUpdateQuotaRollback:
+    def test_over_quota_update_is_undone_without_checkpoint_dir(self):
+        compiled = compile_acl(parse_acl(OLD_POLICY))
+        config = EngineConfig()
+        footprint = build_matcher(
+            config, compiled.entries, compiled.layout.length
+        ).memory_bytes()
+        # enough headroom to boot, not enough for the bloated update;
+        # crucially: NO checkpoint_dir, so the last-good stamp must
+        # work through the in-memory blob
+        router = TenantRouter(
+            [_roller_spec(memory_bytes=footprint + 64)], clock=lambda: 0.0
+        )
+        try:
+            roller = router["roller"]
+            reference = build_matcher(
+                "sorted-list", compiled.entries, compiled.layout.length
+            )
+            queries = _trace(roller, 256)
+
+            lines = "\n".join(f"permit tcp any any eq {p}" for p in range(1, 60))
+            bloat = compile_acl(parse_acl(lines))
+            with pytest.raises(QuotaExceeded):
+                roller.apply_updates([("insert", e) for e in bloat.entries])
+
+            assert roller.quota.rejected == 1
+            # the tenant still serves the PRE-update policy, exactly
+            got = [_sig(v) for v in router.lookup_batch("roller", queries)]
+            want = [_sig(reference.lookup(q)) for q in queries]
+            assert got == want
+        finally:
+            router.close()
+
+    def test_in_quota_update_is_kept(self):
+        router = TenantRouter([_roller_spec(memory_bytes=10**9)], clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            extra = compile_acl(parse_acl("deny udp any any eq 53\n" + OLD_POLICY))
+            report = roller.apply_updates([("insert", extra.entries[0])])
+            assert report.inserted == 1
+            assert roller.quota.last_bytes > 0
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# Latency guards need a stable baseline
+# ----------------------------------------------------------------------
+
+
+class TestLatencyBaselineEvidence:
+    def test_full_slice_canary_promotes_on_shadow_alone_and_says_so(self):
+        router = TenantRouter([_roller_spec(canary_pct=100.0)], clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            queries = _trace(roller, 2000, seed=SEED + 3)
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            _drive_rollout(router, "roller", queries)
+            assert roller.rollout.state == "promoted"
+            verdict = roller.rollout.last_verdict
+            assert verdict["latency_ratios"] is None
+            assert "skipped" in verdict["latency_guards"]
+            assert roller.rollout.stable_packets == 0
+        finally:
+            router.close()
+
+    def test_partial_slice_waits_for_stable_traffic(self):
+        router = TenantRouter([_roller_spec()], clock=lambda: 0.0)
+        try:
+            roller = router["roller"]
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            pct, seed = roller.rollout.canary_pct, roller.rollout.seed
+            pool = _trace(roller, 4000, seed=SEED + 3)
+            canary_only = [q for q in pool if canary_member(q, seed, pct)]
+            stable_only = [q for q in pool if not canary_member(q, seed, pct)]
+            assert len(canary_only) > 300 and len(stable_only) > 300
+
+            # feed ONLY canary-member flows: the observation window
+            # completes but there is no baseline — must keep observing,
+            # not promote on vacuous 0.0 ratios
+            for offset in range(0, 300, BATCH):
+                router.lookup_batch("roller", canary_only[offset : offset + BATCH])
+            assert roller.rollout._observed >= roller.rollout.guards.observe_packets
+            assert roller.rollout.state == "canary"
+
+            # stable traffic arrives -> the verdict lands with evidence
+            for offset in range(0, len(stable_only), BATCH):
+                router.lookup_batch("roller", stable_only[offset : offset + BATCH])
+                if roller.rollout.state != "canary":
+                    break
+            assert roller.rollout.state == "promoted"
+            assert roller.rollout.last_verdict["latency_ratios"] is not None
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded tenants: the rollout contract over ShardedEngine
+# ----------------------------------------------------------------------
+
+
+def _published_is_current(engine) -> bool:
+    """The sharded plane publication matches the inner engine's
+    coherence stamp (i.e. no lazy-republish debt outstanding)."""
+    return engine._published_for == (
+        engine.inner.epoch,
+        getattr(engine.inner.matcher, "generation", 0),
+    )
+
+
+class TestShardedRollout:
+    def test_good_policy_promotes_on_sharded_engine(self):
+        router = TenantRouter(
+            [_roller_spec(engine=EngineConfig(shards=2))], clock=lambda: 0.0
+        )
+        try:
+            roller = router["roller"]
+            from repro.shard import ShardedEngine
+
+            assert isinstance(roller.engine, ShardedEngine)
+            queries = _trace(roller, 2000, seed=SEED + 3)
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            _drive_rollout(router, "roller", queries)
+            assert roller.rollout.state == "promoted"
+            assert _published_is_current(roller.engine)
+
+            new = compile_acl(parse_acl(NEW_POLICY))
+            reference = build_matcher("sorted-list", new.entries, new.layout.length)
+            tail = queries[:512]
+            got = [_sig(v) for v in router.lookup_batch("roller", tail)]
+            want = [_sig(reference.lookup(q)) for q in tail]
+            assert got == want
+        finally:
+            router.close()
+
+    def test_bad_policy_rolls_back_and_workers_remap_eagerly(self):
+        injector = FaultInjector(seed=7)
+        injector.arm("cache", rate=1.0)  # poison the canary's flow cache
+        router = TenantRouter(
+            [_roller_spec(engine=EngineConfig(shards=2))],
+            injector=injector,
+            clock=lambda: 0.0,
+        )
+        try:
+            roller = router["roller"]
+            queries = _trace(roller, 2000, seed=SEED + 3)
+            roller.stage_rollout(NEW_POLICY, seed=SEED)
+            _drive_rollout(router, "roller", queries)
+            assert roller.rollout.state == "rolled_back"
+            # restore_last_good force-republished: the shared plane is
+            # already coherent with the restored policy, BEFORE any
+            # further batch triggers a lazy stamp check
+            assert _published_is_current(roller.engine)
+
+            old = compile_acl(parse_acl(OLD_POLICY))
+            reference = build_matcher("sorted-list", old.entries, old.layout.length)
+            tail = queries[:512]
+            got = [_sig(v) for v in router.lookup_batch("roller", tail)]
+            want = [_sig(reference.lookup(q)) for q in tail]
+            assert got == want
+        finally:
+            router.close()
+
+
+# ----------------------------------------------------------------------
+# Recovery re-enforces the memory quota
+# ----------------------------------------------------------------------
+
+
+class TestRecoveryQuota:
+    def _boot_and_checkpoint(self, tmp_path, **spec_overrides):
+        ckpt_dir = str(tmp_path / "state")
+        router = TenantRouter(
+            [_roller_spec(**spec_overrides)],
+            checkpoint_dir=ckpt_dir,
+            clock=lambda: 0.0,
+        )
+        router["roller"].engine.mark_last_good()
+        router.close()
+        return ckpt_dir
+
+    def test_recovered_policy_is_measured_and_admitted(self, tmp_path):
+        ckpt_dir = self._boot_and_checkpoint(tmp_path)
+        revived = TenantRouter(
+            [_roller_spec(memory_bytes=10**9)],
+            checkpoint_dir=ckpt_dir,
+            clock=lambda: 0.0,
+            recover=True,
+        )
+        try:
+            roller = revived["roller"]
+            assert roller.engine.checkpoint_restores == 1
+            # the quota saw the recovered matcher (metrics no longer
+            # report 0 bytes until the first update)
+            assert roller.quota.last_bytes > 0
+            assert roller.quota.admitted == 1
+        finally:
+            revived.close()
+
+    def test_recovery_over_a_tightened_quota_fails_closed(self, tmp_path):
+        ckpt_dir = self._boot_and_checkpoint(tmp_path)
+        with pytest.raises(QuotaExceeded):
+            TenantRouter(
+                [_roller_spec(memory_bytes=1)],
+                checkpoint_dir=ckpt_dir,
+                clock=lambda: 0.0,
+                recover=True,
+            )
